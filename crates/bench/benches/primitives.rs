@@ -1,0 +1,199 @@
+//! Criterion microbenchmarks of the hot primitives (host-time, not
+//! simulated-time): the page-walk path, PML log/drain, the shared ring,
+//! pagemap scans, tracker collect rounds, and the guest-memory B-tree.
+//! These double as the ablation benches for DESIGN.md's design choices
+//! (TLB suppression of re-logging, batched drains, per-process rings).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ooh_core::{OohSession, Technique};
+use ooh_guest::{GuestKernel, Pid, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, MachineConfig, PmlBuffer, RingView, PAGE_SIZE};
+use ooh_sim::{Lane, SimCtx};
+use ooh_workloads::{Arena, WorkEnv};
+use std::hint::black_box;
+
+fn boot() -> (Hypervisor, GuestKernel, Pid) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    (hv, kernel, pid)
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access");
+
+    // TLB-hit store: the fast path every non-first write takes.
+    {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 1, true, VmaKind::Anon).unwrap();
+        kernel.write_u64(&mut hv, pid, region.start, 0, Lane::Tracked).unwrap();
+        group.bench_function("store_tlb_hit", |b| {
+            b.iter(|| {
+                kernel
+                    .write_u64(&mut hv, pid, black_box(region.start.add(8)), 1, Lane::Tracked)
+                    .unwrap()
+            })
+        });
+    }
+
+    // Full nested walk: flush the TLB before every store.
+    {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 1, true, VmaKind::Anon).unwrap();
+        kernel.write_u64(&mut hv, pid, region.start, 0, Lane::Tracked).unwrap();
+        group.bench_function("store_full_walk", |b| {
+            b.iter(|| {
+                kernel.flush_tlb(&mut hv);
+                kernel
+                    .write_u64(&mut hv, pid, black_box(region.start.add(8)), 1, Lane::Tracked)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pml");
+    // Log 512 entries + drain: one full hardware buffer cycle.
+    group.bench_function("log512_drain", |b| {
+        let mut phys = ooh_machine::HostPhys::new(16 * PAGE_SIZE);
+        let page = phys.alloc_frame().unwrap();
+        let mut buf = PmlBuffer::new(page);
+        b.iter(|| {
+            for i in 0..512u64 {
+                buf.log(&mut phys, i << 12).unwrap();
+            }
+            black_box(buf.drain(&phys).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    group.bench_function("push_pop_4096", |b| {
+        let mut phys = ooh_machine::HostPhys::new(64 * PAGE_SIZE);
+        let header = phys.alloc_frame().unwrap();
+        let data: Vec<_> = (0..16).map(|_| phys.alloc_frame().unwrap()).collect();
+        let ring = RingView::create(&mut phys, header, data).unwrap();
+        b.iter(|| {
+            for i in 0..4096u64 {
+                ring.push(&mut phys, i).unwrap();
+            }
+            while let Some(v) = ring.pop(&mut phys).unwrap() {
+                black_box(v);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_round");
+    group.sample_size(20);
+    for technique in Technique::ALL {
+        group.bench_function(technique.name().replace('/', ""), |b| {
+            b.iter_batched(
+                || {
+                    let (mut hv, mut kernel, pid) = boot();
+                    let region = kernel.mmap(pid, 256, true, VmaKind::Anon).unwrap();
+                    for g in region.iter_pages().collect::<Vec<_>>() {
+                        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+                    }
+                    let session =
+                        OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+                    (hv, kernel, pid, region, session)
+                },
+                |(mut hv, mut kernel, pid, region, mut session)| {
+                    for i in (0..256u64).step_by(4) {
+                        kernel
+                            .write_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), i, Lane::Tracked)
+                            .unwrap();
+                    }
+                    let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+                    assert_eq!(dirty.len(), 64);
+                    black_box(dirty)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pagemap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procfs");
+    group.bench_function("pagemap_scan_1024", |b| {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 1024, true, VmaKind::Anon).unwrap();
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+        }
+        b.iter(|| {
+            black_box(
+                kernel
+                    .read_pagemap(&mut hv, pid, region, Lane::Tracker)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest_btree");
+    group.sample_size(20);
+    group.bench_function("set_1000", |b| {
+        b.iter_batched(
+            || {
+                let (mut hv, mut kernel, pid) = boot();
+                let (tree, arena) = {
+                    let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+                    let mut arena = Arena::new(&mut env, 512).unwrap();
+                    let tree =
+                        ooh_workloads::tkrzw::GuestBTree::create(&mut env, &mut arena, 8).unwrap();
+                    (tree, arena)
+                };
+                (hv, kernel, pid, tree, arena)
+            },
+            |(mut hv, mut kernel, pid, mut tree, mut arena)| {
+                let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+                for k in 0..1000u64 {
+                    tree.set(&mut env, &mut arena, (k * 2654435761) % 4096, k)
+                        .unwrap();
+                }
+                black_box(tree.len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_gva(c: &mut Criterion) {
+    // Sanity microbench: address decomposition must be branch-free cheap.
+    c.bench_function("gva_pt_indices", |b| {
+        b.iter(|| {
+            let g = Gva(black_box(0x7f83_4567_8123));
+            black_box((g.pt_index(3), g.pt_index(2), g.pt_index(1), g.pt_index(0)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_access_paths,
+    bench_pml,
+    bench_ring,
+    bench_trackers,
+    bench_pagemap,
+    bench_btree,
+    bench_gva,
+);
+criterion_main!(benches);

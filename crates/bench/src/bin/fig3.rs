@@ -1,0 +1,63 @@
+//! Figure 3 — breakdown of SPML's collection phase into *reverse mapping*,
+//! *PT walk* (the library's pagemap scan) and *ring buffer copy*, across
+//! region sizes.
+//!
+//! Paper shape: reverse mapping is the bottleneck, >68% of collection time
+//! on average and growing with memory size; ring copy is negligible.
+
+use ooh_bench::{counter, report, run_tracked};
+use ooh_core::Technique;
+use ooh_sim::table::fpct;
+use ooh_sim::{Event, SimCtx, TextTable};
+use ooh_workloads::{micro, microbench_sizes_mib};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    mib: u64,
+    revmap_ms: f64,
+    pt_walk_ms: f64,
+    ring_copy_ms: f64,
+    revmap_share_pct: f64,
+}
+
+fn main() {
+    report::header(
+        "fig3",
+        "SPML collection-phase time: reverse mapping vs PT walk vs ring copy",
+    );
+    let cost = SimCtx::new().cost().clone();
+    let mut tbl = TextTable::new([
+        "size", "revmap(ms)", "ptwalk(ms)", "rbcopy(ms)", "revmap share",
+    ]);
+    for mib in microbench_sizes_mib() {
+        let mut w = micro(mib, 2);
+        let pages = w.num_pages;
+        let steps_per_pass = pages.div_ceil(256) as u32;
+        let run = run_tracked(Technique::Spml, &mut w, steps_per_pass).expect("spml run");
+
+        let lookups = counter(&run, Event::ReverseMapLookup);
+        let revmap_ns = lookups * cost.reverse_map_lookup_ns(pages);
+        let pt_walk_ns = counter(&run, Event::PagemapReadEntry) * cost.pagemap_entry_ns
+            + counter(&run, Event::PagemapReadChunk) * cost.pagemap_chunk_ns;
+        let ring_ns = counter(&run, Event::RingBufferCopyEntry) * cost.ring_copy_entry_ns;
+        let total = (revmap_ns + pt_walk_ns + ring_ns) as f64;
+        let share = 100.0 * revmap_ns as f64 / total;
+
+        tbl.row([
+            format!("{mib}MB"),
+            format!("{:.2}", report::ms(revmap_ns)),
+            format!("{:.2}", report::ms(pt_walk_ns)),
+            format!("{:.3}", report::ms(ring_ns)),
+            fpct(share),
+        ]);
+        report::json_row(&Row {
+            mib,
+            revmap_ms: report::ms(revmap_ns),
+            pt_walk_ms: report::ms(pt_walk_ns),
+            ring_copy_ms: report::ms(ring_ns),
+            revmap_share_pct: share,
+        });
+    }
+    println!("{tbl}");
+}

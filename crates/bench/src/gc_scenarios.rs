@@ -1,0 +1,169 @@
+//! Boehm-GC experiment scenarios (Figures 5 and 6): an application running
+//! with the collector in incremental mode, its mark phase driven by a
+//! dirty-page tracking technique — or in stop-the-world mode for the
+//! untracked baseline.
+//!
+//! For Phoenix applications the process hosts both the application's
+//! mmapped working set and a GC-managed object graph the mutator keeps
+//! churning (the paper's applications are *linked against* Boehm, so their
+//! allocations live in its heap; our split preserves the load the tracker
+//! sees — the whole address space — and the load the collector sees — the
+//! heap graph).
+
+use crate::scenario::Stack;
+use ooh_core::{OohSession, Technique};
+use ooh_gc::{BoehmGc, CycleStats, GcMode, WORD};
+use ooh_guest::GuestError;
+use ooh_machine::Gva;
+use ooh_sim::Lane;
+use ooh_workloads::{gcbench_config, gcbench_heap_pages, phoenix, SizeClass, WorkEnv};
+use serde::Serialize;
+
+/// Result of one GC-application run.
+#[derive(Debug, Clone, Serialize)]
+pub struct GcAppRun {
+    pub app: String,
+    pub size: &'static str,
+    /// "none" for the stop-the-world baseline.
+    pub technique: String,
+    pub cycles: Vec<CycleStats>,
+    pub total_ns: u64,
+    pub gc_total_ns: u64,
+}
+
+/// GC collection cadence for Phoenix runs (workload quanta per cycle).
+/// Tuned so runs do 2–8 cycles, the band the paper reports (2–23), keeping
+/// per-cycle cost amortized over a realistic amount of mutator work.
+const STEPS_PER_CYCLE: u32 = 48;
+/// Live objects the mutator maintains.
+const LIVE_OBJECTS: usize = 256;
+/// Object payload size in words.
+const OBJ_WORDS: u32 = 16;
+
+fn make_gc(
+    stack: &mut Stack,
+    technique: Option<Technique>,
+    heap_pages: u64,
+) -> Result<BoehmGc, GuestError> {
+    let mode = match technique {
+        None => GcMode::StopTheWorld,
+        Some(t) => {
+            let mut session = OohSession::start(&mut stack.hv, &mut stack.kernel, stack.pid, t)?;
+            // Boehm's integration caches SPML's reverse mapping after the
+            // first cycle (paper footnote 2).
+            session.enable_collection_cache();
+            GcMode::Incremental {
+                session,
+                major_every: 64,
+            }
+        }
+    };
+    BoehmGc::new(&mut stack.hv, &mut stack.kernel, stack.pid, heap_pages, 512, mode)
+}
+
+/// Run GCBench under the given technique (None = STW baseline).
+pub fn run_gcbench(
+    size: SizeClass,
+    technique: Option<Technique>,
+) -> Result<GcAppRun, GuestError> {
+    let mut stack = Stack::boot();
+    let ctx = stack.ctx();
+    let mut gc = make_gc(&mut stack, technique, gcbench_heap_pages(size))?;
+    let bench = gcbench_config(size);
+    let t0 = ctx.now_ns();
+    {
+        let mut env = WorkEnv::new(&mut stack.hv, &mut stack.kernel, stack.pid);
+        bench.run(&mut env, &mut gc)?;
+    }
+    let total_ns = ctx.now_ns() - t0;
+    let cycles = gc.stats.clone();
+    gc.shutdown(&mut stack.hv, &mut stack.kernel)?;
+    Ok(GcAppRun {
+        app: "GCBench".to_string(),
+        size: size.name(),
+        technique: technique.map(|t| t.name().to_string()).unwrap_or("none".into()),
+        gc_total_ns: cycles.iter().map(|c| c.total_ns).sum(),
+        cycles,
+        total_ns,
+    })
+}
+
+/// Run a Phoenix app with a concurrently-mutated GC heap.
+pub fn run_phoenix_gc(
+    app: &str,
+    size: SizeClass,
+    technique: Option<Technique>,
+) -> Result<GcAppRun, GuestError> {
+    let mut stack = Stack::boot();
+    let ctx = stack.ctx();
+    let mut w = phoenix(app, size, 1234);
+    {
+        let mut env = WorkEnv::new(&mut stack.hv, &mut stack.kernel, stack.pid);
+        w.setup(&mut env)?;
+    }
+    let mut gc = make_gc(&mut stack, technique, 2048)?;
+
+    // The mutator's live set: a ring of objects, each pointing to the next.
+    let root = gc.add_root_slot();
+    let mut objs: Vec<Gva> = Vec::with_capacity(LIVE_OBJECTS);
+    for _ in 0..LIVE_OBJECTS {
+        let o = gc
+            .alloc(&mut stack.hv, &mut stack.kernel, OBJ_WORDS)?
+            .expect("heap sized for the live set");
+        objs.push(o);
+    }
+    for i in 0..LIVE_OBJECTS {
+        let next = objs[(i + 1) % LIVE_OBJECTS];
+        stack
+            .kernel
+            .write_u64(&mut stack.hv, stack.pid, objs[i], next.raw(), Lane::Tracked)?;
+    }
+    stack
+        .kernel
+        .write_u64(&mut stack.hv, stack.pid, root, objs[0].raw(), Lane::Tracked)?;
+
+    let t0 = ctx.now_ns();
+    let mut step = 0u32;
+    let mut mutate_at = 0usize;
+    loop {
+        let done = {
+            let mut env = WorkEnv::new(&mut stack.hv, &mut stack.kernel, stack.pid);
+            let done = w.step(&mut env)?;
+            env.timer_tick()?;
+            done
+        };
+        step += 1;
+        if step.is_multiple_of(STEPS_PER_CYCLE) || done {
+            // Mutator activity: update a few live objects, allocate garbage.
+            for k in 0..8 {
+                let o = objs[(mutate_at + k * 31) % LIVE_OBJECTS];
+                stack.kernel.write_u64(
+                    &mut stack.hv,
+                    stack.pid,
+                    o.add(8 * WORD),
+                    step as u64,
+                    Lane::Tracked,
+                )?;
+            }
+            mutate_at += 1;
+            for _ in 0..16 {
+                let _ = gc.alloc(&mut stack.hv, &mut stack.kernel, OBJ_WORDS)?;
+            }
+            gc.collect(&mut stack.hv, &mut stack.kernel)?;
+        }
+        if done {
+            break;
+        }
+    }
+    let total_ns = ctx.now_ns() - t0;
+    let cycles = gc.stats.clone();
+    gc.shutdown(&mut stack.hv, &mut stack.kernel)?;
+    Ok(GcAppRun {
+        app: app.to_string(),
+        size: size.name(),
+        technique: technique.map(|t| t.name().to_string()).unwrap_or("none".into()),
+        gc_total_ns: cycles.iter().map(|c| c.total_ns).sum(),
+        cycles,
+        total_ns,
+    })
+}

@@ -1,0 +1,33 @@
+//! Output conventions shared by every table/figure binary: a rendered text
+//! table on stdout plus one JSON line per row (prefixed `#json `), so
+//! results are both human-readable and machine-checkable.
+
+use serde::Serialize;
+
+/// Print the experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("== {id}: {title} ==");
+}
+
+/// Print one machine-readable row.
+pub fn json_row<T: Serialize>(row: &T) {
+    println!(
+        "#json {}",
+        serde_json::to_string(row).expect("serializable row")
+    );
+}
+
+/// Print a scaling note once per experiment.
+pub fn scaling_note(note: &str) {
+    println!("note: {note}");
+}
+
+/// ns → milliseconds for display.
+pub fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// ns → seconds for display.
+pub fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}

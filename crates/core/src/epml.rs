@@ -1,0 +1,82 @@
+//! The EPML tracker: the paper's hardware-extended PML.
+//!
+//! The page-walk circuit logs **GVAs** straight into the guest-level buffer;
+//! the OoH module drains them into the per-process ring on self-IPIs and
+//! schedule-outs. Collection is therefore just a ring drain — no reverse
+//! mapping, no hypercalls, no hypervisor on the critical path. The only
+//! memory-size-dependent cost left is the ring copy itself (M18), which is
+//! why EPML scales where everything else does not.
+
+use crate::dirtyset::DirtySet;
+use crate::spml::{conservative_full_scan, drain_ring, ensure_module, ring_dropped, with_module};
+use crate::tracker::{DirtyPageTracker, TrackEnv, Technique};
+use ooh_guest::{GuestError, OohMode};
+use ooh_machine::{Gva, GvaRange};
+
+#[derive(Debug, Default)]
+pub struct EpmlTracker {
+    registered: Vec<GvaRange>,
+    pub raw_entries_last_round: u64,
+    last_dropped: u64,
+    /// Rounds that had to fall back to a conservative full scan.
+    pub overflow_fallbacks: u64,
+}
+
+impl EpmlTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DirtyPageTracker for EpmlTracker {
+    fn technique(&self) -> Technique {
+        Technique::Epml
+    }
+
+    fn init(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        ensure_module(env, OohMode::Epml)?;
+        let pid = env.pid;
+        with_module(env, |m, env| m.track(env.kernel, env.hv, pid))?;
+        self.registered = env
+            .kernel
+            .vmas(env.pid)?
+            .iter()
+            .filter(|v| v.writable)
+            .map(|v| v.range)
+            .collect();
+        Ok(())
+    }
+
+    fn begin_round(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        with_module(env, |m, env| m.flush(env.kernel, env.hv))?;
+        drain_ring(env)?;
+        Ok(())
+    }
+
+    fn collect(&mut self, env: &mut TrackEnv<'_>) -> Result<DirtySet, GuestError> {
+        // Refresh the registered region (see SpmlTracker::collect).
+        self.registered = env
+            .kernel
+            .vmas(env.pid)?
+            .iter()
+            .filter(|v| v.writable)
+            .map(|v| v.range)
+            .collect();
+        with_module(env, |m, env| m.flush(env.kernel, env.hv))?;
+        let raw = drain_ring(env)?;
+        self.raw_entries_last_round = raw.len() as u64;
+        let dropped = ring_dropped(env)?;
+        if dropped != self.last_dropped {
+            self.last_dropped = dropped;
+            self.overflow_fallbacks += 1;
+            return conservative_full_scan(env, &self.registered);
+        }
+        let mut set: DirtySet = raw.into_iter().map(Gva).collect();
+        set.retain_within(&self.registered);
+        Ok(set)
+    }
+
+    fn finish(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        with_module(env, |m, env| m.untrack(env.kernel, env.hv))
+    }
+}

@@ -1,0 +1,186 @@
+//! GPA→GVA reverse mapping — SPML's Achilles heel.
+//!
+//! The PML hardware logs guest-*physical* addresses, but trackers need
+//! guest-*virtual* ones. The paper's OoH Lib resolves each GPA by parsing
+//! `/proc/PID/pagemap` to find the virtual page whose PFN matches — a scan
+//! whose cost grows with the process's resident set, measured in Table Vb
+//! as M17 (6 ms at 1 MB, 15.7 s at 1 GB — more than 68% of SPML's total
+//! collection time, Figure 3). We perform the lookup mechanically against
+//! the kernel's resident map and charge the calibrated cost per logged GPA.
+
+use ooh_guest::{GuestError, GuestKernel, Pid};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gpa, Gva};
+use ooh_sim::{Event, Lane};
+
+/// A GPA→GVA cache, used by Boehm's integration: the paper's footnote 2
+/// observes that Boehm reverse-maps during its *first* GC cycle and reuses
+/// the addresses afterwards, because a process's physical placement is
+/// stable. Entries are `Option<GVA page>` so "this GPA has no userspace
+/// mapping" (page-table noise) is cached too.
+pub type RevMapCache = std::collections::HashMap<u64, Option<u64>>;
+
+/// Cost of a cache hit (one hash probe in the library).
+const CACHE_HIT_NS: u64 = 50;
+
+/// Reverse-map a batch of logged GPAs to GVAs for `pid`.
+///
+/// Returns the successfully mapped GVAs; GPAs with no userspace mapping
+/// (page-table pages the hardware logged, pages freed since logging) are
+/// dropped — each still pays the scan cost, as the real library's failed
+/// pagemap scans do.
+pub fn reverse_map_batch(
+    hv: &mut Hypervisor,
+    kernel: &GuestKernel,
+    pid: Pid,
+    gpas: &[Gpa],
+) -> Result<Vec<Gva>, GuestError> {
+    let ctx = hv.ctx.clone();
+    let proc = kernel.process(pid)?;
+    let resident_pages = proc.resident_pages();
+
+    // The real implementation scans pagemap per GPA; we build the inverse
+    // index once (so the simulation is O(n + m)) but charge the modeled
+    // per-lookup scan cost (so the virtual clock behaves like the paper's
+    // measurements).
+    let inverse: std::collections::HashMap<u64, u64> = proc
+        .resident
+        .iter()
+        .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))
+        .collect();
+
+    let mut out = Vec::with_capacity(gpas.len());
+    for gpa in gpas {
+        let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
+        ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
+        if let Some(&gva_page) = inverse.get(&gpa.page()) {
+            out.push(Gva::from_page(gva_page));
+        }
+    }
+    Ok(out)
+}
+
+/// Cached variant (Boehm's integration, footnote 2): cache hits cost one
+/// hash probe; misses pay the full pagemap scan and populate the cache.
+pub fn reverse_map_batch_cached(
+    hv: &mut Hypervisor,
+    kernel: &GuestKernel,
+    pid: Pid,
+    gpas: &[Gpa],
+    cache: &mut RevMapCache,
+) -> Result<Vec<Gva>, GuestError> {
+    let ctx = hv.ctx.clone();
+    let proc = kernel.process(pid)?;
+    let resident_pages = proc.resident_pages();
+    let inverse: std::collections::HashMap<u64, u64> = proc
+        .resident
+        .iter()
+        .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))
+        .collect();
+
+    let mut out = Vec::with_capacity(gpas.len());
+    for gpa in gpas {
+        let page = gpa.page();
+        let hit = cache.get(&page).copied();
+        let resolved = match hit {
+            Some(cached) => {
+                ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, CACHE_HIT_NS);
+                cached
+            }
+            None => {
+                let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
+                ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
+                let r = inverse.get(&page).copied();
+                cache.insert(page, r);
+                r
+            }
+        };
+        if let Some(gva_page) = resolved {
+            out.push(Gva::from_page(gva_page));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revmap::{reverse_map_batch_cached, RevMapCache};
+    use ooh_guest::VmaKind;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    #[test]
+    fn maps_resident_pages_and_drops_unknown() {
+        let mut hv = Hypervisor::new(MachineConfig::stock(4096 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        let range = kernel.mmap(pid, 4, true, VmaKind::Anon).unwrap();
+        for g in range.iter_pages().collect::<Vec<_>>() {
+            kernel
+                .write_u64(&mut hv, pid, g, 1, Lane::Tracked)
+                .unwrap();
+        }
+        let proc = kernel.process(pid).unwrap();
+        let gva0 = range.start;
+        let gpa0 = Gpa::from_page(proc.resident[&gva0.page()]);
+
+        let mapped =
+            reverse_map_batch(&mut hv, &kernel, pid, &[gpa0, Gpa(0xdead000)]).unwrap();
+        assert_eq!(mapped, vec![gva0]);
+        // Both lookups were charged.
+        assert_eq!(hv.ctx.counters().get(Event::ReverseMapLookup), 2);
+    }
+
+    #[test]
+    fn cached_lookups_are_cheap_and_correct() {
+        let mut hv = Hypervisor::new(MachineConfig::stock(4096 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        let range = kernel.mmap(pid, 8, true, VmaKind::Anon).unwrap();
+        for g in range.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 1, Lane::Tracked).unwrap();
+        }
+        let proc = kernel.process(pid).unwrap();
+        let gpas: Vec<Gpa> = range
+            .iter_pages()
+            .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+            .collect();
+
+        let mut cache = RevMapCache::new();
+        let t0 = hv.ctx.now_ns();
+        let first = reverse_map_batch_cached(&mut hv, &kernel, pid, &gpas, &mut cache).unwrap();
+        let cold_ns = hv.ctx.now_ns() - t0;
+        let t1 = hv.ctx.now_ns();
+        let second = reverse_map_batch_cached(&mut hv, &kernel, pid, &gpas, &mut cache).unwrap();
+        let warm_ns = hv.ctx.now_ns() - t1;
+
+        assert_eq!(first, second, "cache must not change results");
+        assert_eq!(first.len(), 8);
+        assert!(
+            warm_ns * 10 < cold_ns,
+            "warm pass ({warm_ns}ns) must be <10% of cold ({cold_ns}ns)"
+        );
+        // Negative results are cached too.
+        let t2 = hv.ctx.now_ns();
+        let miss1 =
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &[Gpa(0xABC000)], &mut cache).unwrap();
+        let cold_miss = hv.ctx.now_ns() - t2;
+        let t3 = hv.ctx.now_ns();
+        let miss2 =
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &[Gpa(0xABC000)], &mut cache).unwrap();
+        let warm_miss = hv.ctx.now_ns() - t3;
+        assert!(miss1.is_empty() && miss2.is_empty());
+        assert!(warm_miss < cold_miss);
+    }
+
+    #[test]
+    fn cost_scales_with_resident_set() {
+        let ctx = SimCtx::new();
+        let small = ctx.cost().reverse_map_lookup_ns(256);
+        let large = ctx.cost().reverse_map_lookup_ns(262_144);
+        assert!(large > 2 * small, "superlinear growth: {small} vs {large}");
+    }
+}

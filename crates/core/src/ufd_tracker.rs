@@ -1,0 +1,93 @@
+//! The userfaultfd technique, write-protect mode.
+//!
+//! The tracker registers the monitored VMAs, write-protects them, and gets a
+//! synchronous notification on each first write — during which Tracked is
+//! suspended for the full userspace round trip (the paper's dominant M6
+//! cost). Collection is cheap (events were gathered during monitoring);
+//! starting a new round re-protects the pages that were dirtied.
+
+use crate::dirtyset::DirtySet;
+use crate::tracker::{DirtyPageTracker, TrackEnv, Technique};
+use ooh_guest::{GuestError, UfdId, UfdMode};
+use ooh_machine::GvaRange;
+
+#[derive(Debug, Default)]
+pub struct UfdTracker {
+    ufd: Option<UfdId>,
+    registered: Vec<GvaRange>,
+    /// Pages dirtied in the current round (accumulated from events).
+    current: DirtySet,
+}
+
+impl UfdTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn drain_into_current(&mut self, env: &mut TrackEnv<'_>) {
+        if let Some(id) = self.ufd {
+            for ev in env.kernel.ufd_read_events(id) {
+                self.current.insert(ev.gva);
+            }
+        }
+    }
+}
+
+impl DirtyPageTracker for UfdTracker {
+    fn technique(&self) -> Technique {
+        Technique::Ufd
+    }
+
+    fn init(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        let id = env.kernel.ufd_create(env.pid, UfdMode::WriteProtect);
+        self.ufd = Some(id);
+        Ok(())
+    }
+
+    fn begin_round(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        // Consume any leftover events and discard them, then re-protect the
+        // whole registered region (the paper's per-round M2 ioctl — its cost
+        // scales with the monitored memory size). A full-range sweep also
+        // covers pages that became resident since the previous round.
+        self.drain_into_current(env);
+        self.current = DirtySet::new();
+        let id = self.ufd.expect("init not called");
+        // Register VMAs that appeared since the last round (the paper's
+        // trackers call UFFDIO_REGISTER as the monitored region grows),
+        // then re-protect the whole region.
+        let current: Vec<GvaRange> = env
+            .kernel
+            .vmas(env.pid)?
+            .iter()
+            .filter(|v| v.writable)
+            .map(|v| v.range)
+            .collect();
+        for range in &current {
+            if !self.registered.contains(range) {
+                env.kernel.ufd_register(env.hv, id, *range);
+            }
+        }
+        self.registered = current;
+        for range in self.registered.clone() {
+            env.kernel.ufd_writeprotect(env.hv, id, range, true)?;
+        }
+        Ok(())
+    }
+
+    fn collect(&mut self, env: &mut TrackEnv<'_>) -> Result<DirtySet, GuestError> {
+        self.drain_into_current(env);
+        let mut out = self.current.clone();
+        out.retain_within(&self.registered);
+        Ok(out)
+    }
+
+    fn finish(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
+        // Unprotect everything still protected so Tracked runs free.
+        if let Some(id) = self.ufd.take() {
+            for range in self.registered.clone() {
+                env.kernel.ufd_writeprotect(env.hv, id, range, false)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,297 @@
+//! Checkpoint image format.
+//!
+//! A compact binary format (magic + version + VMA table + page records),
+//! mirroring CRIU's split between `mm.img` (VMA metadata) and `pages.img`
+//! (page contents). Incremental checkpoints chain: a later image's pages
+//! overlay an earlier one's at restore.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ooh_machine::{Gva, GvaRange, PAGE_SIZE};
+use std::collections::BTreeMap;
+
+const MAGIC: u32 = 0x4F4F_4843; // "OOHC"
+const VERSION: u16 = 2;
+
+/// Metadata for one VMA (CRIU's vma_entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmaRecord {
+    pub start: Gva,
+    pub pages: u64,
+    pub writable: bool,
+}
+
+impl VmaRecord {
+    pub fn range(&self) -> GvaRange {
+        GvaRange::new(self.start, self.pages)
+    }
+}
+
+/// One checkpoint image (full or incremental).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointImage {
+    /// VMA table (present in full images; incremental images may reuse the
+    /// parent's).
+    pub vmas: Vec<VmaRecord>,
+    /// Page contents, keyed by GVA page number.
+    pub pages: BTreeMap<u64, Box<[u8]>>,
+    /// Pages that were resident but entirely zero: recorded by number only
+    /// (CRIU's zero-page deduplication; restore recreates them by demand
+    /// paging, which hands out zeroed frames).
+    pub zero_pages: std::collections::BTreeSet<u64>,
+    /// Is this an incremental (pre-dump) image?
+    pub incremental: bool,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum ImageError {
+    BadMagic(u32),
+    BadVersion(u16),
+    Truncated,
+    BadPageSize(usize),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadMagic(m) => write!(f, "bad image magic {m:#x}"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageError::Truncated => write!(f, "truncated image"),
+            ImageError::BadPageSize(n) => write!(f, "page record of {n} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl CheckpointImage {
+    pub fn new(incremental: bool) -> Self {
+        Self {
+            incremental,
+            ..Self::default()
+        }
+    }
+
+    /// Record one page's contents. All-zero pages are deduplicated into
+    /// [`zero_pages`](Self::zero_pages) and cost 8 bytes on the wire instead
+    /// of 4 KiB.
+    pub fn put_page(&mut self, gva_page: u64, data: &[u8]) {
+        debug_assert_eq!(data.len(), PAGE_SIZE as usize);
+        if data.iter().all(|&b| b == 0) {
+            self.pages.remove(&gva_page);
+            self.zero_pages.insert(gva_page);
+        } else {
+            self.zero_pages.remove(&gva_page);
+            self.pages.insert(gva_page, data.into());
+        }
+    }
+
+    /// Pages recorded, content-bearing plus zero.
+    pub fn page_count(&self) -> usize {
+        self.pages.len() + self.zero_pages.len()
+    }
+
+    /// Total serialized size estimate in bytes.
+    pub fn byte_size(&self) -> usize {
+        40 + self.vmas.len() * 24
+            + self.pages.len() * (8 + PAGE_SIZE as usize)
+            + self.zero_pages.len() * 8
+    }
+
+    /// Overlay `newer` on top of this image (pre-copy chains).
+    pub fn apply(&mut self, newer: &CheckpointImage) {
+        for (page, data) in &newer.pages {
+            self.zero_pages.remove(page);
+            self.pages.insert(*page, data.clone());
+        }
+        for &page in &newer.zero_pages {
+            self.pages.remove(&page);
+            self.zero_pages.insert(page);
+        }
+        if !newer.vmas.is_empty() {
+            self.vmas = newer.vmas.clone();
+        }
+    }
+
+    /// Serialize to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.byte_size());
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u8(self.incremental as u8);
+        buf.put_u8(0); // pad
+        buf.put_u32(self.vmas.len() as u32);
+        buf.put_u64(self.pages.len() as u64);
+        buf.put_u64(self.zero_pages.len() as u64);
+        for v in &self.vmas {
+            buf.put_u64(v.start.raw());
+            buf.put_u64(v.pages);
+            buf.put_u8(v.writable as u8);
+            buf.put_bytes(0, 7);
+        }
+        for (page, data) in &self.pages {
+            buf.put_u64(*page);
+            buf.put_slice(data);
+        }
+        for &page in &self.zero_pages {
+            buf.put_u64(page);
+        }
+        buf.freeze()
+    }
+
+    /// Parse the wire format.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ImageError> {
+        if buf.remaining() < 28 {
+            return Err(ImageError::Truncated);
+        }
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(ImageError::BadMagic(magic));
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let incremental = buf.get_u8() != 0;
+        let _pad = buf.get_u8();
+        let n_vmas = buf.get_u32() as usize;
+        let n_pages = buf.get_u64() as usize;
+        let n_zero = buf.get_u64() as usize;
+
+        let mut img = CheckpointImage::new(incremental);
+        for _ in 0..n_vmas {
+            if buf.remaining() < 24 {
+                return Err(ImageError::Truncated);
+            }
+            let start = Gva(buf.get_u64());
+            let pages = buf.get_u64();
+            let writable = buf.get_u8() != 0;
+            buf.advance(7);
+            img.vmas.push(VmaRecord {
+                start,
+                pages,
+                writable,
+            });
+        }
+        for _ in 0..n_pages {
+            if buf.remaining() < 8 + PAGE_SIZE as usize {
+                return Err(ImageError::Truncated);
+            }
+            let page = buf.get_u64();
+            let data = buf.copy_to_bytes(PAGE_SIZE as usize);
+            img.pages.insert(page, data.to_vec().into_boxed_slice());
+        }
+        for _ in 0..n_zero {
+            if buf.remaining() < 8 {
+                return Err(ImageError::Truncated);
+            }
+            img.zero_pages.insert(buf.get_u64());
+        }
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut img = CheckpointImage::new(false);
+        img.vmas.push(VmaRecord {
+            start: Gva(0x7f00_0000_0000),
+            pages: 16,
+            writable: true,
+        });
+        img.vmas.push(VmaRecord {
+            start: Gva(0x7f00_1000_0000),
+            pages: 2,
+            writable: false,
+        });
+        img.put_page(0x7f000, &page_of(0xAB));
+        img.put_page(0x7f001, &page_of(0xCD));
+        let decoded = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn empty_image_roundtrip() {
+        let img = CheckpointImage::new(true);
+        let decoded = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded, img);
+        assert!(decoded.incremental);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(0xDEADBEEF);
+        raw.put_bytes(0, 24);
+        assert!(matches!(
+            CheckpointImage::decode(raw.freeze()),
+            Err(ImageError::BadMagic(0xDEADBEEF))
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut img = CheckpointImage::new(false);
+        img.put_page(1, &page_of(1));
+        let full = img.encode();
+        let cut = full.slice(0..full.len() - 100);
+        assert_eq!(CheckpointImage::decode(cut), Err(ImageError::Truncated));
+    }
+
+    #[test]
+    fn zero_pages_dedup_and_roundtrip() {
+        let mut img = CheckpointImage::new(false);
+        img.put_page(5, &page_of(0)); // all-zero: deduplicated
+        img.put_page(6, &page_of(0x7E));
+        assert_eq!(img.pages.len(), 1);
+        assert_eq!(img.zero_pages.len(), 1);
+        assert_eq!(img.page_count(), 2);
+        // A zero page costs 8 wire bytes, not 4 KiB.
+        assert!(img.byte_size() < 2 * 4096);
+        let decoded = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded, img);
+        // Rewriting a zero page with content moves it between the sets.
+        img.put_page(5, &page_of(1));
+        assert!(img.zero_pages.is_empty());
+        assert_eq!(img.pages.len(), 2);
+        // And back.
+        img.put_page(6, &page_of(0));
+        assert_eq!(img.zero_pages.len(), 1);
+        assert_eq!(img.pages.len(), 1);
+    }
+
+    #[test]
+    fn apply_moves_pages_between_zero_and_content() {
+        let mut base = CheckpointImage::new(false);
+        base.put_page(1, &page_of(0x11)); // content
+        base.put_page(2, &page_of(0)); // zero
+        let mut delta = CheckpointImage::new(true);
+        delta.put_page(1, &page_of(0)); // content -> zero
+        delta.put_page(2, &page_of(0x22)); // zero -> content
+        base.apply(&delta);
+        assert!(base.zero_pages.contains(&1));
+        assert_eq!(base.pages[&2][0], 0x22);
+        assert_eq!(base.page_count(), 2);
+    }
+
+    #[test]
+    fn apply_overlays_pages() {
+        let mut base = CheckpointImage::new(false);
+        base.put_page(1, &page_of(0x11));
+        base.put_page(2, &page_of(0x22));
+        let mut delta = CheckpointImage::new(true);
+        delta.put_page(2, &page_of(0xFF));
+        delta.put_page(3, &page_of(0x33));
+        base.apply(&delta);
+        assert_eq!(base.page_count(), 3);
+        assert_eq!(base.pages[&2][0], 0xFF);
+        assert_eq!(base.pages[&1][0], 0x11);
+    }
+}

@@ -1,0 +1,328 @@
+//! The Boehm-style conservative mark-sweep collector.
+//!
+//! Two modes:
+//!
+//! * **Stop-the-world** — every cycle scans the whole live graph from the
+//!   roots.
+//! * **Incremental/generational** — the mode the paper patches: the mark
+//!   phase asks the dirty-page tracker which heap pages were written since
+//!   the previous cycle, rescans only (a) the roots, (b) previously-live
+//!   objects on *dirty* pages, and (c) the young-object graph. Old objects
+//!   are never freed by a minor cycle (they wait for the periodic full
+//!   cycle), the classic generational trade of floating garbage for pause
+//!   time.
+//!
+//! All scanning is conservative: every payload word that is word-aligned
+//! and falls inside the arena is treated as a pointer (interior pointers
+//! resolve to their containing object), exactly Boehm's discipline.
+
+use crate::heap::{GcHeap, WORD};
+use ooh_core::{DirtySet, OohSession};
+use ooh_guest::{GuestError, GuestKernel, Pid, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, GvaRange};
+use ooh_sim::Lane;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Host-side cost of visiting one object during sweep (metadata only).
+const SWEEP_NS_PER_OBJECT: u64 = 20;
+
+/// Per-cycle statistics (Figure 5's data).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CycleStats {
+    pub cycle: u32,
+    /// Was this a minor (incremental) cycle?
+    pub minor: bool,
+    pub mark_ns: u64,
+    pub sweep_ns: u64,
+    pub total_ns: u64,
+    /// Dirty heap pages reported by the tracker (minor cycles).
+    pub dirty_pages: u64,
+    pub objects_marked: u64,
+    pub objects_freed: u64,
+}
+
+/// Collector mode.
+pub enum GcMode {
+    /// Full scan every cycle.
+    StopTheWorld,
+    /// Dirty-page-driven minor cycles with a full cycle every `major_every`.
+    Incremental {
+        session: OohSession,
+        major_every: u32,
+    },
+}
+
+/// The collector: heap + roots area + mode.
+pub struct BoehmGc {
+    pub heap: GcHeap,
+    /// A small VMA holding root slots (the "static area"/stack stand-in).
+    pub roots_area: GvaRange,
+    root_slots: Vec<Gva>,
+    mode: GcMode,
+    /// Objects known live at the end of the previous cycle.
+    old_live: BTreeSet<u64>,
+    cycles: u32,
+    pub stats: Vec<CycleStats>,
+}
+
+impl BoehmGc {
+    /// Create a collector with a `heap_pages`-page heap and room for
+    /// `max_roots` root slots.
+    pub fn new(
+        _hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        pid: Pid,
+        heap_pages: u64,
+        max_roots: u64,
+        mode: GcMode,
+    ) -> Result<Self, GuestError> {
+        let heap = GcHeap::new(kernel, pid, heap_pages)?;
+        let root_pages = (max_roots * WORD).div_ceil(ooh_machine::PAGE_SIZE).max(1);
+        let roots_area = kernel.mmap(pid, root_pages, true, VmaKind::Anon)?;
+        Ok(Self {
+            heap,
+            roots_area,
+            root_slots: Vec::new(),
+            mode,
+            old_live: BTreeSet::new(),
+            cycles: 0,
+            stats: Vec::new(),
+        })
+    }
+
+    pub fn pid(&self) -> Pid {
+        self.heap.pid
+    }
+
+    /// Claim the next root slot; the mutator stores object pointers into it
+    /// with ordinary guest writes.
+    pub fn add_root_slot(&mut self) -> Gva {
+        let slot = self.roots_area.start.add(self.root_slots.len() as u64 * WORD);
+        assert!(
+            self.roots_area.contains(slot),
+            "root area exhausted; raise max_roots"
+        );
+        self.root_slots.push(slot);
+        slot
+    }
+
+    /// Allocate `size_words`; collects (and retries once) on exhaustion.
+    pub fn alloc(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        size_words: u32,
+    ) -> Result<Option<Gva>, GuestError> {
+        if let Some(g) = self.heap.alloc(hv, kernel, size_words)? {
+            return Ok(Some(g));
+        }
+        self.collect(hv, kernel)?;
+        self.heap.alloc(hv, kernel, size_words)
+    }
+
+    /// Run one collection cycle (minor or major depending on mode/phase).
+    pub fn collect(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+    ) -> Result<CycleStats, GuestError> {
+        self.cycles += 1;
+        let cycle = self.cycles;
+        // The cycle's clock starts before the dirty-page fetch: collecting
+        // the addresses is part of the GC's mark phase (it is exactly where
+        // the techniques differ — /proc's pagemap scan, SPML's reverse
+        // mapping — and what Figure 5 measures).
+        let t0 = hv.ctx.now_ns();
+        let (minor, dirty) = match &mut self.mode {
+            GcMode::StopTheWorld => (false, None),
+            GcMode::Incremental {
+                session,
+                major_every,
+            } => {
+                let dirty = session.fetch_dirty(hv, kernel)?;
+                if cycle.is_multiple_of(*major_every) || cycle == 1 {
+                    // First and every Nth cycle: full scan (the first cycle
+                    // establishes old_live; SPML pays reverse mapping here,
+                    // the paper's Figure 5 highlight).
+                    (false, Some(dirty))
+                } else {
+                    (true, Some(dirty))
+                }
+            }
+        };
+        let marked = if minor {
+            self.mark_minor(hv, kernel, dirty.as_ref().expect("minor implies tracker"))?
+        } else {
+            self.mark_full(hv, kernel)?
+        };
+        let t_mark = hv.ctx.now_ns();
+
+        // Sweep.
+        let mut freed = 0u64;
+        let victims: Vec<Gva> = self
+            .heap
+            .objects()
+            .filter(|(g, meta)| {
+                let is_marked = marked.contains(&g.raw());
+                if minor {
+                    // Minor cycles only reclaim unmarked *young* objects.
+                    meta.young && !is_marked
+                } else {
+                    !is_marked
+                }
+            })
+            .map(|(g, _)| g)
+            .collect();
+        let ctx = hv.ctx.clone();
+        ctx.advance(Lane::Tracker, self.heap.object_count() as u64 * SWEEP_NS_PER_OBJECT);
+        for v in victims {
+            self.heap.release(v);
+            freed += 1;
+        }
+        let t_sweep = hv.ctx.now_ns();
+
+        // End of cycle: survivors become old; the live set is `marked`
+        // plus, for minor cycles, all old objects (retained conservatively).
+        if minor {
+            self.old_live.extend(marked.iter().copied());
+            self.old_live
+                .retain(|g| self.heap.contains_object(Gva(*g)));
+        } else {
+            self.old_live = marked
+                .iter()
+                .copied()
+                .filter(|g| self.heap.contains_object(Gva(*g)))
+                .collect();
+        }
+        self.heap.age_all();
+
+        let stats = CycleStats {
+            cycle,
+            minor,
+            mark_ns: t_mark - t0,
+            sweep_ns: t_sweep - t_mark,
+            total_ns: t_sweep - t0,
+            dirty_pages: dirty.map(|d| d.len() as u64).unwrap_or(0),
+            objects_marked: marked.len() as u64,
+            objects_freed: freed,
+        };
+        self.stats.push(stats);
+        Ok(stats)
+    }
+
+    /// Full conservative mark from the roots.
+    fn mark_full(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+    ) -> Result<BTreeSet<u64>, GuestError> {
+        let mut marked = BTreeSet::new();
+        let mut worklist: Vec<Gva> = Vec::new();
+        for &slot in &self.root_slots {
+            let v = kernel.read_u64(hv, self.heap.pid, slot, Lane::Tracker)?;
+            if self.heap.looks_like_pointer(v) {
+                if let Some((obj, _)) = self.heap.find_object(Gva(v)) {
+                    worklist.push(obj);
+                }
+            }
+        }
+        self.mark_transitive(hv, kernel, worklist, &mut marked, &BTreeSet::new())?;
+        Ok(marked)
+    }
+
+    /// Minor mark: roots + old-live objects on dirty pages, young graph.
+    ///
+    /// Old objects on *clean* pages are **black**: marked but not scanned —
+    /// their fields cannot have changed since the full cycle that scanned
+    /// them, so any pointer they hold targets something already old-live.
+    /// This is the entire point of dirty-page-driven marking.
+    fn mark_minor(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        dirty: &DirtySet,
+    ) -> Result<BTreeSet<u64>, GuestError> {
+        let mut marked: BTreeSet<u64> = self.old_live.clone();
+        let mut worklist: Vec<Gva> = Vec::new();
+        for &slot in &self.root_slots {
+            let v = kernel.read_u64(hv, self.heap.pid, slot, Lane::Tracker)?;
+            if self.heap.looks_like_pointer(v) {
+                if let Some((obj, _)) = self.heap.find_object(Gva(v)) {
+                    worklist.push(obj);
+                }
+            }
+        }
+        // Old-live objects whose pages were written may hold fresh pointers
+        // (to young objects): rescan exactly those, treat the rest as black.
+        let rescan: BTreeSet<u64> = self
+            .old_live
+            .iter()
+            .copied()
+            .filter(|&g| self.object_touches_dirty(Gva(g), dirty))
+            .collect();
+        let black: BTreeSet<u64> = self.old_live.difference(&rescan).copied().collect();
+        worklist.extend(rescan.iter().map(|&g| Gva(g)));
+        self.mark_transitive(hv, kernel, worklist, &mut marked, &black)?;
+        Ok(marked)
+    }
+
+    fn object_touches_dirty(&self, obj: Gva, dirty: &DirtySet) -> bool {
+        let Some((payload, meta)) = self.heap.find_object(obj) else {
+            return false;
+        };
+        let first = payload.page();
+        let last = payload.add(meta.size_words as u64 * WORD - 1).page();
+        (first..=last).any(|p| dirty.contains(Gva::from_page(p)))
+    }
+
+    /// Transitive conservative scan from `worklist`, adding to `marked`.
+    /// Already-marked entries are rescanned once if they arrived via the
+    /// worklist (dirty rescan), but their targets short-circuit.
+    fn mark_transitive(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        mut worklist: Vec<Gva>,
+        marked: &mut BTreeSet<u64>,
+        black: &BTreeSet<u64>,
+    ) -> Result<(), GuestError> {
+        let mut scanned: BTreeSet<u64> = BTreeSet::new();
+        while let Some(obj) = worklist.pop() {
+            if !scanned.insert(obj.raw()) {
+                continue;
+            }
+            marked.insert(obj.raw());
+            if black.contains(&obj.raw()) {
+                continue; // clean old object: already scanned in a prior cycle
+            }
+            let Some((payload, meta)) = self.heap.find_object(obj) else {
+                continue;
+            };
+            for i in 0..meta.size_words as u64 {
+                let v = kernel.read_u64(hv, self.heap.pid, payload.add(i * WORD), Lane::Tracker)?;
+                if self.heap.looks_like_pointer(v) {
+                    if let Some((target, _)) = self.heap.find_object(Gva(v)) {
+                        if !scanned.contains(&target.raw()) {
+                            worklist.push(target);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish: stop the tracking session if incremental.
+    pub fn shutdown(
+        self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+    ) -> Result<Vec<CycleStats>, GuestError> {
+        if let GcMode::Incremental { session, .. } = self.mode {
+            session.stop(hv, kernel)?;
+        }
+        Ok(self.stats)
+    }
+}

@@ -1,0 +1,268 @@
+//! # ooh-gc — a Boehm-style conservative GC driven by OoH dirty tracking
+//!
+//! The paper's second Tracker use case. The collector ([`BoehmGc`]) is a
+//! conservative mark-sweep over a guest-memory arena ([`GcHeap`]); its
+//! incremental/generational mode re-scans only heap pages the dirty-page
+//! tracker reports written since the previous cycle — the exact place the
+//! paper patches Boehm (the *mark phase*), swapping `/proc` for SPML/EPML.
+
+pub mod collector;
+pub mod heap;
+
+pub use collector::{BoehmGc, CycleStats, GcMode};
+pub use heap::{GcHeap, ObjMeta, WORD};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_core::{OohSession, Technique};
+    use ooh_guest::{GuestKernel, Pid};
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{Gva, MachineConfig, PAGE_SIZE};
+    use ooh_sim::{Lane, SimCtx};
+
+    fn boot() -> (Hypervisor, GuestKernel, Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    fn stw_gc(hv: &mut Hypervisor, kernel: &mut GuestKernel, pid: Pid) -> BoehmGc {
+        BoehmGc::new(hv, kernel, pid, 64, 64, GcMode::StopTheWorld).unwrap()
+    }
+
+    fn incr_gc(
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        pid: Pid,
+        technique: Technique,
+    ) -> BoehmGc {
+        let session = OohSession::start(hv, kernel, pid, technique).unwrap();
+        BoehmGc::new(
+            hv,
+            kernel,
+            pid,
+            64,
+            64,
+            GcMode::Incremental {
+                session,
+                major_every: 1000,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Store pointer `target` into `slot` as the mutator would.
+    fn store(
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        pid: Pid,
+        slot: Gva,
+        target: u64,
+    ) {
+        kernel.write_u64(hv, pid, slot, target, Lane::Tracked).unwrap();
+    }
+
+    #[test]
+    fn unreachable_objects_are_collected() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = stw_gc(&mut hv, &mut kernel, pid);
+        let root = gc.add_root_slot();
+        let kept = gc.alloc(&mut hv, &mut kernel, 8).unwrap().unwrap();
+        let _garbage1 = gc.alloc(&mut hv, &mut kernel, 8).unwrap().unwrap();
+        let _garbage2 = gc.alloc(&mut hv, &mut kernel, 16).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, kept.raw());
+
+        let stats = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(stats.objects_freed, 2);
+        assert_eq!(stats.objects_marked, 1);
+        assert!(gc.heap.contains_object(kept));
+        assert_eq!(gc.heap.object_count(), 1);
+    }
+
+    #[test]
+    fn transitively_reachable_objects_survive() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = stw_gc(&mut hv, &mut kernel, pid);
+        let root = gc.add_root_slot();
+        // root -> a -> b -> c, plus garbage d.
+        let a = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        let b = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        let c = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        let _d = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, a.raw());
+        store(&mut hv, &mut kernel, pid, a, b.raw());
+        store(&mut hv, &mut kernel, pid, b.add(8), c.raw());
+
+        let stats = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(stats.objects_freed, 1);
+        for obj in [a, b, c] {
+            assert!(gc.heap.contains_object(obj));
+        }
+    }
+
+    #[test]
+    fn cycles_do_not_leak_or_loop() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = stw_gc(&mut hv, &mut kernel, pid);
+        let root = gc.add_root_slot();
+        let a = gc.alloc(&mut hv, &mut kernel, 2).unwrap().unwrap();
+        let b = gc.alloc(&mut hv, &mut kernel, 2).unwrap().unwrap();
+        // a <-> b cycle, rooted.
+        store(&mut hv, &mut kernel, pid, a, b.raw());
+        store(&mut hv, &mut kernel, pid, b, a.raw());
+        store(&mut hv, &mut kernel, pid, root, a.raw());
+        let s1 = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(s1.objects_freed, 0);
+        // Unroot: the cycle is garbage and must go.
+        store(&mut hv, &mut kernel, pid, root, 0);
+        let s2 = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(s2.objects_freed, 2);
+        assert_eq!(gc.heap.object_count(), 0);
+    }
+
+    #[test]
+    fn interior_pointers_keep_objects_alive() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = stw_gc(&mut hv, &mut kernel, pid);
+        let root = gc.add_root_slot();
+        let a = gc.alloc(&mut hv, &mut kernel, 16).unwrap().unwrap();
+        // Point into the middle of a.
+        store(&mut hv, &mut kernel, pid, root, a.add(5 * WORD).raw());
+        let stats = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(stats.objects_freed, 0);
+        assert!(gc.heap.contains_object(a));
+    }
+
+    #[test]
+    fn conservative_scan_tolerates_non_pointer_words() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = stw_gc(&mut hv, &mut kernel, pid);
+        let root = gc.add_root_slot();
+        let a = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, a.raw());
+        // Fill with integers that are NOT heap pointers.
+        for i in 0..4u64 {
+            store(&mut hv, &mut kernel, pid, a.add(i * WORD), 0xDEAD_0000 + i);
+        }
+        let stats = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert_eq!(stats.objects_freed, 0);
+        assert_eq!(stats.objects_marked, 1);
+    }
+
+    /// The generational invariant under dirty-page tracking: a young object
+    /// reachable only through an *old* object survives a minor cycle,
+    /// because the store that linked it dirtied the old object's page.
+    #[test]
+    fn minor_cycle_sees_pointers_stored_into_old_objects() {
+        for technique in Technique::ALL {
+            let (mut hv, mut kernel, pid) = boot();
+            let mut gc = incr_gc(&mut hv, &mut kernel, pid, technique);
+            let root = gc.add_root_slot();
+            let old = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+            store(&mut hv, &mut kernel, pid, root, old.raw());
+            // Cycle 1 (full): `old` becomes old-generation.
+            gc.collect(&mut hv, &mut kernel).unwrap();
+
+            // Mutator: allocate young and hang it off `old`.
+            let young = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+            store(&mut hv, &mut kernel, pid, old, young.raw());
+            // Also allocate young garbage.
+            let _garbage = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+
+            let stats = gc.collect(&mut hv, &mut kernel).unwrap();
+            assert!(stats.minor, "{}", technique.name());
+            assert!(
+                gc.heap.contains_object(young),
+                "{}: young object linked from dirty old page must survive",
+                technique.name()
+            );
+            assert_eq!(
+                stats.objects_freed,
+                1,
+                "{}: young garbage must be reclaimed",
+                technique.name()
+            );
+            gc.shutdown(&mut hv, &mut kernel).unwrap();
+        }
+    }
+
+    /// Floating garbage: an old object that dies stays until a major cycle.
+    #[test]
+    fn minor_cycles_retain_old_garbage_until_major() {
+        let (mut hv, mut kernel, pid) = boot();
+        let session = OohSession::start(&mut hv, &mut kernel, pid, Technique::Epml).unwrap();
+        let mut gc = BoehmGc::new(
+            &mut hv,
+            &mut kernel,
+            pid,
+            64,
+            64,
+            GcMode::Incremental {
+                session,
+                major_every: 3,
+            },
+        )
+        .unwrap();
+        let root = gc.add_root_slot();
+        let a = gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, a.raw());
+        gc.collect(&mut hv, &mut kernel).unwrap(); // cycle 1: full, a old+live
+        store(&mut hv, &mut kernel, pid, root, 0); // a now dead
+        let s2 = gc.collect(&mut hv, &mut kernel).unwrap(); // cycle 2: minor
+        assert!(s2.minor);
+        assert!(gc.heap.contains_object(a), "floating garbage retained");
+        let s3 = gc.collect(&mut hv, &mut kernel).unwrap(); // cycle 3: major
+        assert!(!s3.minor);
+        assert!(!gc.heap.contains_object(a), "major cycle reclaims it");
+    }
+
+    /// The paper's payoff: a minor cycle's mark phase costs much less than a
+    /// full cycle when only a few pages are dirty.
+    #[test]
+    fn minor_mark_is_cheaper_than_full_mark() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = incr_gc(&mut hv, &mut kernel, pid, Technique::Epml);
+        let root = gc.add_root_slot();
+        // Big rooted linked list.
+        let head = gc.alloc(&mut hv, &mut kernel, 32).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, head.raw());
+        let mut prev = head;
+        for _ in 0..500 {
+            let node = gc.alloc(&mut hv, &mut kernel, 32).unwrap().unwrap();
+            store(&mut hv, &mut kernel, pid, prev, node.raw());
+            prev = node;
+        }
+        let full = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert!(!full.minor);
+
+        // Touch one object only.
+        store(&mut hv, &mut kernel, pid, prev.add(8), 0x1234);
+        let minor = gc.collect(&mut hv, &mut kernel).unwrap();
+        assert!(minor.minor);
+        assert!(
+            minor.mark_ns * 5 < full.mark_ns,
+            "minor mark {} should be <20% of full mark {}",
+            minor.mark_ns,
+            full.mark_ns
+        );
+    }
+
+    #[test]
+    fn alloc_triggers_collection_on_pressure() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = BoehmGc::new(&mut hv, &mut kernel, pid, 2, 8, GcMode::StopTheWorld).unwrap();
+        let root = gc.add_root_slot();
+        let keep = gc.alloc(&mut hv, &mut kernel, 64).unwrap().unwrap();
+        store(&mut hv, &mut kernel, pid, root, keep.raw());
+        // Allocate garbage until pressure forces collection; must not OOM.
+        for _ in 0..100 {
+            let g = gc.alloc(&mut hv, &mut kernel, 64).unwrap();
+            assert!(g.is_some(), "collection must reclaim garbage");
+        }
+        assert!(!gc.stats.is_empty(), "at least one forced cycle");
+        assert!(gc.heap.contains_object(keep));
+    }
+}

@@ -1,0 +1,667 @@
+//! The guest kernel: process lifecycle, page-table management, the page
+//! fault handler (demand paging, soft-dirty re-protection, userfaultfd
+//! delivery), and the memory-access API workloads run against.
+
+use crate::ooh_module::OohModule;
+use crate::process::{Pid, Process, Vma, VmaKind};
+use crate::ufd::{Ufd, UfdEvent, UfdMode};
+use ooh_hypervisor::{Hypervisor, VmId};
+use ooh_machine::{
+    Fault, Gpa, Gva, GvaRange, Hpa, MachineError, Pte, EPML_SELF_IPI_VECTOR, PAGE_SIZE,
+};
+use ooh_sim::{Event, Lane};
+
+/// Guest-level errors.
+#[derive(Debug)]
+pub enum GuestError {
+    /// Access outside any VMA or violating VMA permissions.
+    Segfault { pid: Pid, gva: Gva },
+    /// Write into a guarded region: a heap-overflow detection, either from
+    /// an SPP sub-page guard or a classic guard page.
+    GuardViolation {
+        pid: Pid,
+        gva: Gva,
+        /// SPP sub-page index, or None for a whole guard page.
+        subpage: Option<u32>,
+    },
+    /// No such process.
+    NoProcess(Pid),
+    /// A fault could not be resolved after repeated attempts (model bug).
+    FaultLoop { pid: Pid, gva: Gva },
+    /// Underlying machine error (OOM etc.).
+    Machine(MachineError),
+}
+
+impl From<MachineError> for GuestError {
+    fn from(e: MachineError) -> Self {
+        GuestError::Machine(e)
+    }
+}
+
+impl std::fmt::Display for GuestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuestError::Segfault { pid, gva } => write!(f, "segfault in {pid} at {gva}"),
+            GuestError::GuardViolation { pid, gva, subpage } => match subpage {
+                Some(s) => write!(f, "overflow into SPP sub-page guard in {pid} at {gva} (sub-page {s})"),
+                None => write!(f, "overflow into guard page in {pid} at {gva}"),
+            },
+            GuestError::NoProcess(pid) => write!(f, "no such process {pid}"),
+            GuestError::FaultLoop { pid, gva } => {
+                write!(f, "unresolvable fault loop in {pid} at {gva}")
+            }
+            GuestError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GuestError {}
+
+/// The guest operating system state for one VM.
+pub struct GuestKernel {
+    pub vm: VmId,
+    /// The (single, per the paper's setup) vCPU this kernel runs on.
+    pub vcpu: u32,
+    processes: std::collections::BTreeMap<Pid, Process>,
+    next_pid: u32,
+    /// Open userfaultfd objects.
+    pub ufds: Vec<Ufd>,
+    /// The OoH kernel module, once loaded.
+    pub ooh: Option<OohModule>,
+    /// Currently scheduled process.
+    current: Option<Pid>,
+    /// Total context switches performed (the paper's N).
+    pub context_switches: u64,
+}
+
+impl GuestKernel {
+    pub fn new(vm: VmId) -> Self {
+        Self {
+            vm,
+            vcpu: 0,
+            processes: std::collections::BTreeMap::new(),
+            next_pid: 1,
+            ufds: Vec::new(),
+            ooh: None,
+            current: None,
+            context_switches: 0,
+        }
+    }
+
+    // --- process lifecycle -------------------------------------------------
+
+    /// Create a process: allocates its page-table root.
+    pub fn spawn(&mut self, hv: &mut Hypervisor) -> Result<Pid, GuestError> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let cr3 = hv.alloc_guest_page(self.vm)?;
+        let mut proc = Process::new(pid, cr3);
+        proc.pt_pages.push(cr3);
+        self.processes.insert(pid, proc);
+        if self.current.is_none() {
+            self.current = Some(pid);
+            let ctx = hv.ctx.clone();
+            hv.vm_mut(self.vm).vcpus[self.vcpu as usize].set_cr3(&ctx, Lane::Kernel, cr3);
+        }
+        Ok(pid)
+    }
+
+    /// Tear a process down, freeing its data and page-table pages.
+    pub fn exit(&mut self, hv: &mut Hypervisor, pid: Pid) -> Result<(), GuestError> {
+        let proc = self
+            .processes
+            .remove(&pid)
+            .ok_or(GuestError::NoProcess(pid))?;
+        for (_, gpa_page) in proc.resident.iter() {
+            hv.free_guest_page(self.vm, Gpa::from_page(*gpa_page))?;
+        }
+        for gpa in proc.pt_pages {
+            hv.free_guest_page(self.vm, gpa)?;
+        }
+        if self.current == Some(pid) {
+            self.current = None;
+        }
+        Ok(())
+    }
+
+    pub fn process(&self, pid: Pid) -> Result<&Process, GuestError> {
+        self.processes.get(&pid).ok_or(GuestError::NoProcess(pid))
+    }
+
+    pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, GuestError> {
+        self.processes
+            .get_mut(&pid)
+            .ok_or(GuestError::NoProcess(pid))
+    }
+
+    pub fn pids(&self) -> Vec<Pid> {
+        self.processes.keys().copied().collect()
+    }
+
+    pub fn current(&self) -> Option<Pid> {
+        self.current
+    }
+
+    // --- memory mapping -----------------------------------------------------
+
+    /// mmap: reserve `pages` pages (lazy; PTEs appear on first touch).
+    pub fn mmap(
+        &mut self,
+        pid: Pid,
+        pages: u64,
+        writable: bool,
+        kind: VmaKind,
+    ) -> Result<GvaRange, GuestError> {
+        Ok(self.process_mut(pid)?.reserve_vma(pages, writable, kind))
+    }
+
+    /// munmap: drop the VMA and free its resident pages and PTEs.
+    pub fn munmap(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        range: GvaRange,
+    ) -> Result<(), GuestError> {
+        let vm = self.vm;
+        {
+            let proc = self.process_mut(pid)?;
+            if proc.remove_vma(range).is_none() {
+                return Err(GuestError::Segfault {
+                    pid,
+                    gva: range.start,
+                });
+            }
+        }
+        for gva in range.iter_pages().collect::<Vec<_>>() {
+            if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
+                if pte.is_present() {
+                    self.kernel_phys_write(hv, slot, Pte::empty().0)?;
+                    let proc = self.process_mut(pid)?;
+                    if let Some(gpa_page) = proc.resident.remove(&gva.page()) {
+                        hv.free_guest_page(vm, Gpa::from_page(gpa_page))?;
+                    }
+                }
+            }
+        }
+        let ctx = hv.ctx.clone();
+        let vcpu = &mut hv.vm_mut(self.vm).vcpus[self.vcpu as usize];
+        vcpu.tlb.flush_all();
+        ctx.charge(Lane::Kernel, Event::TlbFlush);
+        Ok(())
+    }
+
+    // --- page-table plumbing (kernel privilege) ------------------------------
+
+    /// Raw guest-physical read used for PTE access (kernel mapped the PT
+    /// pages; cost is covered by the metric of whichever operation drives
+    /// this — clear_refs, pagemap, fault handling).
+    pub fn kernel_phys_read(&self, hv: &mut Hypervisor, gpa: Gpa) -> Result<u64, GuestError> {
+        match hv.guest_phys_read_u64(self.vm, self.vcpu, gpa, Lane::Kernel)? {
+            Ok(v) => Ok(v),
+            Err(_) => Err(GuestError::Machine(MachineError::BadFrame {
+                hpa: Hpa(gpa.raw()),
+            })),
+        }
+    }
+
+    /// Raw guest-physical write for PTE updates (goes through the PML
+    /// circuit like real page-table stores do).
+    pub fn kernel_phys_write(
+        &self,
+        hv: &mut Hypervisor,
+        gpa: Gpa,
+        value: u64,
+    ) -> Result<(), GuestError> {
+        match hv.guest_phys_write_u64(self.vm, self.vcpu, gpa, value, Lane::Kernel)? {
+            Ok(()) => Ok(()),
+            Err(_) => Err(GuestError::Machine(MachineError::BadFrame {
+                hpa: Hpa(gpa.raw()),
+            })),
+        }
+    }
+
+    /// Walk to the leaf PTE slot for (`pid`, `gva`); when `alloc`, missing
+    /// intermediate page-table pages are allocated (and recorded for
+    /// teardown).
+    fn pte_slot(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        alloc: bool,
+    ) -> Result<Option<Gpa>, GuestError> {
+        let cr3 = self.process(pid)?.cr3;
+        let mut table = cr3;
+        for level in (1..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let entry = Pte(self.kernel_phys_read(hv, slot)?);
+            table = if entry.is_present() {
+                entry.frame()
+            } else if alloc {
+                let page = hv.alloc_guest_page(self.vm)?;
+                self.process_mut(pid)?.pt_pages.push(page);
+                self.kernel_phys_write(hv, slot, Pte::table(page).0)?;
+                page
+            } else {
+                return Ok(None);
+            };
+        }
+        Ok(Some(table.add(gva.pt_index(0) as u64 * 8)))
+    }
+
+    /// Read the leaf PTE for `gva` (slot address + value), if the table
+    /// path exists.
+    pub fn pte_lookup(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+    ) -> Result<Option<(Gpa, Pte)>, GuestError> {
+        match self.pte_slot(hv, pid, gva, false)? {
+            Some(slot) => {
+                let pte = Pte(self.kernel_phys_read(hv, slot)?);
+                Ok(Some((slot, pte)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Install a leaf PTE, creating intermediate tables.
+    pub fn install_pte(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        pte: Pte,
+    ) -> Result<(), GuestError> {
+        let slot = self
+            .pte_slot(hv, pid, gva, true)?
+            .expect("alloc=true yields a slot");
+        self.kernel_phys_write(hv, slot, pte.0)
+    }
+
+    // --- the page fault handler ------------------------------------------------
+
+    fn handle_fault(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        fault: Fault,
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        match fault {
+            Fault::NotPresent { gva, .. } => self.fault_not_present(hv, pid, gva, lane),
+            Fault::WriteProtected { gva } => self.fault_write_protect(hv, pid, gva, lane),
+            Fault::EptViolation { .. } => {
+                // Guest RAM is pre-populated; an EPT violation means a model
+                // bug, surface it hard.
+                Err(GuestError::Machine(MachineError::BadFrame {
+                    hpa: Hpa(0),
+                }))
+            }
+            Fault::SppViolation { gva, subpage, .. } => {
+                // Overflow detection: deliver synchronously to the owner
+                // (the secure allocator's SIGSEGV handler analog).
+                hv.ctx.charge(Lane::Kernel, Event::SppViolationFault);
+                hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+                Err(GuestError::GuardViolation {
+                    pid,
+                    gva,
+                    subpage: Some(subpage),
+                })
+            }
+        }
+    }
+
+    fn fault_not_present(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        _lane: Lane,
+    ) -> Result<(), GuestError> {
+        let Some(vma) = self.process(pid)?.vma_for(gva).cloned() else {
+            return Err(GuestError::Segfault { pid, gva });
+        };
+
+        // userfaultfd missing-mode: the fault is resolved by the tracker in
+        // userspace (UFFDIO_ZEROPAGE); Tracked pays the full round trip.
+        let ufd_missing = self
+            .ufds
+            .iter_mut()
+            .find(|u| u.pid == pid && u.mode == UfdMode::Missing && u.covers(gva));
+        if let Some(ufd) = ufd_missing {
+            ufd.deliver(UfdEvent {
+                pid,
+                gva: gva.page_base(),
+                write: false,
+            });
+            hv.ctx.charge(Lane::Kernel, Event::UfdEventDelivered);
+            hv.ctx.charge_n(Lane::Kernel, Event::ContextSwitch, 2);
+            hv.ctx.charge(Lane::Tracker, Event::PageFaultUser);
+        } else {
+            // Ordinary demand-zero fault, handled in the kernel.
+            hv.ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+            hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+        }
+
+        let data = hv.alloc_guest_page(self.vm)?;
+        let mut flags = Pte::USER | Pte::ACCESSED | Pte::SOFT_DIRTY;
+        if vma.writable {
+            flags |= Pte::WRITABLE;
+        }
+        self.install_pte(hv, pid, gva, Pte::leaf(data, flags))?;
+        self.process_mut(pid)?
+            .resident
+            .insert(gva.page(), data.page());
+        Ok(())
+    }
+
+    fn fault_write_protect(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        _lane: Lane,
+    ) -> Result<(), GuestError> {
+        let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? else {
+            return Err(GuestError::Segfault { pid, gva });
+        };
+        let vma_writable = self
+            .process(pid)?
+            .vma_for(gva)
+            .map(|v| v.writable)
+            .unwrap_or(false);
+
+        // Classic guard page (heap canary): never fixed up.
+        if pte.is_guard() {
+            hv.ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+            hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+            return Err(GuestError::GuardViolation {
+                pid,
+                gva,
+                subpage: None,
+            });
+        }
+
+        // userfaultfd write-protect mode: deliver to the tracker, which
+        // records the dirty address and write-unprotects (the paper's M6
+        // path — the costly one).
+        if pte.is_uffd_wp() {
+            let ufd = self
+                .ufds
+                .iter_mut()
+                .find(|u| u.pid == pid && u.mode == UfdMode::WriteProtect && u.covers(gva));
+            if let Some(ufd) = ufd {
+                ufd.deliver(UfdEvent {
+                    pid,
+                    gva: gva.page_base(),
+                    write: true,
+                });
+                hv.ctx.charge(Lane::Kernel, Event::UfdEventDelivered);
+                hv.ctx.charge_n(Lane::Kernel, Event::ContextSwitch, 2);
+                hv.ctx.charge(Lane::Tracker, Event::PageFaultUser);
+                hv.ctx.charge(Lane::Tracker, Event::UfdWriteUnprotectPage);
+            }
+            // Resolve: clear the WP marker (UFFDIO_WRITEPROTECT with
+            // mode=0 from the tracker, or implicit if nobody listens).
+            self.kernel_phys_write(hv, slot, pte.without(Pte::UFFD_WP).0)?;
+            self.invlpg(hv, gva);
+            return Ok(());
+        }
+
+        // Soft-dirty re-protection fault: the kernel restores write access
+        // and marks the PTE soft-dirty (Linux's clear_refs machinery).
+        if !pte.is_writable() && vma_writable {
+            hv.ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+            hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+            self.kernel_phys_write(hv, slot, pte.with(Pte::WRITABLE | Pte::SOFT_DIRTY).0)?;
+            self.invlpg(hv, gva);
+            return Ok(());
+        }
+
+        Err(GuestError::Segfault { pid, gva })
+    }
+
+    /// Single-page TLB invalidation on the local vCPU.
+    pub fn invlpg(&self, hv: &mut Hypervisor, gva: Gva) {
+        let ctx = hv.ctx.clone();
+        ctx.charge(Lane::Kernel, Event::TlbInvlpg);
+        hv.vm_mut(self.vm).vcpus[self.vcpu as usize].tlb.invlpg(gva);
+    }
+
+    /// Full TLB flush on the local vCPU.
+    pub fn flush_tlb(&self, hv: &mut Hypervisor) {
+        let ctx = hv.ctx.clone();
+        ctx.charge(Lane::Kernel, Event::TlbFlush);
+        hv.vm_mut(self.vm).vcpus[self.vcpu as usize]
+            .tlb
+            .flush_all();
+    }
+
+    // --- the access path ----------------------------------------------------------
+
+    /// Translate + access one byte address, resolving faults like a real
+    /// kernel would, then service any pending interrupts (EPML self-IPIs).
+    pub fn access(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        write: bool,
+        lane: Lane,
+    ) -> Result<Hpa, GuestError> {
+        let cr3 = self.process(pid)?.cr3;
+        for _attempt in 0..8 {
+            match hv.guest_access(self.vm, self.vcpu, cr3, gva, write, lane)? {
+                Ok(acc) => {
+                    self.poll_interrupts(hv)?;
+                    return Ok(acc.hpa);
+                }
+                Err(fault) => self.handle_fault(hv, pid, fault, lane)?,
+            }
+        }
+        Err(GuestError::FaultLoop { pid, gva })
+    }
+
+    /// Service pending posted interrupts (the EPML buffer-full self-IPI).
+    pub fn poll_interrupts(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        loop {
+            let vector = {
+                let vcpu = &mut hv.vm_mut(self.vm).vcpus[self.vcpu as usize];
+                vcpu.take_interrupt()
+            };
+            match vector {
+                Some(EPML_SELF_IPI_VECTOR) => {
+                    if let Some(mut ooh) = self.ooh.take() {
+                        ooh.handle_self_ipi(self, hv)?;
+                        self.ooh = Some(ooh);
+                    }
+                }
+                Some(_) => {} // spurious vector: ignore
+                None => return Ok(()),
+            }
+        }
+    }
+
+    // --- typed data access (what workloads use) -------------------------------------
+
+    /// Write `bytes` at `gva`, splitting on page boundaries.
+    pub fn write_bytes(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        bytes: &[u8],
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        let ctx = hv.ctx.clone();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let cur = gva.add(off as u64);
+            let in_page = (PAGE_SIZE - cur.offset()) as usize;
+            let n = in_page.min(bytes.len() - off);
+            let hpa = self.access(hv, pid, cur, true, lane)?;
+            hv.machine.phys.write(hpa, &bytes[off..off + n])?;
+            ctx.charge_ns(
+                lane,
+                Event::GuestStore,
+                (n as u64).div_ceil(8) * ctx.cost().guest_store_ns,
+            );
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes at `gva`.
+    pub fn read_bytes(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        buf: &mut [u8],
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        let ctx = hv.ctx.clone();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = gva.add(off as u64);
+            let in_page = (PAGE_SIZE - cur.offset()) as usize;
+            let n = in_page.min(buf.len() - off);
+            let hpa = self.access(hv, pid, cur, false, lane)?;
+            hv.machine.phys.read(hpa, &mut buf[off..off + n])?;
+            ctx.charge_ns(
+                lane,
+                Event::GuestLoad,
+                (n as u64).div_ceil(8) * ctx.cost().guest_load_ns,
+            );
+            off += n;
+        }
+        Ok(())
+    }
+
+    pub fn write_u64(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        value: u64,
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        self.write_bytes(hv, pid, gva, &value.to_le_bytes(), lane)
+    }
+
+    pub fn read_u64(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        lane: Lane,
+    ) -> Result<u64, GuestError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(hv, pid, gva, &mut b, lane)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn write_f64(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        value: f64,
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        self.write_bytes(hv, pid, gva, &value.to_le_bytes(), lane)
+    }
+
+    pub fn read_f64(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        lane: Lane,
+    ) -> Result<f64, GuestError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(hv, pid, gva, &mut b, lane)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    // --- scheduling -------------------------------------------------------------------
+
+    /// Context-switch to `pid`: charges M1, loads CR3 (TLB flush), and runs
+    /// the OoH module's schedule hooks for tracked processes.
+    pub fn context_switch(&mut self, hv: &mut Hypervisor, pid: Pid) -> Result<(), GuestError> {
+        if self.current == Some(pid) {
+            return Ok(());
+        }
+        let ctx = hv.ctx.clone();
+        ctx.charge(Lane::Kernel, Event::ContextSwitch);
+        self.context_switches += 1;
+
+        let old = self.current;
+        // Schedule-out hook for the old process.
+        if let Some(old_pid) = old {
+            if let Some(mut ooh) = self.ooh.take() {
+                if ooh.tracks(old_pid) {
+                    ooh.sched_out(self, hv)?;
+                }
+                self.ooh = Some(ooh);
+            }
+        }
+
+        let cr3 = self.process(pid)?.cr3;
+        hv.vm_mut(self.vm).vcpus[self.vcpu as usize].set_cr3(&ctx, Lane::Kernel, cr3);
+        self.current = Some(pid);
+        ctx.counters().add(Event::SchedIn, 1);
+        if old.is_some() {
+            ctx.counters().add(Event::SchedOut, 1);
+        }
+
+        // Schedule-in hook for the new process.
+        if let Some(mut ooh) = self.ooh.take() {
+            if ooh.tracks(pid) {
+                ooh.sched_in(self, hv)?;
+            }
+            self.ooh = Some(ooh);
+        }
+        Ok(())
+    }
+
+    /// Model a timer tick that preempts the current process in favour of an
+    /// idle kernel thread and comes back — two context switches and the OoH
+    /// schedule hooks, exactly what perturbs SPML (hypercalls) and EPML
+    /// (vmwrites) during the monitoring phase.
+    pub fn preemption_round_trip(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        let Some(pid) = self.current else {
+            return Ok(());
+        };
+        let ctx = hv.ctx.clone();
+        ctx.charge_n(Lane::Kernel, Event::ContextSwitch, 2);
+        self.context_switches += 2;
+        if let Some(mut ooh) = self.ooh.take() {
+            if ooh.tracks(pid) {
+                ooh.sched_out(self, hv)?;
+                ooh.sched_in(self, hv)?;
+            }
+            self.ooh = Some(ooh);
+        }
+        Ok(())
+    }
+
+    // --- VMA helpers used by trackers ------------------------------------------------------
+
+    /// All VMAs of `pid` (tracker-facing copy of /proc/PID/maps).
+    pub fn vmas(&self, pid: Pid) -> Result<Vec<Vma>, GuestError> {
+        Ok(self.process(pid)?.vmas.clone())
+    }
+}
+
+impl std::fmt::Debug for GuestKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestKernel")
+            .field("vm", &self.vm)
+            .field("processes", &self.processes.len())
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}

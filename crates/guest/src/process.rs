@@ -1,0 +1,159 @@
+//! Guest processes and their virtual address spaces (VMAs).
+
+use ooh_machine::{Gpa, Gva, GvaRange};
+use serde::Serialize;
+
+/// Process identifier inside a guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// What a mapping is for (reporting / checkpoint metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum VmaKind {
+    /// Anonymous memory (malloc/mmap) — what the trackers monitor.
+    Anon,
+    /// Process stack.
+    Stack,
+    /// GC-managed heap.
+    GcHeap,
+}
+
+/// One virtual memory area.
+#[derive(Debug, Clone)]
+pub struct Vma {
+    pub range: GvaRange,
+    /// VMA-level write permission (the PTE may be temporarily
+    /// write-protected by soft-dirty or userfaultfd machinery; the VMA
+    /// permission is what faults are resolved against).
+    pub writable: bool,
+    pub kind: VmaKind,
+}
+
+/// Base of the mmap region we hand out (mirrors the x86-64 mmap area).
+pub const MMAP_BASE: Gva = Gva(0x7f00_0000_0000);
+/// Guard gap between successive mappings, in pages.
+const GUARD_PAGES: u64 = 1;
+
+/// One guest process: an address space rooted at `cr3` plus its VMAs.
+pub struct Process {
+    pub pid: Pid,
+    /// Guest-physical root of this process's page table hierarchy.
+    pub cr3: Gpa,
+    pub vmas: Vec<Vma>,
+    /// Page-table pages allocated for this process (for teardown and
+    /// accounting — the kernel frees them on exit).
+    pub pt_pages: Vec<Gpa>,
+    /// Data pages currently mapped (GVA page → GPA page), kept by the
+    /// kernel for teardown, checkpointing, and pagemap reads.
+    pub resident: std::collections::BTreeMap<u64, u64>,
+    /// Next free mmap address.
+    next_mmap: Gva,
+}
+
+impl Process {
+    pub fn new(pid: Pid, cr3: Gpa) -> Self {
+        Self {
+            pid,
+            cr3,
+            vmas: Vec::new(),
+            pt_pages: Vec::new(),
+            resident: std::collections::BTreeMap::new(),
+            next_mmap: MMAP_BASE,
+        }
+    }
+
+    /// Reserve an address range for `pages` pages (the mmap syscall's VMA
+    /// part; PTEs are installed lazily on first touch).
+    pub fn reserve_vma(&mut self, pages: u64, writable: bool, kind: VmaKind) -> GvaRange {
+        let range = GvaRange::new(self.next_mmap, pages);
+        self.next_mmap = range.end().add(GUARD_PAGES * ooh_machine::PAGE_SIZE);
+        self.vmas.push(Vma {
+            range,
+            writable,
+            kind,
+        });
+        range
+    }
+
+    /// The VMA containing `gva`, if any.
+    pub fn vma_for(&self, gva: Gva) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.range.contains(gva))
+    }
+
+    /// Remove a VMA exactly matching `range`; returns it if found.
+    pub fn remove_vma(&mut self, range: GvaRange) -> Option<Vma> {
+        let idx = self.vmas.iter().position(|v| v.range == range)?;
+        Some(self.vmas.remove(idx))
+    }
+
+    /// Number of resident (mapped) pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Total pages reserved across all VMAs.
+    pub fn reserved_pages(&self) -> u64 {
+        self.vmas.iter().map(|v| v.range.pages).sum()
+    }
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("cr3", &self.cr3)
+            .field("vmas", &self.vmas.len())
+            .field("resident_pages", &self.resident_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_is_disjoint_with_guard_gap() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        let a = p.reserve_vma(4, true, VmaKind::Anon);
+        let b = p.reserve_vma(2, true, VmaKind::Anon);
+        assert!(!a.overlaps(&b));
+        assert!(b.start >= a.end().add(ooh_machine::PAGE_SIZE));
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        let a = p.reserve_vma(4, true, VmaKind::Anon);
+        assert!(p.vma_for(a.start).is_some());
+        assert!(p.vma_for(a.start.add(4 * 4096 - 1)).is_some());
+        assert!(p.vma_for(a.end()).is_none());
+        assert!(p.vma_for(Gva(0x1000)).is_none());
+    }
+
+    #[test]
+    fn remove_vma_exact_match_only() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        let a = p.reserve_vma(4, true, VmaKind::Anon);
+        let wrong = GvaRange::new(a.start, 2);
+        assert!(p.remove_vma(wrong).is_none());
+        assert!(p.remove_vma(a).is_some());
+        assert!(p.vma_for(a.start).is_none());
+    }
+
+    #[test]
+    fn page_accounting() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        p.reserve_vma(8, true, VmaKind::Anon);
+        assert_eq!(p.reserved_pages(), 8);
+        assert_eq!(p.resident_pages(), 0);
+        p.resident.insert(0x7f000, 0x123);
+        assert_eq!(p.resident_pages(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The `/proc/<PID>/pagemap` + `clear_refs` soft-dirty interface.
+//!
+//! This is the kernel half of the paper's baseline `/proc` technique:
+//!
+//! * `echo 4 > /proc/PID/clear_refs` — walk every present PTE, clear its
+//!   soft-dirty bit and write-protect it, then flush the TLB (metric M15);
+//! * read `/proc/PID/pagemap` — materialize one 64-bit entry per page
+//!   (soft-dirty at bit 55, present at bit 63, PFN in the low bits), charged
+//!   per entry plus per read(2) chunk (metric M16).
+
+use crate::kernel::{GuestError, GuestKernel};
+use crate::process::Pid;
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, GvaRange, Pte};
+use ooh_sim::{Event, Lane, PAGEMAP_CHUNK_ENTRIES};
+
+/// One 64-bit pagemap entry, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagemapEntry {
+    pub gva: Gva,
+    pub present: bool,
+    pub soft_dirty: bool,
+    /// Guest frame number (pagemap's PFN field; a GPA page here).
+    pub pfn: u64,
+}
+
+impl PagemapEntry {
+    /// Encode in the kernel's pagemap bit layout.
+    pub fn encode(&self) -> u64 {
+        let mut v = self.pfn & 0x007F_FFFF_FFFF_FFFF;
+        if self.soft_dirty {
+            v |= 1 << 55;
+        }
+        if self.present {
+            v |= 1 << 63;
+        }
+        v
+    }
+
+    /// Decode from the kernel bit layout.
+    pub fn decode(gva: Gva, v: u64) -> Self {
+        Self {
+            gva,
+            present: v & (1 << 63) != 0,
+            soft_dirty: v & (1 << 55) != 0,
+            pfn: v & 0x007F_FFFF_FFFF_FFFF,
+        }
+    }
+}
+
+impl GuestKernel {
+    /// `echo 4 > /proc/PID/clear_refs`: clear soft-dirty bits and
+    /// write-protect every present PTE of the process, so the next write to
+    /// each page faults and re-marks it. Returns the number of PTEs touched.
+    pub fn clear_refs(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        lane: Lane,
+    ) -> Result<u64, GuestError> {
+        let ctx = hv.ctx.clone();
+        // The write(2) syscall into procfs.
+        ctx.charge(lane, Event::ContextSwitch);
+
+        let vmas = self.vmas(pid)?;
+        let mut touched = 0u64;
+        for vma in &vmas {
+            for gva in vma.range.iter_pages().collect::<Vec<_>>() {
+                if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
+                    if pte.is_present() {
+                        ctx.charge(lane, Event::ClearRefsPte);
+                        let new = pte.without(Pte::SOFT_DIRTY | Pte::WRITABLE);
+                        if new != pte {
+                            self.kernel_phys_write(hv, slot, new.0)?;
+                        }
+                        touched += 1;
+                    }
+                }
+            }
+        }
+        // One flush covers the whole sweep (Linux batches it).
+        self.flush_tlb(hv);
+        Ok(touched)
+    }
+
+    /// Read `/proc/PID/pagemap` over `range`: one entry per page, charged
+    /// per entry plus per 64 KiB read chunk.
+    pub fn read_pagemap(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        range: GvaRange,
+        lane: Lane,
+    ) -> Result<Vec<PagemapEntry>, GuestError> {
+        let ctx = hv.ctx.clone();
+        let mut out = Vec::with_capacity(range.pages as usize);
+        for (i, gva) in range.iter_pages().enumerate() {
+            if i % PAGEMAP_CHUNK_ENTRIES == 0 {
+                ctx.charge(lane, Event::PagemapReadChunk);
+                ctx.charge(lane, Event::ContextSwitch);
+            }
+            ctx.charge(lane, Event::PagemapReadEntry);
+            let entry = match self.pte_lookup(hv, pid, gva)? {
+                Some((_, pte)) if pte.is_present() => PagemapEntry {
+                    gva,
+                    present: true,
+                    soft_dirty: pte.is_soft_dirty(),
+                    pfn: pte.frame().page(),
+                },
+                _ => PagemapEntry {
+                    gva,
+                    present: false,
+                    soft_dirty: false,
+                    pfn: 0,
+                },
+            };
+            out.push(entry);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: the soft-dirty pages of `pid` across all its VMAs
+    /// (what a /proc-based tracker collects each round).
+    pub fn soft_dirty_pages(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        lane: Lane,
+    ) -> Result<Vec<Gva>, GuestError> {
+        let vmas = self.vmas(pid)?;
+        let mut dirty = Vec::new();
+        for vma in &vmas {
+            for e in self.read_pagemap(hv, pid, vma.range, lane)? {
+                if e.present && e.soft_dirty {
+                    dirty.push(e.gva);
+                }
+            }
+        }
+        Ok(dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagemap_entry_encode_decode_roundtrip() {
+        let e = PagemapEntry {
+            gva: Gva(0x7f00_0000_0000),
+            present: true,
+            soft_dirty: true,
+            pfn: 0x12345,
+        };
+        let d = PagemapEntry::decode(e.gva, e.encode());
+        assert_eq!(d, e);
+
+        let n = PagemapEntry {
+            gva: Gva(0x1000),
+            present: false,
+            soft_dirty: false,
+            pfn: 0,
+        };
+        assert_eq!(PagemapEntry::decode(n.gva, n.encode()), n);
+    }
+
+    #[test]
+    fn soft_dirty_bit_is_bit_55() {
+        let e = PagemapEntry {
+            gva: Gva(0),
+            present: false,
+            soft_dirty: true,
+            pfn: 0,
+        };
+        assert_eq!(e.encode(), 1 << 55);
+    }
+}

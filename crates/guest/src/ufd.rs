@@ -1,0 +1,200 @@
+//! userfaultfd emulation (kernel side).
+//!
+//! Models the two modes the paper evaluates: **missing** (notify on first
+//! touch of an unmapped page) and **write-protect** (notify on write to a
+//! WP-marked page). Fault delivery is synchronous in the simulation: the
+//! kernel fault path charges the full user-space round trip (the paper's M6
+//! — two world switches, the tracker's `read(2)` on the fd, its handling,
+//! and the resolving ioctl) and appends the event for the tracker to
+//! consume, because in the paper's single-CPU setup Tracked is suspended for
+//! exactly that long.
+
+use crate::process::Pid;
+use ooh_machine::{Gva, GvaRange};
+
+/// Registration mode (UFFDIO_REGISTER_MODE_*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UfdMode {
+    /// Notify on access to a not-present page.
+    Missing,
+    /// Notify on write to a write-protected page.
+    WriteProtect,
+}
+
+/// One delivered fault event (struct uffd_msg analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UfdEvent {
+    pub pid: Pid,
+    /// Faulting address (page-aligned, as the kernel reports for WP faults).
+    pub gva: Gva,
+    pub write: bool,
+}
+
+/// A userfaultfd object: registered ranges plus the pending event queue.
+#[derive(Debug)]
+pub struct Ufd {
+    pub pid: Pid,
+    pub mode: UfdMode,
+    ranges: Vec<GvaRange>,
+    events: Vec<UfdEvent>,
+    total_delivered: u64,
+}
+
+impl Ufd {
+    pub fn new(pid: Pid, mode: UfdMode) -> Self {
+        Self {
+            pid,
+            mode,
+            ranges: Vec::new(),
+            events: Vec::new(),
+            total_delivered: 0,
+        }
+    }
+
+    /// Register a range (UFFDIO_REGISTER).
+    pub fn register(&mut self, range: GvaRange) {
+        self.ranges.push(range);
+    }
+
+    /// Is `gva` covered by a registration?
+    pub fn covers(&self, gva: Gva) -> bool {
+        self.ranges.iter().any(|r| r.contains(gva))
+    }
+
+    /// Registered ranges (for writeprotect sweeps).
+    pub fn ranges(&self) -> &[GvaRange] {
+        &self.ranges
+    }
+
+    /// Kernel fault path: queue an event for the tracker.
+    pub fn deliver(&mut self, event: UfdEvent) {
+        self.total_delivered += 1;
+        self.events.push(event);
+    }
+
+    /// Tracker side: drain pending events (the `read(2)` loop).
+    pub fn drain_events(&mut self) -> Vec<UfdEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Total events ever delivered.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    pub fn pending(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Handle to an open userfaultfd (index into the kernel's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UfdId(pub usize);
+
+impl crate::kernel::GuestKernel {
+    /// `userfaultfd(2)`: open a new uffd object for `pid`.
+    pub fn ufd_create(&mut self, pid: Pid, mode: UfdMode) -> UfdId {
+        self.ufds.push(Ufd::new(pid, mode));
+        UfdId(self.ufds.len() - 1)
+    }
+
+    /// `UFFDIO_REGISTER`: register `range` on the fd.
+    pub fn ufd_register(
+        &mut self,
+        hv: &mut ooh_hypervisor::Hypervisor,
+        id: UfdId,
+        range: GvaRange,
+    ) {
+        hv.ctx
+            .charge(ooh_sim::Lane::Tracker, ooh_sim::Event::UfdRegister);
+        self.ufds[id.0].register(range);
+    }
+
+    /// `UFFDIO_WRITEPROTECT`: set (or clear) the WP marker on every present
+    /// PTE in `range`, one charged operation per page, then one TLB flush
+    /// (the paper's M2 mechanism).
+    pub fn ufd_writeprotect(
+        &mut self,
+        hv: &mut ooh_hypervisor::Hypervisor,
+        id: UfdId,
+        range: GvaRange,
+        protect: bool,
+    ) -> Result<u64, crate::kernel::GuestError> {
+        use ooh_machine::Pte;
+        use ooh_sim::{Event, Lane};
+        let pid = self.ufds[id.0].pid;
+        let ctx = hv.ctx.clone();
+        ctx.charge(Lane::Tracker, Event::ContextSwitch); // the ioctl itself
+        let mut touched = 0u64;
+        for gva in range.iter_pages().collect::<Vec<_>>() {
+            if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
+                if pte.is_present() {
+                    let ev = if protect {
+                        Event::UfdWriteProtectPage
+                    } else {
+                        Event::UfdWriteUnprotectPage
+                    };
+                    ctx.charge(Lane::Tracker, ev);
+                    let new = if protect {
+                        pte.with(Pte::UFFD_WP)
+                    } else {
+                        pte.without(Pte::UFFD_WP)
+                    };
+                    if new != pte {
+                        self.kernel_phys_write(hv, slot, new.0)?;
+                    }
+                    touched += 1;
+                }
+            }
+        }
+        self.flush_tlb(hv);
+        Ok(touched)
+    }
+
+    /// `read(2)` on the uffd: drain pending fault events.
+    pub fn ufd_read_events(&mut self, id: UfdId) -> Vec<UfdEvent> {
+        self.ufds[id.0].drain_events()
+    }
+
+    /// Immutable view of an open uffd.
+    pub fn ufd(&self, id: UfdId) -> &Ufd {
+        &self.ufds[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_respects_ranges() {
+        let mut u = Ufd::new(Pid(1), UfdMode::WriteProtect);
+        u.register(GvaRange::new(Gva(0x10000), 4));
+        assert!(u.covers(Gva(0x10000)));
+        assert!(u.covers(Gva(0x13fff)));
+        assert!(!u.covers(Gva(0x14000)));
+        u.register(GvaRange::new(Gva(0x20000), 1));
+        assert!(u.covers(Gva(0x20500)));
+    }
+
+    #[test]
+    fn events_fifo_and_counted() {
+        let mut u = Ufd::new(Pid(1), UfdMode::Missing);
+        u.deliver(UfdEvent {
+            pid: Pid(1),
+            gva: Gva(0x1000),
+            write: false,
+        });
+        u.deliver(UfdEvent {
+            pid: Pid(1),
+            gva: Gva(0x2000),
+            write: true,
+        });
+        assert_eq!(u.pending(), 2);
+        let evs = u.drain_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].gva, Gva(0x1000));
+        assert_eq!(u.pending(), 0);
+        assert_eq!(u.total_delivered(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the guest kernel's tracking machinery against
+//! host-side reference models.
+
+use ooh_guest::{GuestKernel, Pid, UfdMode, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, MachineConfig, PAGE_SIZE};
+use ooh_sim::{Lane, SimCtx};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn boot() -> (Hypervisor, GuestKernel, Pid) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(256 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    (hv, kernel, pid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Memory is a memory: arbitrary interleaved writes then reads return
+    /// the last value written per address, across page boundaries.
+    #[test]
+    fn guest_memory_is_linearizable(
+        writes in proptest::collection::vec((0u64..16 * 4096 - 8, any::<u64>()), 1..120)
+    ) {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 16, true, VmaKind::Anon).unwrap();
+        let mut reference: std::collections::HashMap<u64, u64> = Default::default();
+        for &(off, val) in &writes {
+            let addr = off & !7; // align
+            kernel
+                .write_u64(&mut hv, pid, region.start.add(addr), val, Lane::Tracked)
+                .unwrap();
+            reference.insert(addr, val);
+        }
+        for (&addr, &val) in &reference {
+            prop_assert_eq!(
+                kernel.read_u64(&mut hv, pid, region.start.add(addr), Lane::Tracked).unwrap(),
+                val
+            );
+        }
+    }
+
+    /// soft-dirty agrees with a reference set across multiple
+    /// clear_refs/write rounds: after each clear, exactly the pages written
+    /// since are reported.
+    #[test]
+    fn soft_dirty_matches_reference(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0u64..32, 0..20),
+            1..4
+        )
+    ) {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 32, true, VmaKind::Anon).unwrap();
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+        }
+        for pages in rounds {
+            kernel.clear_refs(&mut hv, pid, Lane::Tracker).unwrap();
+            let mut expected = BTreeSet::new();
+            for &p in &pages {
+                kernel
+                    .write_u64(&mut hv, pid, region.start.add(p * PAGE_SIZE + 8 * (p % 7)), p, Lane::Tracked)
+                    .unwrap();
+                expected.insert(p);
+            }
+            let got: BTreeSet<u64> = kernel
+                .soft_dirty_pages(&mut hv, pid, Lane::Tracker)
+                .unwrap()
+                .into_iter()
+                .map(|g: Gva| g.page() - region.start.page())
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// userfaultfd write-protect delivers exactly one event per protected
+    /// page on its first write, none for repeats or reads.
+    #[test]
+    fn ufd_wp_event_model(
+        accesses in proptest::collection::vec((0u64..16, any::<bool>()), 1..60)
+    ) {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 16, true, VmaKind::Anon).unwrap();
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+        }
+        let ufd = kernel.ufd_create(pid, UfdMode::WriteProtect);
+        kernel.ufd_register(&mut hv, ufd, region);
+        kernel.ufd_writeprotect(&mut hv, ufd, region, true).unwrap();
+
+        let mut expected = BTreeSet::new();
+        for &(page, is_write) in &accesses {
+            let addr = region.start.add(page * PAGE_SIZE);
+            if is_write {
+                kernel.write_u64(&mut hv, pid, addr, 1, Lane::Tracked).unwrap();
+                expected.insert(page);
+            } else {
+                kernel.read_u64(&mut hv, pid, addr, Lane::Tracked).unwrap();
+            }
+        }
+        let events = kernel.ufd_read_events(ufd);
+        let got: BTreeSet<u64> = events
+            .iter()
+            .map(|e| e.gva.page() - region.start.page())
+            .collect();
+        prop_assert_eq!(got, expected.clone());
+        // Exactly one event per first-written page.
+        prop_assert_eq!(events.len(), expected.len());
+    }
+
+    /// A process's page tables always resolve exactly its resident set:
+    /// pte_lookup(present) ⇔ resident map entry, after arbitrary
+    /// mmap/write/munmap traffic.
+    #[test]
+    fn page_tables_agree_with_resident_map(
+        ops in proptest::collection::vec((0u8..3, 0u64..24), 1..60)
+    ) {
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 24, true, VmaKind::Anon).unwrap();
+        for (op, page) in ops {
+            let addr = region.start.add(page * PAGE_SIZE);
+            match op {
+                0 | 1 => {
+                    kernel.write_u64(&mut hv, pid, addr, page, Lane::Tracked).unwrap();
+                }
+                _ => {
+                    kernel.read_u64(&mut hv, pid, addr, Lane::Tracked).unwrap();
+                }
+            }
+        }
+        let resident: BTreeSet<u64> = kernel
+            .process(pid)
+            .unwrap()
+            .resident
+            .keys()
+            .copied()
+            .collect();
+        for page in region.iter_pages().collect::<Vec<_>>() {
+            let present = kernel
+                .pte_lookup(&mut hv, pid, page)
+                .unwrap()
+                .map(|(_, pte)| pte.is_present())
+                .unwrap_or(false);
+            prop_assert_eq!(present, resident.contains(&page.page()), "page {}", page);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The hypercall ABI between the guest (OoH kernel module) and the
+//! hypervisor.
+//!
+//! SPML adds exactly two hot-path hypercalls (`enable_logging` /
+//! `disable_logging`, invoked on every schedule-in/out of a tracked process)
+//! plus one-time init/deactivate calls. EPML replaces the hot-path pair with
+//! shadow `vmwrite`s and needs only the one-time VMCS-shadowing setup call.
+
+use ooh_machine::Gpa;
+
+/// Requests a guest may make of the hypervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hypercall {
+    /// SPML one-time setup (paper metric M9): register the guest ring buffer
+    /// (all addresses are GPAs of guest-owned pages) and arm PML service for
+    /// this VM.
+    SpmlInit {
+        ring_header: Gpa,
+        ring_data: Vec<Gpa>,
+    },
+    /// SPML one-time teardown (M11).
+    SpmlDeactivate,
+    /// SPML hot path (M13): tracked process scheduled in — start logging.
+    EnableLogging,
+    /// SPML hot path (M14): tracked process scheduled out — flush the PML
+    /// buffer to the ring and stop logging.
+    DisableLogging,
+    /// EPML one-time setup (M10): enable VMCS shadowing and whitelist the
+    /// guest-owned PML fields, so every subsequent toggle is a vmexit-free
+    /// `vmwrite`. This is the *only* hypercall EPML ever makes.
+    EpmlInit,
+    /// EPML one-time teardown (M12).
+    EpmlDeactivate,
+    /// OoH-SPP (§III-D): set the sub-page write mask of a guest page.
+    /// Bit i set = sub-page i (128 bytes) writable.
+    SppSetMask { gpa: Gpa, mask: u32 },
+    /// OoH-SPP: remove sub-page protection from a guest page.
+    SppClear { gpa: Gpa },
+}
+
+/// Hypercall return values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypercallResult {
+    Ok,
+    /// The request conflicts with the other level's use of PML (the paper's
+    /// two-flag coordination: e.g. the hypervisor refuses to deactivate PML
+    /// while the guest has it enabled, and vice versa).
+    Busy,
+    /// Request malformed (bad GPA, wrong machine capability, …).
+    Invalid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercall_variants_are_distinguishable() {
+        let a = Hypercall::EnableLogging;
+        let b = Hypercall::DisableLogging;
+        assert_ne!(a, b);
+        let init = Hypercall::SpmlInit {
+            ring_header: Gpa(0x1000),
+            ring_data: vec![Gpa(0x2000)],
+        };
+        assert!(matches!(init, Hypercall::SpmlInit { .. }));
+    }
+}

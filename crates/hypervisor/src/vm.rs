@@ -1,0 +1,218 @@
+//! Per-VM state: EPT, vCPUs, guest frame allocation, SPML coordination flags.
+
+use ooh_machine::{
+    exec_controls, Ept, Field, Gpa, Hpa, HostPhys, MachineError, RingView, SppTable, Vcpu,
+    VmxMode, PAGE_SIZE,
+};
+
+/// VM identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct VmId(pub u32);
+
+/// The SPML coordination state the paper adds to the hypervisor: which level
+/// (guest / hypervisor) currently has PML enabled, and where the guest ring
+/// buffer lives.
+#[derive(Debug, Default)]
+pub struct SpmlState {
+    /// The guest (OoH module) has registered for per-process PML service.
+    pub enabled_by_guest: bool,
+    /// The guest's logging is *currently on* (tracked process scheduled in).
+    pub guest_logging_on: bool,
+    /// The hypervisor itself is using PML (live migration in progress).
+    pub enabled_by_hyp: bool,
+    /// The hypervisor's view of the ring buffer shared with the guest. The
+    /// ring lives in *guest* memory (the paper's §V isolation argument);
+    /// the hypervisor caches the translated frame addresses at init time.
+    pub guest_ring: Option<RingView>,
+}
+
+/// One virtual machine.
+pub struct Vm {
+    pub id: VmId,
+    pub ept: Ept,
+    pub vcpus: Vec<Vcpu>,
+    pub spml: SpmlState,
+    /// Sub-page write permissions for this VM's guest-physical pages
+    /// (the OoH-SPP service of §III-D).
+    pub spp_table: SppTable,
+    /// Dirty GPA pages collected for the hypervisor's own use (migration).
+    pub hyp_dirty: std::collections::BTreeSet<u64>,
+    /// Working-set estimation (PML-R) state: distinct pages accessed and
+    /// written during the current sampling interval.
+    pub wss_accessed: std::collections::BTreeSet<u64>,
+    pub wss_dirty: std::collections::BTreeSet<u64>,
+    pub wss_active: bool,
+    /// Next guest-physical page to hand out.
+    next_gpa_page: u64,
+    /// Reusable freed guest pages.
+    free_gpa_pages: Vec<u64>,
+    /// Configured guest RAM ceiling, in pages.
+    ram_pages: u64,
+    /// Currently allocated guest pages.
+    allocated_pages: u64,
+}
+
+impl Vm {
+    pub fn new(
+        id: VmId,
+        phys: &mut HostPhys,
+        ram_bytes: u64,
+        n_vcpus: u32,
+    ) -> Result<Self, MachineError> {
+        let ept = Ept::new(phys)?;
+        let vcpus = (0..n_vcpus).map(Vcpu::new).collect();
+        Ok(Self {
+            id,
+            ept,
+            vcpus,
+            spml: SpmlState::default(),
+            spp_table: SppTable::new(),
+            hyp_dirty: std::collections::BTreeSet::new(),
+            wss_accessed: std::collections::BTreeSet::new(),
+            wss_dirty: std::collections::BTreeSet::new(),
+            wss_active: false,
+            // GPA 0 is reserved (null) — hand out pages from 1.
+            next_gpa_page: 1,
+            free_gpa_pages: Vec::new(),
+            ram_pages: ram_bytes / PAGE_SIZE,
+            allocated_pages: 0,
+        })
+    }
+
+    /// Allocate one page of guest RAM: grabs a host frame and maps it into
+    /// the EPT. (Xen-style pre-populated guest memory; no demand EPT faults
+    /// on the hot path.)
+    pub fn alloc_guest_page(&mut self, phys: &mut HostPhys) -> Result<Gpa, MachineError> {
+        if self.allocated_pages >= self.ram_pages {
+            return Err(MachineError::OutOfMemory {
+                requested_frames: 1,
+                free_frames: 0,
+            });
+        }
+        let gpa_page = self.free_gpa_pages.pop().unwrap_or_else(|| {
+            let p = self.next_gpa_page;
+            self.next_gpa_page += 1;
+            p
+        });
+        let hpa = phys.alloc_frame()?;
+        let gpa = Gpa::from_page(gpa_page);
+        self.ept.map(phys, gpa, hpa)?;
+        self.allocated_pages += 1;
+        Ok(gpa)
+    }
+
+    /// Release one page of guest RAM.
+    pub fn free_guest_page(&mut self, phys: &mut HostPhys, gpa: Gpa) -> Result<(), MachineError> {
+        if let Some(hpa) = self.ept.unmap(phys, gpa)? {
+            phys.free_frame(hpa)?;
+            self.free_gpa_pages.push(gpa.page());
+            self.allocated_pages -= 1;
+            // Stale translations must not survive the unmap.
+            for vcpu in &mut self.vcpus {
+                vcpu.tlb.invalidate_gpa_page(gpa.page());
+            }
+        }
+        Ok(())
+    }
+
+    /// Guest pages currently allocated.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Translate GPA→HPA without side effects (hypervisor-internal).
+    pub fn gpa_to_hpa(&mut self, phys: &HostPhys, gpa: Gpa) -> Result<Option<Hpa>, MachineError> {
+        self.ept.translate(phys, gpa)
+    }
+
+    /// Effective hypervisor-level PML logging: on iff either level wants it.
+    /// (The paper's two-flag coordination — neither level may starve the
+    /// other.)
+    pub fn effective_hyp_logging(&self) -> bool {
+        (self.spml.enabled_by_guest && self.spml.guest_logging_on)
+            || self.spml.enabled_by_hyp
+            || self.wss_active
+    }
+
+    /// Recompute each vCPU's PML enable from the coordination flags: writes
+    /// the ENABLE_PML execution control and re-syncs hardware state, so the
+    /// VMCS stays the single source of truth.
+    pub fn sync_logging(&mut self) {
+        let on = self.effective_hyp_logging();
+        for vcpu in &mut self.vcpus {
+            let ctrl = vcpu
+                .vmcs
+                .vmread(VmxMode::Root, Field::SecondaryExecControls)
+                .unwrap_or(0);
+            let new = if on {
+                ctrl | exec_controls::ENABLE_PML
+            } else {
+                ctrl & !exec_controls::ENABLE_PML
+            };
+            vcpu.vmcs
+                .vmwrite(VmxMode::Root, Field::SecondaryExecControls, new)
+                .expect("root vmwrite cannot fail");
+            vcpu.sync_pml_from_vmcs();
+        }
+    }
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("id", &self.id)
+            .field("vcpus", &self.vcpus.len())
+            .field("allocated_pages", &self.allocated_pages)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_ram_limit() {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 2 * PAGE_SIZE, 1).unwrap();
+        vm.alloc_guest_page(&mut phys).unwrap();
+        vm.alloc_guest_page(&mut phys).unwrap();
+        assert!(vm.alloc_guest_page(&mut phys).is_err());
+        assert_eq!(vm.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn free_recycles_gpa_and_host_frame() {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 8 * PAGE_SIZE, 1).unwrap();
+        let g = vm.alloc_guest_page(&mut phys).unwrap();
+        let frames_before = phys.allocated_frames();
+        vm.free_guest_page(&mut phys, g).unwrap();
+        assert_eq!(phys.allocated_frames(), frames_before - 1);
+        let g2 = vm.alloc_guest_page(&mut phys).unwrap();
+        assert_eq!(g2, g, "freed GPA page is reused");
+    }
+
+    #[test]
+    fn gpa_zero_is_never_handed_out() {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 16 * PAGE_SIZE, 1).unwrap();
+        for _ in 0..4 {
+            assert_ne!(vm.alloc_guest_page(&mut phys).unwrap(), Gpa::NULL);
+        }
+    }
+
+    #[test]
+    fn logging_coordination_flags() {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 8 * PAGE_SIZE, 1).unwrap();
+        assert!(!vm.effective_hyp_logging());
+        vm.spml.enabled_by_guest = true;
+        assert!(!vm.effective_hyp_logging(), "registered but not scheduled in");
+        vm.spml.guest_logging_on = true;
+        assert!(vm.effective_hyp_logging());
+        vm.spml.guest_logging_on = false;
+        vm.spml.enabled_by_hyp = true;
+        assert!(vm.effective_hyp_logging(), "migration keeps PML on");
+    }
+}

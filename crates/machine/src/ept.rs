@@ -1,0 +1,317 @@
+//! Extended Page Tables: the hypervisor-managed GPA→HPA mapping.
+//!
+//! A real 4-level radix tree stored in host physical frames. The hypervisor
+//! owns one `Ept` per VM; the nested walker reads it on every TLB miss, and
+//! PML triggers on leaf dirty-bit transitions inside it.
+
+use crate::addr::{Gpa, Hpa, PT_ENTRIES};
+use crate::error::MachineError;
+use crate::phys::HostPhys;
+use crate::pte::EptEntry;
+
+/// One VM's extended page table.
+#[derive(Debug)]
+pub struct Ept {
+    root: Hpa,
+    /// Number of table pages (incl. root) — accounting for tests/reports.
+    table_pages: u64,
+    /// Number of leaf mappings installed.
+    mapped_pages: u64,
+}
+
+impl Ept {
+    /// Allocate an empty EPT (one zeroed root page).
+    pub fn new(phys: &mut HostPhys) -> Result<Self, MachineError> {
+        let root = phys.alloc_frame()?;
+        Ok(Self {
+            root,
+            table_pages: 1,
+            mapped_pages: 0,
+        })
+    }
+
+    /// The EPTP-analog: root table pointer.
+    pub fn root(&self) -> Hpa {
+        self.root
+    }
+
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    pub fn table_pages(&self) -> u64 {
+        self.table_pages
+    }
+
+    /// Host-physical address of the leaf entry slot for `gpa`, creating
+    /// intermediate tables if `alloc`.
+    fn leaf_slot(
+        &mut self,
+        phys: &mut HostPhys,
+        gpa: Gpa,
+        alloc: bool,
+    ) -> Result<Option<Hpa>, MachineError> {
+        let mut table = self.root;
+        for level in (1..4).rev() {
+            let slot = table.add(gpa.pt_index(level) as u64 * 8);
+            let entry = EptEntry(phys.read_u64(slot)?);
+            table = if entry.is_present() {
+                entry.frame()
+            } else if alloc {
+                let next = phys.alloc_frame()?;
+                self.table_pages += 1;
+                phys.write_u64(slot, EptEntry::table(next).0)?;
+                next
+            } else {
+                return Ok(None);
+            };
+        }
+        Ok(Some(table.add(gpa.pt_index(0) as u64 * 8)))
+    }
+
+    /// Install (or replace) the leaf mapping `gpa → hpa` with RWX rights.
+    pub fn map(&mut self, phys: &mut HostPhys, gpa: Gpa, hpa: Hpa) -> Result<(), MachineError> {
+        let slot = self
+            .leaf_slot(phys, gpa.page_base(), true)?
+            .expect("alloc=true always yields a slot");
+        let old = EptEntry(phys.read_u64(slot)?);
+        if !old.is_present() {
+            self.mapped_pages += 1;
+        }
+        phys.write_u64(slot, EptEntry::leaf_rwx(hpa.page_base()).0)
+    }
+
+    /// Remove the leaf mapping for `gpa`, returning the HPA it pointed to.
+    pub fn unmap(&mut self, phys: &mut HostPhys, gpa: Gpa) -> Result<Option<Hpa>, MachineError> {
+        match self.leaf_slot(phys, gpa.page_base(), false)? {
+            Some(slot) => {
+                let e = EptEntry(phys.read_u64(slot)?);
+                if e.is_present() {
+                    phys.write_u64(slot, EptEntry::empty().0)?;
+                    self.mapped_pages -= 1;
+                    Ok(Some(e.frame()))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read the leaf entry for `gpa`, if mapped. Returns the entry *slot*
+    /// (so callers can update A/D bits architecturally) and its value.
+    pub fn lookup(
+        &mut self,
+        phys: &HostPhys,
+        gpa: Gpa,
+    ) -> Result<Option<(Hpa, EptEntry)>, MachineError> {
+        let mut table = self.root;
+        for level in (1..4).rev() {
+            let slot = table.add(gpa.pt_index(level) as u64 * 8);
+            let entry = EptEntry(phys.read_u64(slot)?);
+            if !entry.is_present() {
+                return Ok(None);
+            }
+            table = entry.frame();
+        }
+        let slot = table.add(gpa.pt_index(0) as u64 * 8);
+        let entry = EptEntry(phys.read_u64(slot)?);
+        Ok(entry.is_present().then_some((slot, entry)))
+    }
+
+    /// Pure translation (no A/D side effects).
+    pub fn translate(&mut self, phys: &HostPhys, gpa: Gpa) -> Result<Option<Hpa>, MachineError> {
+        Ok(self
+            .lookup(phys, gpa)?
+            .map(|(_, e)| Hpa(e.frame().raw() | gpa.offset())))
+    }
+
+    /// Clear the dirty bit of `gpa`'s leaf entry (done by the PML drain path
+    /// so the next write re-logs). Returns whether the bit was set.
+    pub fn clear_dirty(&mut self, phys: &mut HostPhys, gpa: Gpa) -> Result<bool, MachineError> {
+        if let Some((slot, e)) = self.lookup(phys, gpa)? {
+            if e.is_dirty() {
+                phys.write_u64(slot, e.without(EptEntry::DIRTY).0)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Clear dirty bits on *all* leaf entries (hypervisor live-migration
+    /// round start). Returns how many were cleared.
+    pub fn clear_all_dirty(&mut self, phys: &mut HostPhys) -> Result<u64, MachineError> {
+        let mut cleared = 0;
+        let mapped = self.collect_mapped(phys)?;
+        for (gpa, _) in mapped {
+            if self.clear_dirty(phys, gpa)? {
+                cleared += 1;
+            }
+        }
+        Ok(cleared)
+    }
+
+    /// Enumerate every mapped `(gpa, entry)` pair by walking the radix tree.
+    pub fn collect_mapped(
+        &self,
+        phys: &HostPhys,
+    ) -> Result<Vec<(Gpa, EptEntry)>, MachineError> {
+        let mut out = Vec::new();
+        self.walk_table(phys, self.root, 3, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk_table(
+        &self,
+        phys: &HostPhys,
+        table: Hpa,
+        level: u32,
+        prefix: u64,
+        out: &mut Vec<(Gpa, EptEntry)>,
+    ) -> Result<(), MachineError> {
+        for idx in 0..PT_ENTRIES {
+            let entry = EptEntry(phys.read_u64(table.add(idx * 8))?);
+            if !entry.is_present() {
+                continue;
+            }
+            let page = (prefix << 9) | idx;
+            if level == 0 {
+                out.push((Gpa::from_page(page), entry));
+            } else {
+                self.walk_table(phys, entry.frame(), level - 1, page, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clear accessed bits on all leaf entries (working-set sampling round
+    /// start). Returns how many were cleared.
+    pub fn clear_all_accessed(&mut self, phys: &mut HostPhys) -> Result<u64, MachineError> {
+        let mut cleared = 0;
+        for (gpa, e) in self.collect_mapped(phys)? {
+            if e.is_accessed() {
+                if let Some((slot, cur)) = self.lookup(phys, gpa)? {
+                    phys.write_u64(slot, cur.without(EptEntry::ACCESSED).0)?;
+                    cleared += 1;
+                }
+            }
+        }
+        Ok(cleared)
+    }
+
+    /// Enumerate mapped GPAs whose dirty bit is set (migration's dirty scan).
+    pub fn collect_dirty(&self, phys: &HostPhys) -> Result<Vec<Gpa>, MachineError> {
+        Ok(self
+            .collect_mapped(phys)?
+            .into_iter()
+            .filter(|(_, e)| e.is_dirty())
+            .map(|(g, _)| g)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    fn mk() -> (HostPhys, Ept) {
+        let mut phys = HostPhys::new(1024 * PAGE_SIZE);
+        let ept = Ept::new(&mut phys).unwrap();
+        (phys, ept)
+    }
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let (mut phys, mut ept) = mk();
+        let frame = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), frame).unwrap();
+        let hpa = ept.translate(&phys, Gpa(0x5123)).unwrap().unwrap();
+        assert_eq!(hpa, frame.add(0x123));
+        assert_eq!(ept.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmapped_translates_to_none() {
+        let (phys, mut ept) = mk();
+        assert_eq!(ept.translate(&phys, Gpa(0x9000)).unwrap(), None);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let (mut phys, mut ept) = mk();
+        let frame = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), frame).unwrap();
+        assert_eq!(ept.unmap(&mut phys, Gpa(0x5000)).unwrap(), Some(frame));
+        assert_eq!(ept.translate(&phys, Gpa(0x5000)).unwrap(), None);
+        assert_eq!(ept.mapped_pages(), 0);
+        assert_eq!(ept.unmap(&mut phys, Gpa(0x5000)).unwrap(), None);
+    }
+
+    #[test]
+    fn remap_does_not_double_count() {
+        let (mut phys, mut ept) = mk();
+        let a = phys.alloc_frame().unwrap();
+        let b = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), a).unwrap();
+        ept.map(&mut phys, Gpa(0x5000), b).unwrap();
+        assert_eq!(ept.mapped_pages(), 1);
+        assert_eq!(
+            ept.translate(&phys, Gpa(0x5000)).unwrap(),
+            Some(b)
+        );
+    }
+
+    #[test]
+    fn dirty_bit_lifecycle() {
+        let (mut phys, mut ept) = mk();
+        let frame = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x7000), frame).unwrap();
+        // Simulate the walker setting D.
+        let (slot, e) = ept.lookup(&phys, Gpa(0x7000)).unwrap().unwrap();
+        phys.write_u64(slot, e.with(EptEntry::DIRTY).0).unwrap();
+        assert_eq!(ept.collect_dirty(&phys).unwrap(), vec![Gpa(0x7000)]);
+        assert!(ept.clear_dirty(&mut phys, Gpa(0x7000)).unwrap());
+        assert!(ept.collect_dirty(&phys).unwrap().is_empty());
+        assert!(!ept.clear_dirty(&mut phys, Gpa(0x7000)).unwrap());
+    }
+
+    #[test]
+    fn collect_mapped_enumerates_sparse_space() {
+        let (mut phys, mut ept) = mk();
+        // Map pages scattered across different top-level indices.
+        let gpas = [Gpa(0x1000), Gpa(0x40000000), Gpa(0x7f_ffff_f000)];
+        for &g in &gpas {
+            let f = phys.alloc_frame().unwrap();
+            ept.map(&mut phys, g, f).unwrap();
+        }
+        let mut got: Vec<Gpa> = ept
+            .collect_mapped(&phys)
+            .unwrap()
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
+        got.sort();
+        let mut want = gpas.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clear_all_dirty_counts() {
+        let (mut phys, mut ept) = mk();
+        for i in 0..4u64 {
+            let f = phys.alloc_frame().unwrap();
+            ept.map(&mut phys, Gpa::from_page(0x100 + i), f).unwrap();
+        }
+        for i in 0..2u64 {
+            let (slot, e) = ept
+                .lookup(&phys, Gpa::from_page(0x100 + i))
+                .unwrap()
+                .unwrap();
+            phys.write_u64(slot, e.with(EptEntry::DIRTY).0).unwrap();
+        }
+        assert_eq!(ept.clear_all_dirty(&mut phys).unwrap(), 2);
+        assert_eq!(ept.clear_all_dirty(&mut phys).unwrap(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Machine-level error and fault types.
+
+use crate::addr::{Gpa, Gva, Hpa};
+
+/// Hard errors: misuse of the machine model (bugs, resource exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Physical memory exhausted.
+    OutOfMemory {
+        requested_frames: u64,
+        free_frames: u64,
+    },
+    /// Access to an unallocated or out-of-range frame.
+    BadFrame { hpa: Hpa },
+    /// A byte access crossed a page boundary (the MMU splits these; raw
+    /// physical accessors do not).
+    CrossPageAccess { hpa: Hpa, len: usize },
+    /// vmread/vmwrite of a field that does not exist.
+    BadVmcsField { encoding: u32 },
+    /// vmread/vmwrite executed in a mode that is not allowed to touch the
+    /// field (and shadowing did not authorize it) — real hardware would
+    /// vmexit; the model surfaces it for the hypervisor to handle.
+    VmcsAccessDenied { encoding: u32, non_root: bool },
+    /// Operation requires the EPML hardware extension but the machine was
+    /// configured without it (`MachineConfig::epml = false`).
+    EpmlNotSupported,
+    /// No shadow VMCS is linked but a shadowed access was attempted.
+    NoShadowVmcs,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfMemory {
+                requested_frames,
+                free_frames,
+            } => write!(
+                f,
+                "out of physical memory: requested {requested_frames} frame(s), {free_frames} free"
+            ),
+            MachineError::BadFrame { hpa } => write!(f, "access to unallocated frame at {hpa}"),
+            MachineError::CrossPageAccess { hpa, len } => {
+                write!(f, "{len}-byte access at {hpa} crosses a page boundary")
+            }
+            MachineError::BadVmcsField { encoding } => {
+                write!(f, "unknown VMCS field encoding {encoding:#x}")
+            }
+            MachineError::VmcsAccessDenied { encoding, non_root } => write!(
+                f,
+                "VMCS field {encoding:#x} not accessible from {} mode",
+                if *non_root { "vmx non-root" } else { "vmx root" }
+            ),
+            MachineError::EpmlNotSupported => {
+                write!(f, "EPML extension not present on this machine")
+            }
+            MachineError::NoShadowVmcs => write!(f, "no shadow VMCS linked"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Architectural faults raised by the MMU during a guest access. These are
+/// *events*, not errors: the guest kernel (or the hypervisor, for EPT
+/// violations) handles them and the access is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Guest page-table entry not present at `level` (3..=0) — a guest #PF.
+    /// The guest kernel's fault handler decides: demand-zero, lazy mmap, or
+    /// segfault.
+    NotPresent { gva: Gva, level: u32 },
+    /// Write to a non-writable guest mapping — a guest #PF with W=1.
+    /// This is the mechanism under /proc soft-dirty re-protection and
+    /// userfaultfd write-protect mode.
+    WriteProtected { gva: Gva },
+    /// GPA not mapped (or insufficient rights) in the EPT — handled by the
+    /// hypervisor, invisible to the guest.
+    EptViolation { gpa: Gpa, write: bool },
+    /// Write to a sub-page whose SPP write bit is clear. Delivered to the
+    /// guard's owner (the secure allocator) as an overflow detection.
+    SppViolation { gva: Gva, gpa: Gpa, subpage: u32 },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::NotPresent { gva, level } => {
+                write!(f, "#PF not-present at {gva} (level {level})")
+            }
+            Fault::WriteProtected { gva } => write!(f, "#PF write-protect at {gva}"),
+            Fault::EptViolation { gpa, write } => {
+                write!(f, "EPT violation at {gpa} (write={write})")
+            }
+            Fault::SppViolation { gva, subpage, .. } => {
+                write!(f, "SPP write violation at {gva} (sub-page {subpage})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MachineError::OutOfMemory {
+            requested_frames: 3,
+            free_frames: 1,
+        };
+        assert!(e.to_string().contains("3 frame"));
+        let f = Fault::WriteProtected { gva: Gva(0x1000) };
+        assert!(f.to_string().contains("write-protect"));
+    }
+}

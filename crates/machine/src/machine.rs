@@ -1,0 +1,98 @@
+//! The physical machine: installed RAM plus the hardware feature set.
+
+use crate::phys::HostPhys;
+
+/// Hardware configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Installed RAM in bytes.
+    pub ram_bytes: u64,
+    /// Standard PML present (all our machines have it; the paper's i7-8565U
+    /// does).
+    pub pml: bool,
+    /// VMCS shadowing present.
+    pub vmcs_shadowing: bool,
+    /// Posted interrupts present.
+    pub posted_interrupts: bool,
+    /// The paper's proposed EPML extension present (true for the
+    /// BOCHS-analog emulated machine, false for the stock machine).
+    pub epml: bool,
+    /// Intel SPP (sub-page write permission) present — the paper's §III-D
+    /// second OoH candidate, used by `ooh-secheap`.
+    pub spp: bool,
+    /// Optional TLB capacity per vCPU (None = unbounded, the default model;
+    /// see `tlb` module docs). Bounding changes walk counts — useful for
+    /// studying baseline sensitivity — but never logging semantics.
+    pub tlb_capacity: Option<usize>,
+    /// PML-R: the accessed-bit logging extension (working-set estimation).
+    pub pml_read_logging: bool,
+}
+
+impl MachineConfig {
+    /// The paper's real testbed: PML + shadowing + posted interrupts, no
+    /// EPML (SPML experiments run here).
+    pub fn stock(ram_bytes: u64) -> Self {
+        Self {
+            ram_bytes,
+            pml: true,
+            vmcs_shadowing: true,
+            posted_interrupts: true,
+            epml: false,
+            spp: true,
+            tlb_capacity: None,
+            pml_read_logging: true,
+        }
+    }
+
+    /// The paper's extended (BOCHS-emulated) machine with EPML.
+    pub fn epml(ram_bytes: u64) -> Self {
+        Self {
+            epml: true,
+            ..Self::stock(ram_bytes)
+        }
+    }
+}
+
+/// The machine: RAM plus config. vCPUs are owned by the hypervisor's VMs.
+pub struct Machine {
+    pub phys: HostPhys,
+    pub config: MachineConfig,
+}
+
+impl Machine {
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            phys: HostPhys::new(config.ram_bytes),
+            config,
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("phys", &self.phys)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn stock_has_no_epml() {
+        let c = MachineConfig::stock(1 << 30);
+        assert!(c.pml && c.vmcs_shadowing && c.posted_interrupts && !c.epml);
+        let e = MachineConfig::epml(1 << 30);
+        assert!(e.epml);
+    }
+
+    #[test]
+    fn machine_allocates_configured_ram() {
+        let m = Machine::new(MachineConfig::stock(64 * PAGE_SIZE));
+        assert_eq!(m.phys.total_frames(), 64);
+    }
+}

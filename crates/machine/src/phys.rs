@@ -1,0 +1,276 @@
+//! Host physical memory: the machine's RAM.
+//!
+//! Frames are allocated lazily (a `Vec<Option<Box<Frame>>>` indexed by frame
+//! number) so a "16 GiB" machine costs only what the workloads actually
+//! touch. All page-table structures — EPT pages, guest page-table pages, PML
+//! buffers, ring buffers — live in these frames and are read/written through
+//! this interface, which is what makes the simulation architectural rather
+//! than a bookkeeping shortcut.
+
+use crate::addr::{Hpa, PAGE_SIZE};
+use crate::error::MachineError;
+
+/// One 4 KiB physical frame.
+pub type Frame = [u8; PAGE_SIZE as usize];
+
+/// The machine's physical memory with a bump-plus-free-list frame allocator.
+pub struct HostPhys {
+    frames: Vec<Option<Box<Frame>>>,
+    free_list: Vec<u64>,
+    next_never_allocated: u64,
+    allocated: u64,
+}
+
+impl HostPhys {
+    /// A machine with `bytes` of installed RAM (rounded down to whole pages).
+    pub fn new(bytes: u64) -> Self {
+        let nframes = (bytes / PAGE_SIZE) as usize;
+        let mut frames = Vec::new();
+        frames.resize_with(nframes, || None);
+        Self {
+            frames,
+            free_list: Vec::new(),
+            next_never_allocated: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Total installed frames.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocate one zeroed frame, returning its base HPA.
+    pub fn alloc_frame(&mut self) -> Result<Hpa, MachineError> {
+        let fno = if let Some(f) = self.free_list.pop() {
+            f
+        } else {
+            let f = self.next_never_allocated;
+            if f >= self.total_frames() {
+                return Err(MachineError::OutOfMemory {
+                    requested_frames: 1,
+                    free_frames: 0,
+                });
+            }
+            self.next_never_allocated += 1;
+            f
+        };
+        self.frames[fno as usize] = Some(Box::new([0u8; PAGE_SIZE as usize]));
+        self.allocated += 1;
+        Ok(Hpa::from_page(fno))
+    }
+
+    /// Free a frame previously returned by [`alloc_frame`](Self::alloc_frame).
+    pub fn free_frame(&mut self, hpa: Hpa) -> Result<(), MachineError> {
+        let fno = hpa.page();
+        match self.frames.get_mut(fno as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.free_list.push(fno);
+                self.allocated -= 1;
+                Ok(())
+            }
+            _ => Err(MachineError::BadFrame { hpa }),
+        }
+    }
+
+    /// Is `hpa`'s frame currently allocated?
+    pub fn is_allocated(&self, hpa: Hpa) -> bool {
+        self.frames
+            .get(hpa.page() as usize)
+            .map(|f| f.is_some())
+            .unwrap_or(false)
+    }
+
+    fn frame(&self, hpa: Hpa) -> Result<&Frame, MachineError> {
+        self.frames
+            .get(hpa.page() as usize)
+            .and_then(|f| f.as_deref())
+            .ok_or(MachineError::BadFrame { hpa })
+    }
+
+    fn frame_mut(&mut self, hpa: Hpa) -> Result<&mut Frame, MachineError> {
+        self.frames
+            .get_mut(hpa.page() as usize)
+            .and_then(|f| f.as_deref_mut())
+            .ok_or(MachineError::BadFrame { hpa })
+    }
+
+    /// Read `buf.len()` bytes at `hpa`. The access must not cross a page
+    /// boundary (callers split accesses, as the MMU does).
+    pub fn read(&self, hpa: Hpa, buf: &mut [u8]) -> Result<(), MachineError> {
+        let off = hpa.offset() as usize;
+        check_in_page(off, buf.len(), hpa)?;
+        let frame = self.frame(hpa)?;
+        buf.copy_from_slice(&frame[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` at `hpa` (same single-page constraint as [`read`](Self::read)).
+    pub fn write(&mut self, hpa: Hpa, buf: &[u8]) -> Result<(), MachineError> {
+        let off = hpa.offset() as usize;
+        check_in_page(off, buf.len(), hpa)?;
+        let frame = self.frame_mut(hpa)?;
+        frame[off..off + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Read a little-endian u64 at `hpa` (must be 8-byte aligned — this is
+    /// how page-table entries are accessed).
+    pub fn read_u64(&self, hpa: Hpa) -> Result<u64, MachineError> {
+        debug_assert_eq!(hpa.raw() % 8, 0, "unaligned PTE access");
+        let mut b = [0u8; 8];
+        self.read(hpa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian u64 at `hpa`.
+    pub fn write_u64(&mut self, hpa: Hpa, value: u64) -> Result<(), MachineError> {
+        debug_assert_eq!(hpa.raw() % 8, 0, "unaligned PTE access");
+        self.write(hpa, &value.to_le_bytes())
+    }
+
+    /// Copy one whole frame to another (used by checkpoint/migration copies).
+    pub fn copy_frame(&mut self, from: Hpa, to: Hpa) -> Result<(), MachineError> {
+        let src = *self.frame(from.page_base())?;
+        let dst = self.frame_mut(to.page_base())?;
+        *dst = src;
+        Ok(())
+    }
+
+    /// Borrow a whole frame's bytes (for checkpoint image writes).
+    pub fn frame_bytes(&self, hpa: Hpa) -> Result<&[u8; PAGE_SIZE as usize], MachineError> {
+        self.frame(hpa.page_base())
+    }
+
+    /// Overwrite a whole frame's bytes (for restore).
+    pub fn set_frame_bytes(
+        &mut self,
+        hpa: Hpa,
+        bytes: &[u8; PAGE_SIZE as usize],
+    ) -> Result<(), MachineError> {
+        let frame = self.frame_mut(hpa.page_base())?;
+        *frame = *bytes;
+        Ok(())
+    }
+}
+
+fn check_in_page(offset: usize, len: usize, hpa: Hpa) -> Result<(), MachineError> {
+    if offset + len > PAGE_SIZE as usize {
+        return Err(MachineError::CrossPageAccess { hpa, len });
+    }
+    Ok(())
+}
+
+impl std::fmt::Debug for HostPhys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostPhys")
+            .field("total_frames", &self.total_frames())
+            .field("allocated_frames", &self.allocated)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_zeroed_distinct_frames() {
+        let mut m = HostPhys::new(16 * PAGE_SIZE);
+        let a = m.alloc_frame().unwrap();
+        let b = m.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        let mut buf = [0xffu8; 16];
+        m.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.allocated_frames(), 2);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = HostPhys::new(4 * PAGE_SIZE);
+        let f = m.alloc_frame().unwrap();
+        m.write(f.add(100), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read(f.add(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = HostPhys::new(4 * PAGE_SIZE);
+        let f = m.alloc_frame().unwrap();
+        m.write_u64(f.add(8), 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(f.add(8)).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let mut m = HostPhys::new(2 * PAGE_SIZE);
+        m.alloc_frame().unwrap();
+        m.alloc_frame().unwrap();
+        assert!(matches!(
+            m.alloc_frame(),
+            Err(MachineError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn free_and_reuse_rezeroes() {
+        let mut m = HostPhys::new(2 * PAGE_SIZE);
+        let a = m.alloc_frame().unwrap();
+        m.write(a, &[7u8; 8]).unwrap();
+        m.free_frame(a).unwrap();
+        assert!(!m.is_allocated(a));
+        let b = m.alloc_frame().unwrap();
+        // frame number reused, contents zeroed
+        assert_eq!(b, a);
+        let mut buf = [0xffu8; 8];
+        m.read(b, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut m = HostPhys::new(2 * PAGE_SIZE);
+        let a = m.alloc_frame().unwrap();
+        m.free_frame(a).unwrap();
+        assert!(m.free_frame(a).is_err());
+    }
+
+    #[test]
+    fn unallocated_access_rejected() {
+        let m = HostPhys::new(4 * PAGE_SIZE);
+        let mut buf = [0u8; 1];
+        assert!(m.read(Hpa(0), &mut buf).is_err());
+    }
+
+    #[test]
+    fn cross_page_access_rejected() {
+        let mut m = HostPhys::new(4 * PAGE_SIZE);
+        let f = m.alloc_frame().unwrap();
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            m.read(f.add(PAGE_SIZE - 8), &mut buf),
+            Err(MachineError::CrossPageAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_frame_copies_contents() {
+        let mut m = HostPhys::new(4 * PAGE_SIZE);
+        let a = m.alloc_frame().unwrap();
+        let b = m.alloc_frame().unwrap();
+        m.write(a.add(12), b"payload").unwrap();
+        m.copy_frame(a, b).unwrap();
+        let mut buf = [0u8; 7];
+        m.read(b.add(12), &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+}

@@ -1,0 +1,213 @@
+//! Page-table entry layouts: guest PTEs (x86-64 layout, including Linux's
+//! software bits) and EPT entries (VT-x layout with the accessed/dirty bits
+//! that PML keys off).
+
+use crate::addr::{Gpa, Hpa};
+
+/// A guest page-table entry, laid out like a real x86-64 PTE.
+///
+/// Hardware bits: P(0) RW(1) US(2) A(5) D(6). Software bits follow Linux's
+/// x86 assignments: `UFFD_WP` at bit 10 (`_PAGE_BIT_SOFTW2`) and
+/// `SOFT_DIRTY` at bit 11 (`_PAGE_BIT_SOFTW3`); the pagemap interface
+/// re-exports soft-dirty at bit 55 of the *pagemap entry*, not the PTE.
+/// The physical frame number occupies bits 12..=51.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    pub const PRESENT: u64 = 1 << 0;
+    pub const WRITABLE: u64 = 1 << 1;
+    pub const USER: u64 = 1 << 2;
+    pub const ACCESSED: u64 = 1 << 5;
+    pub const DIRTY: u64 = 1 << 6;
+    /// Software guard marker (`_PAGE_SOFTW1`): the page is a heap guard —
+    /// write faults on it are overflow detections, never fixed up.
+    pub const GUARD: u64 = 1 << 9;
+    /// Linux `_PAGE_UFFD_WP`: page is write-protected by userfaultfd.
+    pub const UFFD_WP: u64 = 1 << 10;
+    /// Linux `_PAGE_SOFT_DIRTY`: set by the #PF handler after clear_refs.
+    pub const SOFT_DIRTY: u64 = 1 << 11;
+
+    const PFN_MASK: u64 = 0x000F_FFFF_FFFF_F000;
+
+    /// An empty (not-present) entry.
+    pub const fn empty() -> Self {
+        Pte(0)
+    }
+
+    /// Build a present leaf entry pointing at `frame` with `flags`
+    /// (PRESENT is implied).
+    pub fn leaf(frame: Gpa, flags: u64) -> Self {
+        debug_assert!(frame.is_page_aligned());
+        Pte((frame.raw() & Self::PFN_MASK) | flags | Self::PRESENT)
+    }
+
+    /// Build a present non-leaf entry pointing at the next-level table.
+    pub fn table(next: Gpa) -> Self {
+        // Non-leaf entries carry permissive RW/US so leaf bits govern.
+        Pte::leaf(next, Self::WRITABLE | Self::USER)
+    }
+
+    pub fn is_present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE != 0
+    }
+
+    pub fn is_user(self) -> bool {
+        self.0 & Self::USER != 0
+    }
+
+    pub fn is_accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    pub fn is_dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    pub fn is_soft_dirty(self) -> bool {
+        self.0 & Self::SOFT_DIRTY != 0
+    }
+
+    pub fn is_uffd_wp(self) -> bool {
+        self.0 & Self::UFFD_WP != 0
+    }
+
+    pub fn is_guard(self) -> bool {
+        self.0 & Self::GUARD != 0
+    }
+
+    /// The guest-physical frame this entry points to (leaf: data page;
+    /// non-leaf: next table page).
+    pub fn frame(self) -> Gpa {
+        Gpa(self.0 & Self::PFN_MASK)
+    }
+
+    pub fn with(self, flags: u64) -> Self {
+        Pte(self.0 | flags)
+    }
+
+    pub fn without(self, flags: u64) -> Self {
+        Pte(self.0 & !flags)
+    }
+}
+
+/// An EPT entry (VT-x "extended page table" format): R(0) W(1) X(2),
+/// A(8), D(9); host frame number in bits 12..=51.
+///
+/// PML's architectural trigger is precisely "a write sets bit 9 of a leaf
+/// EPT entry during a page walk" — the walker in [`crate::walker`] logs on
+/// that transition and nowhere else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EptEntry(pub u64);
+
+impl EptEntry {
+    pub const READ: u64 = 1 << 0;
+    pub const WRITE: u64 = 1 << 1;
+    pub const EXEC: u64 = 1 << 2;
+    pub const ACCESSED: u64 = 1 << 8;
+    pub const DIRTY: u64 = 1 << 9;
+
+    const PFN_MASK: u64 = 0x000F_FFFF_FFFF_F000;
+    const PERM_MASK: u64 = Self::READ | Self::WRITE | Self::EXEC;
+
+    pub const fn empty() -> Self {
+        EptEntry(0)
+    }
+
+    /// Leaf entry mapping to host frame `hpa` with full RWX permissions.
+    pub fn leaf_rwx(hpa: Hpa) -> Self {
+        debug_assert!(hpa.is_page_aligned());
+        EptEntry((hpa.raw() & Self::PFN_MASK) | Self::PERM_MASK)
+    }
+
+    /// Non-leaf entry pointing at the next-level EPT table page.
+    pub fn table(next: Hpa) -> Self {
+        EptEntry::leaf_rwx(next)
+    }
+
+    /// "Present" in EPT terms: any permission bit set.
+    pub fn is_present(self) -> bool {
+        self.0 & Self::PERM_MASK != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITE != 0
+    }
+
+    pub fn is_accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    pub fn is_dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    pub fn frame(self) -> Hpa {
+        Hpa(self.0 & Self::PFN_MASK)
+    }
+
+    pub fn with(self, flags: u64) -> Self {
+        EptEntry(self.0 | flags)
+    }
+
+    pub fn without(self, flags: u64) -> Self {
+        EptEntry(self.0 & !flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_leaf_roundtrip() {
+        let p = Pte::leaf(Gpa(0x1234_5000), Pte::WRITABLE | Pte::USER);
+        assert!(p.is_present());
+        assert!(p.is_writable());
+        assert!(p.is_user());
+        assert!(!p.is_dirty());
+        assert_eq!(p.frame(), Gpa(0x1234_5000));
+    }
+
+    #[test]
+    fn pte_flag_set_clear() {
+        let p = Pte::leaf(Gpa(0x1000), Pte::WRITABLE)
+            .with(Pte::DIRTY | Pte::SOFT_DIRTY)
+            .with(Pte::ACCESSED);
+        assert!(p.is_dirty() && p.is_soft_dirty() && p.is_accessed());
+        let q = p.without(Pte::DIRTY);
+        assert!(!q.is_dirty());
+        assert!(q.is_soft_dirty(), "clearing D must not clear soft-dirty");
+        assert_eq!(q.frame(), Gpa(0x1000));
+    }
+
+    #[test]
+    fn pte_software_bits_do_not_clobber_pfn() {
+        let p = Pte::leaf(Gpa(0x000F_FFFF_FFFF_F000), 0)
+            .with(Pte::UFFD_WP | Pte::SOFT_DIRTY);
+        assert_eq!(p.frame(), Gpa(0x000F_FFFF_FFFF_F000));
+        assert!(p.is_uffd_wp());
+    }
+
+    #[test]
+    fn ept_leaf_roundtrip() {
+        let e = EptEntry::leaf_rwx(Hpa(0x9_F000));
+        assert!(e.is_present());
+        assert!(e.is_writable());
+        assert!(!e.is_dirty());
+        assert_eq!(e.frame(), Hpa(0x9_F000));
+        let d = e.with(EptEntry::DIRTY | EptEntry::ACCESSED);
+        assert!(d.is_dirty() && d.is_accessed());
+        assert_eq!(d.without(EptEntry::DIRTY).frame(), Hpa(0x9_F000));
+    }
+
+    #[test]
+    fn ept_empty_not_present() {
+        assert!(!EptEntry::empty().is_present());
+        assert!(!Pte::empty().is_present());
+    }
+}

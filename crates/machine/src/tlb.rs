@@ -1,0 +1,288 @@
+//! TLB model.
+//!
+//! The TLB is what makes PML cheap: once a page's dirty bits are set and its
+//! translation cached, further stores to it hit the TLB and log nothing.
+//! Conversely, every dirty-tracking technique's per-round cost starts with a
+//! TLB flush (clear_refs, write-protect updates, PML drain), which is why we
+//! model the flush/invlpg traffic explicitly.
+//!
+//! Capacity is unbounded: a bounded TLB would evict entries and cause extra
+//! *walks*, but never extra *logs* (a re-walk of an already-dirty page sees
+//! no 0→1 transition), so dirty-tracking semantics are unaffected while the
+//! model stays deterministic. Walk counts are therefore a lower bound, which
+//! we note in EXPERIMENTS.md.
+
+use crate::addr::{Gpa, Gva, Hpa};
+use std::collections::HashMap;
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Guest-physical page the GVA maps to.
+    pub gpa_page: u64,
+    /// Host-physical page behind it.
+    pub hpa_page: u64,
+    /// Guest PTE was writable at fill time.
+    pub writable: bool,
+    /// Guest PTE D bit was set at fill time — a store through an entry with
+    /// `guest_dirty && ept_dirty` needs no walk and cannot log.
+    pub guest_dirty: bool,
+    /// EPT leaf D bit was set at fill time.
+    pub ept_dirty: bool,
+    /// The backing page is under SPP control: stores must always take the
+    /// walk path so the sub-page permission check runs (real SPP caches
+    /// sub-page rights in the TLB; the conservative model re-walks).
+    pub spp_guarded: bool,
+}
+
+impl TlbEntry {
+    /// Can a store use this entry without a (logging) micro-walk?
+    pub fn store_fast_path(&self) -> bool {
+        self.writable && self.guest_dirty && self.ept_dirty && !self.spp_guarded
+    }
+
+    pub fn hpa(&self, gva: Gva) -> Hpa {
+        Hpa::from_page(self.hpa_page).add(gva.offset())
+    }
+
+    pub fn gpa(&self, gva: Gva) -> Gpa {
+        Gpa::from_page(self.gpa_page).add(gva.offset())
+    }
+}
+
+/// Per-vCPU TLB. Tagged by the CR3 that filled it; switching CR3 flushes
+/// (we model a pre-PCID kernel, matching the paper's Linux 4.15 guest).
+///
+/// Capacity is unbounded by default (see the module docs for why that
+/// never changes logging semantics); [`Tlb::with_capacity`] bounds it with
+/// FIFO eviction for studies of walk-count sensitivity.
+#[derive(Debug, Default)]
+pub struct Tlb {
+    entries: HashMap<u64, TlbEntry>,
+    /// FIFO of filled pages, used only when `capacity` is set (kept exact:
+    /// stale keys are skipped at eviction).
+    fill_order: std::collections::VecDeque<u64>,
+    capacity: Option<usize>,
+    cr3_tag: u64,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+    invlpgs: u64,
+    evictions: u64,
+}
+
+impl Tlb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A TLB bounded to `capacity` translations, FIFO-evicted.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up the translation for `gva` under `cr3`.
+    pub fn lookup(&mut self, cr3: Gpa, gva: Gva) -> Option<TlbEntry> {
+        if self.cr3_tag != cr3.raw() {
+            self.misses += 1;
+            return None;
+        }
+        match self.entries.get(&gva.page()) {
+            Some(e) => {
+                self.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a translation (called by the walker after a successful walk).
+    pub fn fill(&mut self, cr3: Gpa, gva: Gva, entry: TlbEntry) {
+        if self.cr3_tag != cr3.raw() {
+            // Different address space than the cached one: implicit flush.
+            self.entries.clear();
+            self.fill_order.clear();
+            self.cr3_tag = cr3.raw();
+        }
+        if let Some(cap) = self.capacity {
+            while self.entries.len() >= cap {
+                // Evict the oldest still-resident fill.
+                match self.fill_order.pop_front() {
+                    Some(victim) => {
+                        if self.entries.remove(&victim).is_some() {
+                            self.evictions += 1;
+                        }
+                    }
+                    None => break, // bookkeeping drained: nothing to evict
+                }
+            }
+            self.fill_order.push_back(gva.page());
+        }
+        self.entries.insert(gva.page(), entry);
+    }
+
+    /// Full flush (mov-to-CR3 / clear_refs / PML drain).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+        self.fill_order.clear();
+        self.flushes += 1;
+    }
+
+    /// Single-page invalidation.
+    pub fn invlpg(&mut self, gva: Gva) {
+        self.entries.remove(&gva.page());
+        self.invlpgs += 1;
+    }
+
+    /// Invalidate every cached translation pointing at `gpa_page`
+    /// (used when the hypervisor changes an EPT mapping).
+    pub fn invalidate_gpa_page(&mut self, gpa_page: u64) {
+        self.entries.retain(|_, e| e.gpa_page != gpa_page);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(hpa_page: u64) -> TlbEntry {
+        TlbEntry {
+            gpa_page: 0x42,
+            hpa_page,
+            writable: true,
+            guest_dirty: false,
+            ept_dirty: false,
+            spp_guarded: false,
+        }
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        assert!(t.lookup(cr3, Gva(0x7000)).is_none());
+        t.fill(cr3, Gva(0x7000), entry(0x99));
+        let e = t.lookup(cr3, Gva(0x7123)).unwrap();
+        assert_eq!(e.hpa(Gva(0x7123)), Hpa((0x99 << 12) | 0x123));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn cr3_change_is_implicit_flush() {
+        let mut t = Tlb::new();
+        t.fill(Gpa(0x1000), Gva(0x7000), entry(1));
+        assert!(t.lookup(Gpa(0x2000), Gva(0x7000)).is_none());
+        t.fill(Gpa(0x2000), Gva(0x8000), entry(2));
+        // old entry gone even if we switch back
+        assert!(t.lookup(Gpa(0x1000), Gva(0x7000)).is_none());
+    }
+
+    #[test]
+    fn flush_and_invlpg() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x1000), entry(1));
+        t.fill(cr3, Gva(0x2000), entry(2));
+        t.invlpg(Gva(0x1000));
+        assert!(t.lookup(cr3, Gva(0x1000)).is_none());
+        assert!(t.lookup(cr3, Gva(0x2000)).is_some());
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.flushes(), 1);
+    }
+
+    #[test]
+    fn store_fast_path_requires_all_bits() {
+        let mut e = entry(1);
+        assert!(!e.store_fast_path());
+        e.guest_dirty = true;
+        assert!(!e.store_fast_path());
+        e.ept_dirty = true;
+        assert!(e.store_fast_path());
+        e.spp_guarded = true;
+        assert!(!e.store_fast_path(), "SPP pages never take the fast path");
+        e.spp_guarded = false;
+        e.writable = false;
+        assert!(!e.store_fast_path());
+    }
+
+    #[test]
+    fn bounded_tlb_evicts_fifo() {
+        let mut t = Tlb::with_capacity(2);
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x1000), entry(1));
+        t.fill(cr3, Gva(0x2000), entry(2));
+        t.fill(cr3, Gva(0x3000), entry(3)); // evicts 0x1000
+        assert!(t.lookup(cr3, Gva(0x1000)).is_none());
+        assert!(t.lookup(cr3, Gva(0x2000)).is_some());
+        assert!(t.lookup(cr3, Gva(0x3000)).is_some());
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bounded_tlb_refill_after_invlpg() {
+        let mut t = Tlb::with_capacity(2);
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x1000), entry(1));
+        t.invlpg(Gva(0x1000));
+        t.fill(cr3, Gva(0x2000), entry(2));
+        t.fill(cr3, Gva(0x3000), entry(3));
+        // 0x1000 is a stale FIFO key; eviction must skip it without error.
+        t.fill(cr3, Gva(0x4000), entry(4));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_by_gpa() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x1000), entry(1));
+        t.fill(
+            cr3,
+            Gva(0x2000),
+            TlbEntry {
+                gpa_page: 0x55,
+                hpa_page: 2,
+                writable: true,
+                guest_dirty: true,
+                ept_dirty: true,
+                spp_guarded: false,
+            },
+        );
+        t.invalidate_gpa_page(0x42);
+        assert!(t.lookup(cr3, Gva(0x1000)).is_none());
+        assert!(t.lookup(cr3, Gva(0x2000)).is_some());
+    }
+}

@@ -1,0 +1,298 @@
+//! Virtual CPU state: VMX mode, VMCS, TLB, PML state, posted interrupts,
+//! and the vmread/vmwrite instruction surface (including the EPML-extended
+//! `vmwrite` that translates the guest PML buffer address through the EPT).
+
+use crate::addr::{Gpa, Hpa};
+use crate::ept::Ept;
+use crate::error::MachineError;
+use crate::phys::HostPhys;
+use crate::pml::{PmlBuffer, PmlState};
+use crate::vmcs::{exec_controls, Field, Vmcs, VmxMode};
+use ooh_sim::{Event, Lane, SimCtx};
+use std::collections::VecDeque;
+
+/// The interrupt vector EPML uses for its virtual self-IPI, chosen in the
+/// dynamic-IRQ range of the guest's IDT (the paper patches the guest
+/// interrupt table to handle it).
+pub const EPML_SELF_IPI_VECTOR: u8 = 0xEC;
+
+/// One virtual CPU.
+pub struct Vcpu {
+    pub id: u32,
+    /// Current execution mode (the hypervisor toggles this on exit/entry).
+    pub mode: VmxMode,
+    /// Guest page-table root currently loaded.
+    pub cr3: Gpa,
+    pub vmcs: Vmcs,
+    pub tlb: crate::tlb::Tlb,
+    pub pml: PmlState,
+    /// Pending guest interrupt vectors (posted interrupts land here and the
+    /// guest kernel drains them at its next interrupt window).
+    pub pending_vectors: VecDeque<u8>,
+    /// Whether the machine this vCPU runs on implements the EPML extension
+    /// (set by the hypervisor at VM creation).
+    pub epml_hw: bool,
+}
+
+impl Vcpu {
+    pub fn new(id: u32) -> Self {
+        Self {
+            id,
+            mode: VmxMode::NonRoot,
+            cr3: Gpa::NULL,
+            vmcs: Vmcs::new(),
+            tlb: crate::tlb::Tlb::new(),
+            pml: PmlState::default(),
+            pending_vectors: VecDeque::new(),
+            epml_hw: false,
+        }
+    }
+
+    /// Load a new guest CR3 (address-space switch): flushes the TLB, as a
+    /// pre-PCID kernel would.
+    pub fn set_cr3(&mut self, ctx: &SimCtx, lane: Lane, cr3: Gpa) {
+        if self.cr3 != cr3 {
+            self.cr3 = cr3;
+            self.tlb.flush_all();
+            ctx.charge(lane, Event::TlbFlush);
+        }
+    }
+
+    /// `vmread`, charging the shadowing fast-path cost when executed from
+    /// the guest (paper metric M7).
+    pub fn vmread(
+        &mut self,
+        ctx: &SimCtx,
+        lane: Lane,
+        field: Field,
+    ) -> Result<u64, MachineError> {
+        if self.mode == VmxMode::NonRoot {
+            ctx.charge(lane, Event::Vmread);
+        }
+        // The PML index fields are live hardware state: reads observe the
+        // logging circuit's current index, not the last value software wrote.
+        match field {
+            Field::GuestPmlIndex if self.pml.guest.is_some() => {
+                // Validate access rights through the normal path first.
+                self.vmcs.vmread(self.mode, field)?;
+                Ok(self.pml.guest.as_ref().expect("checked").index as u64)
+            }
+            Field::PmlIndex if self.pml.hyp.is_some() && self.mode == VmxMode::Root => {
+                Ok(self.pml.hyp.as_ref().expect("checked").index as u64)
+            }
+            _ => self.vmcs.vmread(self.mode, field),
+        }
+    }
+
+    /// `vmwrite`, with the two EPML microcode extensions:
+    ///
+    /// 1. a non-root write to [`Field::GuestPmlAddress`] carries a **GPA**;
+    ///    the instruction translates it to an HPA through the EPT before
+    ///    storing (so the guest never learns host physical addresses);
+    /// 2. writes that change PML-related fields re-sync the hardware
+    ///    [`PmlState`] (real hardware consults the VMCS directly; our model
+    ///    caches the configuration in `PmlState` for the walker).
+    pub fn vmwrite(
+        &mut self,
+        ctx: &SimCtx,
+        lane: Lane,
+        field: Field,
+        value: u64,
+        phys: &mut HostPhys,
+        ept: &mut Ept,
+    ) -> Result<(), MachineError> {
+        if self.mode == VmxMode::NonRoot {
+            ctx.charge(lane, Event::Vmwrite);
+        }
+        let value = if field == Field::GuestPmlAddress && self.mode == VmxMode::NonRoot {
+            if !self.epml_hw {
+                return Err(MachineError::EpmlNotSupported);
+            }
+            let gpa = Gpa(value);
+            let hpa = ept
+                .translate(phys, gpa)?
+                .ok_or(MachineError::BadFrame { hpa: Hpa(value) })?;
+            hpa.raw()
+        } else {
+            value
+        };
+        self.vmcs.vmwrite(self.mode, field, value)?;
+        self.sync_pml_from_vmcs();
+        // Writes to the index fields program the live logging circuit (the
+        // drain path resets the index to 511 this way).
+        match field {
+            Field::GuestPmlIndex => {
+                if let Some(buf) = self.pml.guest.as_mut() {
+                    buf.index = value as u16;
+                }
+            }
+            Field::PmlIndex => {
+                if let Some(buf) = self.pml.hyp.as_mut() {
+                    buf.index = value as u16;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Mirror the VMCS PML configuration into the walker-facing [`PmlState`].
+    pub fn sync_pml_from_vmcs(&mut self) {
+        let controls = self.vmcs.effective(Field::SecondaryExecControls);
+
+        // Hypervisor-level PML.
+        let hyp_on = controls & exec_controls::ENABLE_PML != 0;
+        let hyp_addr = self.vmcs.effective(Field::PmlAddress);
+        self.pml.hyp_logging = hyp_on && hyp_addr != 0;
+        match (&mut self.pml.hyp, hyp_addr) {
+            (slot, 0) => *slot = None,
+            (Some(buf), addr) if buf.base.raw() != addr => *buf = PmlBuffer::new(Hpa(addr)),
+            (slot @ None, addr) => *slot = Some(PmlBuffer::new(Hpa(addr))),
+            _ => {}
+        }
+
+        // Guest-level (EPML) PML — enabled via the guest-ownable EpmlControl
+        // field, not the hypervisor-owned execution controls.
+        let guest_on = self.epml_hw && self.vmcs.effective(Field::EpmlControl) != 0;
+        let guest_addr = if self.epml_hw {
+            self.vmcs.effective(Field::GuestPmlAddress)
+        } else {
+            0
+        };
+        self.pml.guest_logging = guest_on && guest_addr != 0;
+        match (&mut self.pml.guest, guest_addr) {
+            (slot, 0) => *slot = None,
+            (Some(buf), addr) if buf.base.raw() != addr => *buf = PmlBuffer::new(Hpa(addr)),
+            (slot @ None, addr) => *slot = Some(PmlBuffer::new(Hpa(addr))),
+            _ => {}
+        }
+    }
+
+    /// Post a virtual interrupt directly to the running guest (posted
+    /// interrupts: no vmexit). Used by the EPML buffer-full self-IPI.
+    pub fn post_interrupt(&mut self, ctx: &SimCtx, lane: Lane, vector: u8) {
+        ctx.charge(lane, Event::PostedInterrupt);
+        self.pending_vectors.push_back(vector);
+    }
+
+    /// Guest kernel: take the next pending interrupt vector, if any.
+    pub fn take_interrupt(&mut self) -> Option<u8> {
+        self.pending_vectors.pop_front()
+    }
+}
+
+impl std::fmt::Debug for Vcpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vcpu")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("cr3", &self.cr3)
+            .field("pending_vectors", &self.pending_vectors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    fn rig() -> (HostPhys, Ept, Vcpu, SimCtx) {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let ept = Ept::new(&mut phys).unwrap();
+        (phys, ept, Vcpu::new(0), SimCtx::new())
+    }
+
+    #[test]
+    fn root_vmwrite_configures_hyp_pml() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        let buf = phys.alloc_frame().unwrap();
+        vcpu.mode = VmxMode::Root;
+        vcpu.vmwrite(&ctx, Lane::Hypervisor, Field::PmlAddress, buf.raw(), &mut phys, &mut ept)
+            .unwrap();
+        vcpu.vmwrite(
+            &ctx,
+            Lane::Hypervisor,
+            Field::SecondaryExecControls,
+            exec_controls::ENABLE_PML,
+            &mut phys,
+            &mut ept,
+        )
+        .unwrap();
+        assert!(vcpu.pml.hyp_logging);
+        assert_eq!(vcpu.pml.hyp.unwrap().base, buf);
+        // Root-mode vmwrite charges nothing (it's ordinary hypervisor work).
+        assert_eq!(ctx.counters().get(Event::Vmwrite), 0);
+    }
+
+    #[test]
+    fn guest_vmwrite_to_guest_pml_address_translates_gpa() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        // Guest page at GPA 0x5000 backed by some host frame.
+        let host = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), host).unwrap();
+        vcpu.vmcs
+            .attach_shadow(&[Field::GuestPmlAddress, Field::SecondaryExecControls]);
+        vcpu.mode = VmxMode::NonRoot;
+        vcpu.epml_hw = true;
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlAddress, 0x5000, &mut phys, &mut ept)
+            .unwrap();
+        // The stored value is the HPA, not the GPA the guest provided.
+        assert_eq!(
+            vcpu.vmcs.effective(Field::GuestPmlAddress),
+            host.raw()
+        );
+        assert_eq!(ctx.counters().get(Event::Vmwrite), 1);
+    }
+
+    #[test]
+    fn guest_vmwrite_without_epml_hw_rejected() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        vcpu.vmcs.attach_shadow(&[Field::GuestPmlAddress]);
+        vcpu.mode = VmxMode::NonRoot;
+        assert!(matches!(
+            vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlAddress, 0x5000, &mut phys, &mut ept),
+            Err(MachineError::EpmlNotSupported)
+        ));
+    }
+
+    #[test]
+    fn guest_toggles_epml_enable_via_shadow() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        let host = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), host).unwrap();
+        vcpu.vmcs
+            .attach_shadow(&[Field::GuestPmlAddress, Field::EpmlControl]);
+        vcpu.mode = VmxMode::NonRoot;
+        vcpu.epml_hw = true;
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlAddress, 0x5000, &mut phys, &mut ept)
+            .unwrap();
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::EpmlControl, 1, &mut phys, &mut ept)
+            .unwrap();
+        assert!(vcpu.pml.guest_logging);
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::EpmlControl, 0, &mut phys, &mut ept)
+            .unwrap();
+        assert!(!vcpu.pml.guest_logging);
+        // Two sched toggles = 3 vmwrites total so far... count them exactly:
+        assert_eq!(ctx.counters().get(Event::Vmwrite), 3);
+    }
+
+    #[test]
+    fn posted_interrupt_queue() {
+        let (_, _, mut vcpu, ctx) = rig();
+        assert!(vcpu.take_interrupt().is_none());
+        vcpu.post_interrupt(&ctx, Lane::Kernel, EPML_SELF_IPI_VECTOR);
+        assert_eq!(vcpu.take_interrupt(), Some(EPML_SELF_IPI_VECTOR));
+        assert!(vcpu.take_interrupt().is_none());
+        assert_eq!(ctx.counters().get(Event::PostedInterrupt), 1);
+    }
+
+    #[test]
+    fn set_cr3_flushes_tlb_once() {
+        let (_, _, mut vcpu, ctx) = rig();
+        vcpu.set_cr3(&ctx, Lane::Kernel, Gpa(0x1000));
+        vcpu.set_cr3(&ctx, Lane::Kernel, Gpa(0x1000)); // no-op
+        vcpu.set_cr3(&ctx, Lane::Kernel, Gpa(0x2000));
+        assert_eq!(ctx.counters().get(Event::TlbFlush), 2);
+    }
+}

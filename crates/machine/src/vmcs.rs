@@ -1,0 +1,322 @@
+//! Virtual Machine Control Structure, with VMCS shadowing.
+//!
+//! We model the subset of VMCS state the OoH designs touch:
+//!
+//! * the PML execution control and its `PML Address` / `PML Index` fields;
+//! * the EPML extension's `Guest PML Address` / `Guest PML Index` fields and
+//!   its enable bit (new secondary execution control);
+//! * VMCS shadowing: an ordinary VMCS may link a shadow VMCS; `vmread` /
+//!   `vmwrite` executed in vmx non-root mode are served from the shadow for
+//!   fields whitelisted in the read/write bitmaps, without a vmexit — the
+//!   mechanism EPML rides to keep the hypervisor off the critical path;
+//! * the posted-interrupt notification vector used for EPML's self-IPI.
+
+use crate::error::MachineError;
+use std::collections::HashMap;
+
+/// VMCS field identifiers (a curated subset; encodings are symbolic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Field {
+    /// Secondary processor-based execution controls (bit flags below).
+    SecondaryExecControls = 0x401E,
+    /// 64-bit HPA of the hypervisor-level PML buffer.
+    PmlAddress = 0x200E,
+    /// 16-bit guest-state PML index.
+    PmlIndex = 0x0812,
+    /// EPML: 64-bit address of the guest-level PML buffer. Written by the
+    /// guest as a **GPA**; the extended `vmwrite` microcode translates it to
+    /// an HPA through the EPT before storing (see the paper §IV-D).
+    GuestPmlAddress = 0x2F00,
+    /// EPML: 16-bit guest-level PML index.
+    GuestPmlIndex = 0x2F02,
+    /// EPML: guest-level logging enable (nonzero = on). A separate field —
+    /// not a bit in [`Field::SecondaryExecControls`] — so the hypervisor can
+    /// whitelist it for shadow `vmwrite` without also handing the guest the
+    /// hypervisor-owned PML/shadowing enables (the §V isolation argument).
+    EpmlControl = 0x2F04,
+    /// Link pointer to the shadow VMCS (sentinel ~0 when none).
+    VmcsLinkPointer = 0x2800,
+    /// Posted-interrupt notification vector.
+    PostedIntVector = 0x0002,
+    /// Posted-interrupt descriptor address.
+    PostedIntDescAddr = 0x2016,
+}
+
+impl Field {
+    pub const ALL: &'static [Field] = &[
+        Field::SecondaryExecControls,
+        Field::PmlAddress,
+        Field::PmlIndex,
+        Field::GuestPmlAddress,
+        Field::GuestPmlIndex,
+        Field::EpmlControl,
+        Field::VmcsLinkPointer,
+        Field::PostedIntVector,
+        Field::PostedIntDescAddr,
+    ];
+
+    pub fn encoding(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Bits of [`Field::SecondaryExecControls`].
+pub mod exec_controls {
+    /// Enable hypervisor-level PML (real VT-x bit 17).
+    pub const ENABLE_PML: u64 = 1 << 17;
+    /// Enable VMCS shadowing (real VT-x bit 14).
+    pub const VMCS_SHADOWING: u64 = 1 << 14;
+    /// Posted interrupts enabled.
+    pub const POSTED_INTERRUPTS: u64 = 1 << 31;
+}
+
+/// Link-pointer sentinel for "no shadow VMCS".
+pub const NO_SHADOW: u64 = u64::MAX;
+
+/// One VMCS region's field storage.
+#[derive(Debug, Clone, Default)]
+pub struct VmcsData {
+    fields: HashMap<u32, u64>,
+}
+
+impl VmcsData {
+    pub fn read(&self, field: Field) -> u64 {
+        if field == Field::VmcsLinkPointer {
+            return *self.fields.get(&field.encoding()).unwrap_or(&NO_SHADOW);
+        }
+        *self.fields.get(&field.encoding()).unwrap_or(&0)
+    }
+
+    pub fn write(&mut self, field: Field, value: u64) {
+        self.fields.insert(field.encoding(), value);
+    }
+}
+
+/// An ordinary VMCS plus (optionally) its linked shadow VMCS and the
+/// shadow-access bitmaps.
+#[derive(Debug, Default)]
+pub struct Vmcs {
+    /// The ordinary VMCS — only vmx-root software may touch it directly.
+    pub ordinary: VmcsData,
+    /// The linked shadow VMCS, if shadowing is configured.
+    pub shadow: Option<Box<VmcsData>>,
+    /// Fields the guest may `vmread` from the shadow without a vmexit.
+    shadow_read: Vec<Field>,
+    /// Fields the guest may `vmwrite` to the shadow without a vmexit.
+    shadow_write: Vec<Field>,
+}
+
+/// Which CPU mode is executing the vmread/vmwrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmxMode {
+    /// vmx root (the hypervisor).
+    Root,
+    /// vmx non-root (the guest).
+    NonRoot,
+}
+
+impl Vmcs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is VMCS shadowing currently enabled in the execution controls?
+    pub fn shadowing_enabled(&self) -> bool {
+        self.ordinary.read(Field::SecondaryExecControls) & exec_controls::VMCS_SHADOWING != 0
+            && self.shadow.is_some()
+    }
+
+    /// Hypervisor: create/attach a shadow VMCS and whitelist `fields` for
+    /// guest access. (In hardware this is: allocate the shadow region, point
+    /// the link pointer at it, and program the vmread/vmwrite bitmaps.)
+    pub fn attach_shadow(&mut self, fields: &[Field]) {
+        self.shadow = Some(Box::default());
+        self.shadow_read = fields.to_vec();
+        self.shadow_write = fields.to_vec();
+        let ctrl = self.ordinary.read(Field::SecondaryExecControls);
+        self.ordinary.write(
+            Field::SecondaryExecControls,
+            ctrl | exec_controls::VMCS_SHADOWING,
+        );
+        self.ordinary.write(Field::VmcsLinkPointer, 0x1000); // symbolic, non-sentinel
+    }
+
+    /// Hypervisor: detach the shadow (deactivating shadowing).
+    pub fn detach_shadow(&mut self) {
+        self.shadow = None;
+        self.shadow_read.clear();
+        self.shadow_write.clear();
+        let ctrl = self.ordinary.read(Field::SecondaryExecControls);
+        self.ordinary.write(
+            Field::SecondaryExecControls,
+            ctrl & !exec_controls::VMCS_SHADOWING,
+        );
+        self.ordinary.write(Field::VmcsLinkPointer, NO_SHADOW);
+    }
+
+    /// `vmread` with mode semantics. Root mode reads the ordinary VMCS;
+    /// non-root mode reads the shadow if the field is whitelisted, else the
+    /// access is denied (real hardware: vmexit).
+    pub fn vmread(&self, mode: VmxMode, field: Field) -> Result<u64, MachineError> {
+        match mode {
+            VmxMode::Root => Ok(self.ordinary.read(field)),
+            VmxMode::NonRoot => {
+                if self.shadowing_enabled() && self.shadow_read.contains(&field) {
+                    Ok(self
+                        .shadow
+                        .as_ref()
+                        .expect("shadowing_enabled implies shadow")
+                        .read(field))
+                } else {
+                    Err(MachineError::VmcsAccessDenied {
+                        encoding: field.encoding(),
+                        non_root: true,
+                    })
+                }
+            }
+        }
+    }
+
+    /// `vmwrite` with mode semantics (see [`vmread`](Self::vmread)).
+    pub fn vmwrite(
+        &mut self,
+        mode: VmxMode,
+        field: Field,
+        value: u64,
+    ) -> Result<(), MachineError> {
+        match mode {
+            VmxMode::Root => {
+                self.ordinary.write(field, value);
+                Ok(())
+            }
+            VmxMode::NonRoot => {
+                if self.shadowing_enabled() && self.shadow_write.contains(&field) {
+                    self.shadow
+                        .as_mut()
+                        .expect("shadowing_enabled implies shadow")
+                        .write(field, value);
+                    Ok(())
+                } else {
+                    Err(MachineError::VmcsAccessDenied {
+                        encoding: field.encoding(),
+                        non_root: true,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The value the *hardware* uses for `field` while executing the guest:
+    /// guest-owned (shadow-whitelisted) fields are taken from the shadow
+    /// VMCS when shadowing is on — this is how the EPML enable bit and the
+    /// guest PML buffer address become guest-controlled without vmexits.
+    pub fn effective(&self, field: Field) -> u64 {
+        if self.shadowing_enabled() && self.shadow_write.contains(&field) {
+            self.shadow
+                .as_ref()
+                .expect("shadowing_enabled implies shadow")
+                .read(field)
+        } else {
+            self.ordinary.read(field)
+        }
+    }
+
+    /// Hardware-internal update of an effective field (e.g. the PML index
+    /// after a log): writes to wherever `effective` reads from.
+    pub fn hw_write(&mut self, field: Field, value: u64) {
+        if self.shadowing_enabled() && self.shadow_write.contains(&field) {
+            self.shadow
+                .as_mut()
+                .expect("shadowing_enabled implies shadow")
+                .write(field, value);
+        } else {
+            self.ordinary.write(field, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_accesses_ordinary() {
+        let mut v = Vmcs::new();
+        v.vmwrite(VmxMode::Root, Field::PmlAddress, 0xABC000).unwrap();
+        assert_eq!(v.vmread(VmxMode::Root, Field::PmlAddress).unwrap(), 0xABC000);
+    }
+
+    #[test]
+    fn non_root_denied_without_shadowing() {
+        let v = Vmcs::new();
+        assert!(matches!(
+            v.vmread(VmxMode::NonRoot, Field::PmlIndex),
+            Err(MachineError::VmcsAccessDenied { non_root: true, .. })
+        ));
+    }
+
+    #[test]
+    fn shadow_whitelist_grants_non_root_access() {
+        let mut v = Vmcs::new();
+        v.attach_shadow(&[Field::GuestPmlAddress, Field::GuestPmlIndex]);
+        v.vmwrite(VmxMode::NonRoot, Field::GuestPmlAddress, 0x7000)
+            .unwrap();
+        assert_eq!(
+            v.vmread(VmxMode::NonRoot, Field::GuestPmlAddress).unwrap(),
+            0x7000
+        );
+        // Non-whitelisted field still denied.
+        assert!(v.vmread(VmxMode::NonRoot, Field::PmlAddress).is_err());
+    }
+
+    #[test]
+    fn shadow_and_ordinary_are_distinct_regions() {
+        let mut v = Vmcs::new();
+        v.attach_shadow(&[Field::GuestPmlAddress]);
+        v.vmwrite(VmxMode::Root, Field::GuestPmlAddress, 1).unwrap();
+        v.vmwrite(VmxMode::NonRoot, Field::GuestPmlAddress, 2).unwrap();
+        assert_eq!(v.vmread(VmxMode::Root, Field::GuestPmlAddress).unwrap(), 1);
+        assert_eq!(
+            v.vmread(VmxMode::NonRoot, Field::GuestPmlAddress).unwrap(),
+            2
+        );
+        // Hardware sees the guest-owned (shadow) value.
+        assert_eq!(v.effective(Field::GuestPmlAddress), 2);
+    }
+
+    #[test]
+    fn effective_falls_back_to_ordinary() {
+        let mut v = Vmcs::new();
+        v.vmwrite(VmxMode::Root, Field::PmlAddress, 0x123000).unwrap();
+        assert_eq!(v.effective(Field::PmlAddress), 0x123000);
+    }
+
+    #[test]
+    fn detach_restores_denial() {
+        let mut v = Vmcs::new();
+        v.attach_shadow(&[Field::GuestPmlIndex]);
+        v.vmwrite(VmxMode::NonRoot, Field::GuestPmlIndex, 500).unwrap();
+        v.detach_shadow();
+        assert!(v.vmread(VmxMode::NonRoot, Field::GuestPmlIndex).is_err());
+        assert!(!v.shadowing_enabled());
+        assert_eq!(v.ordinary.read(Field::VmcsLinkPointer), NO_SHADOW);
+    }
+
+    #[test]
+    fn hw_write_targets_effective_location() {
+        let mut v = Vmcs::new();
+        v.attach_shadow(&[Field::GuestPmlIndex]);
+        v.hw_write(Field::GuestPmlIndex, 42);
+        assert_eq!(v.vmread(VmxMode::NonRoot, Field::GuestPmlIndex).unwrap(), 42);
+        v.detach_shadow();
+        v.hw_write(Field::PmlIndex, 7);
+        assert_eq!(v.vmread(VmxMode::Root, Field::PmlIndex).unwrap(), 7);
+    }
+
+    #[test]
+    fn link_pointer_defaults_to_sentinel() {
+        let v = Vmcs::new();
+        assert_eq!(v.ordinary.read(Field::VmcsLinkPointer), NO_SHADOW);
+    }
+}

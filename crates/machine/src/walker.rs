@@ -1,0 +1,557 @@
+//! The MMU: nested (guest PT + EPT) page walks with architectural A/D-bit
+//! side effects and the PML logging circuit.
+//!
+//! This is the component the EPML hardware extension modifies, and the one
+//! whose event stream everything else in the reproduction hangs off:
+//!
+//! * a store that sets a **leaf EPT dirty bit 0→1** appends the *GPA* to the
+//!   hypervisor-level PML buffer (standard PML);
+//! * under EPML, a store that sets the **guest leaf PTE dirty bit 0→1**
+//!   additionally appends the *GVA* to the guest-level PML buffer (the
+//!   paper's modified page-walk circuit);
+//! * a buffer filling produces a [`PmlEvent`] — a vmexit for the hypervisor
+//!   buffer, a virtual self-IPI for the guest buffer — which the caller
+//!   dispatches to the appropriate handler.
+//!
+//! Guest page-table pages live in guest physical memory, so the walker's own
+//! A/D-bit updates are guest-physical *writes* that themselves set EPT dirty
+//! bits and can be PML-logged (true of real hardware; the OoH library
+//! filters such addresses out, and our reproduction keeps that noise).
+
+use crate::addr::{Gpa, Gva, Hpa};
+use crate::ept::Ept;
+use crate::error::{Fault, MachineError};
+use crate::phys::HostPhys;
+use crate::pml::{LogOutcome, PmlEvent, PmlState};
+use crate::pte::{EptEntry, Pte};
+use crate::spp::SppTable;
+use crate::tlb::{Tlb, TlbEntry};
+use ooh_sim::{Event, Lane, SimCtx};
+
+/// Result of a successful guest access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOk {
+    /// Final host-physical address of the byte addressed by the GVA.
+    pub hpa: Hpa,
+    /// The guest-physical address it went through.
+    pub gpa: Gpa,
+    /// PML events raised by this access (at most one per buffer).
+    pub events: Vec<PmlEvent>,
+}
+
+/// Mutable view of everything a page walk touches.
+pub struct Mmu<'a> {
+    pub phys: &'a mut HostPhys,
+    pub ept: &'a mut Ept,
+    pub tlb: &'a mut Tlb,
+    pub pml: &'a mut PmlState,
+    pub ctx: &'a SimCtx,
+    /// Lane charged for MMU time (whoever is executing).
+    pub lane: Lane,
+    /// Machine supports the EPML extension (GVA logging + guest buffer).
+    pub epml_hw: bool,
+    /// The VM's sub-page permission table (None = SPP not in use).
+    pub spp: Option<&'a SppTable>,
+}
+
+impl Mmu<'_> {
+    /// Perform a guest data access at `gva` under page-table root `cr3`.
+    ///
+    /// Outer `Err` = model misuse; inner `Err` = architectural fault to be
+    /// handled by the guest kernel / hypervisor and retried.
+    pub fn access(
+        &mut self,
+        cr3: Gpa,
+        gva: Gva,
+        write: bool,
+    ) -> Result<Result<AccessOk, Fault>, MachineError> {
+        // --- TLB fast path ------------------------------------------------
+        if let Some(entry) = self.tlb.lookup(cr3, gva) {
+            let usable = if write {
+                entry.store_fast_path()
+            } else {
+                true
+            };
+            if usable {
+                self.ctx.charge(self.lane, Event::TlbHit);
+                return Ok(Ok(AccessOk {
+                    hpa: entry.hpa(gva),
+                    gpa: entry.gpa(gva),
+                    events: Vec::new(),
+                }));
+            }
+        }
+
+        // --- full nested walk ----------------------------------------------
+        self.ctx.charge(self.lane, Event::PageWalk);
+        let mut events = Vec::new();
+
+        // Walk the guest page table (each PTE read is a guest-physical read).
+        let mut table = cr3;
+        let mut leaf_slot_gpa = Gpa::NULL;
+        let mut pte = Pte::empty();
+        for level in (0..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let raw = match self.read_guest_phys_u64(slot)? {
+                Ok(v) => v,
+                Err(f) => return Ok(Err(f)),
+            };
+            let entry = Pte(raw);
+            if !entry.is_present() {
+                return Ok(Err(Fault::NotPresent { gva, level }));
+            }
+            if level == 0 {
+                leaf_slot_gpa = slot;
+                pte = entry;
+            } else {
+                table = entry.frame();
+            }
+        }
+
+        // Permission check at the leaf. userfaultfd write-protection is
+        // modeled as Linux does it: the UFFD_WP software bit forces the
+        // write fault even though the VMA is writable.
+        if write && (!pte.is_writable() || pte.is_uffd_wp()) {
+            return Ok(Err(Fault::WriteProtected { gva }));
+        }
+
+        // SPP: sub-page write permission check. It must precede the A/D
+        // updates — a denied write leaves no architectural trace, otherwise
+        // a pre-set dirty bit would suppress PML logging of a later
+        // legitimate write to the same page.
+        let data_gpa = pte.frame().add(gva.offset());
+        if write {
+            if let Some(spp) = self.spp {
+                if !spp.write_allowed(data_gpa) {
+                    return Ok(Err(Fault::SppViolation {
+                        gva,
+                        gpa: data_gpa,
+                        subpage: SppTable::subpage_of(data_gpa),
+                    }));
+                }
+            }
+        }
+
+        // Guest A/D update (hardware sets A always, D on write).
+        let guest_d_transition = write && !pte.is_dirty();
+        let mut new_pte = pte.with(Pte::ACCESSED);
+        if write {
+            new_pte = new_pte.with(Pte::DIRTY);
+        }
+        if new_pte != pte {
+            if let Err(f) = self.write_guest_phys_u64(leaf_slot_gpa, new_pte.0, &mut events)? {
+                return Ok(Err(f));
+            }
+        }
+
+        // EPT leaf for the data page.
+        let Some((ept_slot, ept_entry)) = self.ept.lookup(self.phys, data_gpa)? else {
+            return Ok(Err(Fault::EptViolation {
+                gpa: data_gpa,
+                write,
+            }));
+        };
+
+        let ept_a_transition = !ept_entry.is_accessed();
+        let ept_d_transition = write && !ept_entry.is_dirty();
+        let mut new_ept = ept_entry.with(EptEntry::ACCESSED);
+        if write {
+            new_ept = new_ept.with(EptEntry::DIRTY);
+        }
+        if new_ept != ept_entry {
+            self.phys.write_u64(ept_slot, new_ept.0)?;
+        }
+
+        // --- the PML circuit --------------------------------------------------
+        if ept_d_transition {
+            self.log_hyp(data_gpa.page_base(), &mut events)?;
+        } else if ept_a_transition && self.pml.log_accesses {
+            // PML-R: access logging for working-set estimation (a dirty
+            // transition already logged above; don't double-log).
+            self.log_hyp(data_gpa.page_base(), &mut events)?;
+        }
+        if guest_d_transition && self.epml_hw {
+            self.log_guest(gva.page_base(), &mut events)?;
+        }
+
+        // TLB fill with post-access state.
+        self.tlb.fill(
+            cr3,
+            gva,
+            TlbEntry {
+                gpa_page: data_gpa.page(),
+                hpa_page: ept_entry.frame().page(),
+                writable: pte.is_writable() && !pte.is_uffd_wp(),
+                guest_dirty: new_pte.is_dirty(),
+                ept_dirty: new_ept.is_dirty(),
+                spp_guarded: self
+                    .spp
+                    .map(|s| s.is_guarded(data_gpa))
+                    .unwrap_or(false),
+            },
+        );
+
+        Ok(Ok(AccessOk {
+            hpa: ept_entry.frame().add(gva.offset()),
+            gpa: data_gpa,
+            events,
+        }))
+    }
+
+    /// Guest-physical read (kernel or MMU initiated): translates through the
+    /// EPT, setting the accessed bit.
+    pub fn read_guest_phys_u64(&mut self, gpa: Gpa) -> Result<Result<u64, Fault>, MachineError> {
+        let Some((slot, entry)) = self.ept.lookup(self.phys, gpa)? else {
+            return Ok(Err(Fault::EptViolation { gpa, write: false }));
+        };
+        if !entry.is_accessed() {
+            self.phys
+                .write_u64(slot, entry.with(EptEntry::ACCESSED).0)?;
+        }
+        let v = self.phys.read_u64(entry.frame().add(gpa.offset()))?;
+        Ok(Ok(v))
+    }
+
+    /// Guest-physical write: translates through the EPT, sets A/D, and logs
+    /// the GPA through PML on a dirty transition (page-table pages and other
+    /// kernel-touched guest memory are logged exactly like data pages).
+    pub fn write_guest_phys_u64(
+        &mut self,
+        gpa: Gpa,
+        value: u64,
+        events: &mut Vec<PmlEvent>,
+    ) -> Result<Result<(), Fault>, MachineError> {
+        let Some((slot, entry)) = self.ept.lookup(self.phys, gpa)? else {
+            return Ok(Err(Fault::EptViolation { gpa, write: true }));
+        };
+        let d_transition = !entry.is_dirty();
+        let new = entry.with(EptEntry::ACCESSED | EptEntry::DIRTY);
+        if new != entry {
+            self.phys.write_u64(slot, new.0)?;
+        }
+        self.phys.write_u64(entry.frame().add(gpa.offset()), value)?;
+        if d_transition {
+            self.log_hyp(gpa.page_base(), events)?;
+        }
+        Ok(Ok(()))
+    }
+
+    fn log_hyp(&mut self, gpa: Gpa, events: &mut Vec<PmlEvent>) -> Result<(), MachineError> {
+        if !self.pml.hyp_logging {
+            return Ok(());
+        }
+        let Some(buf) = self.pml.hyp.as_mut() else {
+            return Ok(());
+        };
+        self.ctx.charge(self.lane, Event::PmlLogGpa);
+        match buf.log(self.phys, gpa.raw())? {
+            LogOutcome::Logged => {}
+            LogOutcome::LoggedLastSlot | LogOutcome::Full => {
+                events.push(PmlEvent::HypBufferFull);
+            }
+        }
+        Ok(())
+    }
+
+    fn log_guest(&mut self, gva: Gva, events: &mut Vec<PmlEvent>) -> Result<(), MachineError> {
+        if !self.pml.guest_logging {
+            return Ok(());
+        }
+        let Some(buf) = self.pml.guest.as_mut() else {
+            return Ok(());
+        };
+        self.ctx.charge(self.lane, Event::PmlLogGva);
+        match buf.log(self.phys, gva.raw())? {
+            LogOutcome::Logged => {}
+            LogOutcome::LoggedLastSlot | LogOutcome::Full => {
+                events.push(PmlEvent::GuestBufferFull);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+    use crate::pml::PmlBuffer;
+
+    /// Build a tiny "guest": identity-ish EPT, one guest page table mapping
+    /// `GVA 0x40000000+n*4K → GPA 0x1000*n (data region)`.
+    struct Rig {
+        phys: HostPhys,
+        ept: Ept,
+        tlb: Tlb,
+        pml: PmlState,
+        ctx: SimCtx,
+        cr3: Gpa,
+        next_gpa: u64,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            let mut phys = HostPhys::new(4096 * PAGE_SIZE);
+            let mut ept = Ept::new(&mut phys).unwrap();
+            let mut next_gpa = 0x100; // guest frame numbers
+            // Allocate + map the guest's root page table page.
+            let cr3_gpa = Gpa::from_page(next_gpa);
+            next_gpa += 1;
+            let f = phys.alloc_frame().unwrap();
+            ept.map(&mut phys, cr3_gpa, f).unwrap();
+            Self {
+                phys,
+                ept,
+                tlb: Tlb::new(),
+                pml: PmlState::default(),
+                ctx: SimCtx::new(),
+                cr3: cr3_gpa,
+                next_gpa,
+            }
+        }
+
+        fn alloc_guest_page(&mut self) -> Gpa {
+            let gpa = Gpa::from_page(self.next_gpa);
+            self.next_gpa += 1;
+            let f = self.phys.alloc_frame().unwrap();
+            self.ept.map(&mut self.phys, gpa, f).unwrap();
+            gpa
+        }
+
+        /// Map `gva → data gpa` in the guest PT, allocating table pages.
+        fn map_gva(&mut self, gva: Gva, flags: u64) -> Gpa {
+            let data = self.alloc_guest_page();
+            let mut table = self.cr3;
+            for level in (1..4).rev() {
+                let slot = table.add(gva.pt_index(level) as u64 * 8);
+                let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+                let raw = self.phys.read_u64(hslot).unwrap();
+                let e = Pte(raw);
+                table = if e.is_present() {
+                    e.frame()
+                } else {
+                    let t = self.alloc_guest_page();
+                    self.phys.write_u64(hslot, Pte::table(t).0).unwrap();
+                    t
+                };
+            }
+            let slot = table.add(gva.pt_index(0) as u64 * 8);
+            let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+            self.phys
+                .write_u64(hslot, Pte::leaf(data, flags).0)
+                .unwrap();
+            data
+        }
+
+        fn mmu(&mut self) -> Mmu<'_> {
+            Mmu {
+                phys: &mut self.phys,
+                ept: &mut self.ept,
+                tlb: &mut self.tlb,
+                pml: &mut self.pml,
+                ctx: &self.ctx,
+                lane: Lane::Tracked,
+                epml_hw: true,
+                spp: None,
+            }
+        }
+
+        fn enable_hyp_pml(&mut self) {
+            let page = self.phys.alloc_frame().unwrap();
+            self.pml.hyp = Some(PmlBuffer::new(page));
+            self.pml.hyp_logging = true;
+        }
+
+        fn enable_guest_pml(&mut self) {
+            let page = self.phys.alloc_frame().unwrap();
+            self.pml.guest = Some(PmlBuffer::new(page));
+            self.pml.guest_logging = true;
+        }
+    }
+
+    const BASE: Gva = Gva(0x4000_0000);
+
+    #[test]
+    fn read_write_through_translation() {
+        let mut rig = Rig::new();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        let ok = mmu.access(cr3, BASE.add(0x10), true).unwrap().unwrap();
+        mmu.phys.write(ok.hpa, b"xyz").unwrap();
+        let ok2 = mmu.access(cr3, BASE.add(0x10), false).unwrap().unwrap();
+        let mut buf = [0u8; 3];
+        mmu.phys.read(ok2.hpa, &mut buf).unwrap();
+        assert_eq!(&buf, b"xyz");
+    }
+
+    #[test]
+    fn not_present_faults() {
+        let mut rig = Rig::new();
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        match mmu.access(cr3, BASE, false).unwrap() {
+            Err(Fault::NotPresent { gva, .. }) => assert_eq!(gva, BASE),
+            other => panic!("expected NotPresent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_protect_faults_only_on_write() {
+        let mut rig = Rig::new();
+        rig.map_gva(BASE, Pte::USER); // not writable
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        assert!(mmu.access(cr3, BASE, false).unwrap().is_ok());
+        assert!(matches!(
+            mmu.access(cr3, BASE, true).unwrap(),
+            Err(Fault::WriteProtected { .. })
+        ));
+    }
+
+    #[test]
+    fn uffd_wp_bit_forces_write_fault() {
+        let mut rig = Rig::new();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER | Pte::UFFD_WP);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        assert!(mmu.access(cr3, BASE, false).unwrap().is_ok());
+        assert!(matches!(
+            mmu.access(cr3, BASE, true).unwrap(),
+            Err(Fault::WriteProtected { .. })
+        ));
+    }
+
+    #[test]
+    fn store_sets_guest_and_ept_dirty_and_logs_gpa() {
+        let mut rig = Rig::new();
+        rig.enable_hyp_pml();
+        let data_gpa = rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        let ok = mmu.access(cr3, BASE.add(8), true).unwrap().unwrap();
+        assert_eq!(ok.gpa, data_gpa.add(8));
+        assert!(ok.events.is_empty());
+        // GPA of the data page is in the hypervisor PML buffer; the A/D
+        // update to the leaf PT page was also logged (hardware-faithful).
+        let logged = rig.pml.hyp.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert!(logged.contains(&data_gpa.raw()));
+        assert!(rig.ctx.counters().get(Event::PmlLogGpa) >= 1);
+    }
+
+    #[test]
+    fn second_store_to_same_page_does_not_relog() {
+        let mut rig = Rig::new();
+        rig.enable_hyp_pml();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, BASE, true).unwrap().unwrap();
+        let n1 = rig.ctx.counters().get(Event::PmlLogGpa);
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, BASE.add(64), true).unwrap().unwrap();
+        mmu.access(cr3, BASE.add(128), true).unwrap().unwrap();
+        assert_eq!(rig.ctx.counters().get(Event::PmlLogGpa), n1);
+        // And those stores hit the TLB fast path.
+        assert!(rig.ctx.counters().get(Event::TlbHit) >= 2);
+    }
+
+    #[test]
+    fn epml_logs_gva_to_guest_buffer() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, BASE.add(4), true).unwrap().unwrap();
+        let logged = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert_eq!(logged, vec![BASE.raw()]);
+        assert_eq!(rig.ctx.counters().get(Event::PmlLogGva), 1);
+    }
+
+    #[test]
+    fn epml_disabled_hw_logs_nothing_to_guest_buffer() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.epml_hw = false;
+        mmu.access(cr3, BASE, true).unwrap().unwrap();
+        assert!(rig.pml.guest.as_mut().unwrap().is_empty());
+    }
+
+    #[test]
+    fn buffer_full_event_is_raised() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        // Map 512 pages and dirty them all: the 512th log fills the buffer.
+        for i in 0..512u64 {
+            rig.map_gva(BASE.add(i * PAGE_SIZE), Pte::WRITABLE | Pte::USER);
+        }
+        let cr3 = rig.cr3;
+        let mut full_events = 0;
+        for i in 0..512u64 {
+            let mut mmu = rig.mmu();
+            let ok = mmu.access(cr3, BASE.add(i * PAGE_SIZE), true).unwrap().unwrap();
+            full_events += ok
+                .events
+                .iter()
+                .filter(|e| **e == PmlEvent::GuestBufferFull)
+                .count();
+        }
+        assert_eq!(full_events, 1);
+        assert_eq!(rig.pml.guest.as_ref().unwrap().len(), 512);
+    }
+
+    #[test]
+    fn dirty_clear_plus_tlb_flush_relogs() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        {
+            let mut mmu = rig.mmu();
+            mmu.access(cr3, BASE, true).unwrap().unwrap();
+        }
+        // Drain + clear guest D bit + flush TLB = start of a new round.
+        rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        // Clear the guest PTE dirty bit by hand (the OoH module does this).
+        {
+            let mut table = rig.cr3;
+            for level in (1..4).rev() {
+                let slot = table.add(BASE.pt_index(level) as u64 * 8);
+                let h = rig.ept.translate(&rig.phys, slot).unwrap().unwrap();
+                table = Pte(rig.phys.read_u64(h).unwrap()).frame();
+            }
+            let slot = table.add(BASE.pt_index(0) as u64 * 8);
+            let h = rig.ept.translate(&rig.phys, slot).unwrap().unwrap();
+            let pte = Pte(rig.phys.read_u64(h).unwrap());
+            rig.phys.write_u64(h, pte.without(Pte::DIRTY).0).unwrap();
+        }
+        rig.tlb.flush_all();
+        {
+            let mut mmu = rig.mmu();
+            mmu.access(cr3, BASE.add(12), true).unwrap().unwrap();
+        }
+        let logged = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert_eq!(logged, vec![BASE.raw()], "new round must re-log the page");
+    }
+
+    #[test]
+    fn loads_never_log() {
+        let mut rig = Rig::new();
+        rig.enable_hyp_pml();
+        rig.enable_guest_pml();
+        rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        for i in 0..10 {
+            mmu.access(cr3, BASE.add(i * 8), false).unwrap().unwrap();
+        }
+        // Only the PT-page A-bit updates may have logged GPAs; the *data*
+        // page must not appear, and the guest (GVA) buffer must be empty.
+        assert!(rig.pml.guest.as_ref().unwrap().is_empty());
+        assert_eq!(rig.ctx.counters().get(Event::PmlLogGva), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the machine substrate against reference models.
+
+use ooh_machine::{
+    mask_protecting, Ept, Gpa, Gva, HostPhys, PmlBuffer, RingView, SppTable, PAGE_SIZE,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The EPT behaves exactly like a HashMap<gpa_page, hpa> under an
+    /// arbitrary interleaving of map / unmap / translate.
+    #[test]
+    fn ept_matches_reference_map(
+        ops in proptest::collection::vec((0u8..3, 0u64..512), 1..200)
+    ) {
+        let mut phys = HostPhys::new(4096 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        // Spread gpa pages across the radix tree's levels, staying inside
+        // the 48-bit space a 4-level table covers (36-bit page numbers).
+        let spread = |p: u64| p.wrapping_mul(0x9E3779B97F4A7C15) >> 28;
+
+        for (op, raw_page) in ops {
+            let page = spread(raw_page);
+            let gpa = Gpa::from_page(page);
+            match op {
+                0 => {
+                    let hpa = phys.alloc_frame().unwrap();
+                    ept.map(&mut phys, gpa, hpa).unwrap();
+                    reference.insert(page, hpa.raw());
+                }
+                1 => {
+                    let got = ept.unmap(&mut phys, gpa).unwrap().map(|h| h.raw());
+                    prop_assert_eq!(got, reference.remove(&page));
+                }
+                _ => {
+                    let got = ept.translate(&phys, gpa).unwrap().map(|h| h.raw());
+                    prop_assert_eq!(got, reference.get(&page).copied());
+                }
+            }
+        }
+        prop_assert_eq!(ept.mapped_pages() as usize, reference.len());
+        // Full enumeration agrees too.
+        let mut got: Vec<u64> = ept
+            .collect_mapped(&phys)
+            .unwrap()
+            .into_iter()
+            .map(|(g, _)| g.page())
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = reference.keys().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The shared ring preserves FIFO order and capacity semantics against
+    /// a VecDeque model, under arbitrary push/pop interleavings.
+    #[test]
+    fn ring_matches_vecdeque(
+        ops in proptest::collection::vec(any::<bool>(), 1..2000)
+    ) {
+        let mut phys = HostPhys::new(16 * PAGE_SIZE);
+        let header = phys.alloc_frame().unwrap();
+        let data = vec![phys.alloc_frame().unwrap()];
+        let ring = RingView::create(&mut phys, header, data).unwrap();
+        let cap = ring.capacity() as usize;
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        let mut dropped = 0u64;
+
+        for push in ops {
+            if push {
+                let ok = ring.push(&mut phys, next).unwrap();
+                if model.len() < cap {
+                    prop_assert!(ok);
+                    model.push_back(next);
+                } else {
+                    prop_assert!(!ok);
+                    dropped += 1;
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(ring.pop(&mut phys).unwrap(), model.pop_front());
+            }
+        }
+        prop_assert_eq!(ring.len(&phys).unwrap() as usize, model.len());
+        prop_assert_eq!(ring.dropped(&phys).unwrap(), dropped);
+    }
+
+    /// A PML buffer drains exactly what was logged, oldest-first, across
+    /// arbitrary log/drain interleavings, and never exceeds 512 entries.
+    #[test]
+    fn pml_buffer_matches_log_model(
+        ops in proptest::collection::vec(proptest::option::of(0u64..1_000_000), 1..1500)
+    ) {
+        let mut phys = HostPhys::new(8 * PAGE_SIZE);
+        let page = phys.alloc_frame().unwrap();
+        let mut buf = PmlBuffer::new(page);
+        let mut model: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let value = v << 12;
+                    let outcome = buf.log(&mut phys, value).unwrap();
+                    if model.len() < 512 {
+                        prop_assert_ne!(outcome, ooh_machine::LogOutcome::Full);
+                        model.push(value);
+                    } else {
+                        prop_assert_eq!(outcome, ooh_machine::LogOutcome::Full);
+                    }
+                }
+                None => {
+                    let drained = buf.drain(&phys).unwrap();
+                    prop_assert_eq!(&drained, &model);
+                    model.clear();
+                }
+            }
+            prop_assert!(buf.len() <= 512);
+            prop_assert_eq!(buf.len() as usize, model.len());
+        }
+    }
+
+    /// SPP masks partition every page exactly: a write is allowed iff its
+    /// sub-page bit is set, independent of any other page's mask.
+    #[test]
+    fn spp_masks_are_exact_and_independent(
+        entries in proptest::collection::vec((0u64..64, 0u32..32, 0u32..32), 1..40),
+        probes in proptest::collection::vec((0u64..64, 0u64..4096), 1..100),
+    ) {
+        let mut table = SppTable::new();
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        for (page, a, b) in entries {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let mask = mask_protecting(lo, hi);
+            table.set_mask(Gpa::from_page(page), mask);
+            reference.insert(page, mask);
+        }
+        for (page, offset) in probes {
+            let gpa = Gpa::from_page(page).add(offset);
+            let want = match reference.get(&page) {
+                None => true,
+                Some(mask) => mask & (1 << (offset / 128)) != 0,
+            };
+            prop_assert_eq!(table.write_allowed(gpa), want);
+        }
+    }
+}
+
+/// Deterministic regression: a page mapped at the radix extremes.
+#[test]
+fn ept_handles_address_space_extremes() {
+    let mut phys = HostPhys::new(256 * PAGE_SIZE);
+    let mut ept = Ept::new(&mut phys).unwrap();
+    for gpa in [Gpa(0), Gpa(0x0000_7FFF_FFFF_F000)] {
+        let f = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, gpa, f).unwrap();
+        assert_eq!(ept.translate(&phys, gpa).unwrap(), Some(f));
+    }
+    assert_eq!(ept.mapped_pages(), 2);
+}
+
+/// Deterministic regression: GvaRange::covering edge alignment.
+#[test]
+fn gva_range_covering_edges() {
+    use ooh_machine::GvaRange;
+    let r = GvaRange::covering(Gva(0x1FFF), 2);
+    assert_eq!(r.start, Gva(0x1000));
+    assert_eq!(r.pages, 2);
+}

@@ -1,0 +1,164 @@
+//! The classic secure allocator: every allocation gets its own page(s)
+//! followed by an inaccessible **guard page**, so a sequential overflow
+//! faults synchronously. This is the design the paper's §III-D criticizes:
+//! a 16-byte allocation costs two whole pages (≥256× overhead).
+
+use crate::{AllocStats, OverflowDetect, SecureAllocator};
+use ooh_guest::{GuestError, GuestKernel, Pid, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, GvaRange, Pte, PAGE_SIZE};
+use ooh_sim::Lane;
+
+/// Guard-page allocator over one large VMA.
+pub struct GuardPageAllocator {
+    pid: Pid,
+    arena: GvaRange,
+    /// Next free page index within the arena.
+    next_page: u64,
+    stats: AllocStats,
+}
+
+impl GuardPageAllocator {
+    /// Create over a fresh `arena_pages`-page VMA.
+    pub fn new(
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        pid: Pid,
+        arena_pages: u64,
+    ) -> Result<Self, GuestError> {
+        let arena = kernel.mmap(pid, arena_pages, true, VmaKind::Anon)?;
+        let _ = hv;
+        Ok(Self {
+            pid,
+            arena,
+            next_page: 0,
+            stats: AllocStats::default(),
+        })
+    }
+
+    /// Turn `page` into a guard: fault it in, then mark the PTE with the
+    /// GUARD software bit and clear write access (mprotect(PROT_NONE)-like).
+    fn install_guard(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        page: Gva,
+    ) -> Result<(), GuestError> {
+        kernel.write_u64(hv, self.pid, page, 0, Lane::Tracked)?; // materialize
+        let (slot, pte) = kernel
+            .pte_lookup(hv, self.pid, page)?
+            .expect("just materialized");
+        kernel.kernel_phys_write(
+            hv,
+            slot,
+            pte.with(Pte::GUARD).without(Pte::WRITABLE).0,
+        )?;
+        kernel.invlpg(hv, page);
+        Ok(())
+    }
+}
+
+impl SecureAllocator for GuardPageAllocator {
+    fn name(&self) -> &'static str {
+        "guard-page"
+    }
+
+    fn alloc(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        bytes: u64,
+    ) -> Result<Option<Gva>, GuestError> {
+        let data_pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        let need = data_pages + 1; // + trailing guard page
+        if self.next_page + need > self.arena.pages {
+            return Ok(None);
+        }
+        let base = self.arena.start.add(self.next_page * PAGE_SIZE);
+        let guard = base.add(data_pages * PAGE_SIZE);
+        self.install_guard(hv, kernel, guard)?;
+        self.next_page += need;
+        self.stats.allocations += 1;
+        self.stats.payload_bytes += bytes;
+        self.stats.reserved_bytes += need * PAGE_SIZE;
+        Ok(Some(base))
+    }
+
+    fn check_overflow(
+        &mut self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+        addr: Gva,
+    ) -> Result<OverflowDetect, GuestError> {
+        match kernel.write_u64(hv, self.pid, addr, 0xDEAD, Lane::Tracked) {
+            Ok(()) => Ok(OverflowDetect::Undetected),
+            Err(GuestError::GuardViolation { subpage, .. }) => {
+                Ok(OverflowDetect::Detected { subpage })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::boot;
+
+    #[test]
+    fn overflow_past_allocation_is_detected() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut a = GuardPageAllocator::new(&mut hv, &mut kernel, pid, 64).unwrap();
+        let p = a.alloc(&mut hv, &mut kernel, 100).unwrap().unwrap();
+        // Inside the allocation (and its slack up to the page end): fine.
+        assert_eq!(
+            a.check_overflow(&mut hv, &mut kernel, p.add(96)).unwrap(),
+            OverflowDetect::Undetected
+        );
+        // First byte past the data page: guard page fires.
+        assert_eq!(
+            a.check_overflow(&mut hv, &mut kernel, p.add(PAGE_SIZE)).unwrap(),
+            OverflowDetect::Detected { subpage: None }
+        );
+    }
+
+    #[test]
+    fn page_granularity_slack_is_the_weakness() {
+        // The classic allocator cannot detect overflows that stay within
+        // the allocation's final page — the motivation for SPP.
+        let (mut hv, mut kernel, pid) = boot();
+        let mut a = GuardPageAllocator::new(&mut hv, &mut kernel, pid, 64).unwrap();
+        let p = a.alloc(&mut hv, &mut kernel, 16).unwrap().unwrap();
+        assert_eq!(
+            a.check_overflow(&mut hv, &mut kernel, p.add(24)).unwrap(),
+            OverflowDetect::Undetected,
+            "16-byte object, overflow at +24 sails through"
+        );
+    }
+
+    #[test]
+    fn memory_overhead_is_pages_per_allocation() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut a = GuardPageAllocator::new(&mut hv, &mut kernel, pid, 256).unwrap();
+        for _ in 0..100 {
+            a.alloc(&mut hv, &mut kernel, 64).unwrap().unwrap();
+        }
+        let s = a.stats();
+        assert_eq!(s.allocations, 100);
+        assert_eq!(s.reserved_bytes, 100 * 2 * PAGE_SIZE);
+        assert!(s.overhead_factor() > 100.0);
+    }
+
+    #[test]
+    fn arena_exhaustion_returns_none() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut a = GuardPageAllocator::new(&mut hv, &mut kernel, pid, 4).unwrap();
+        assert!(a.alloc(&mut hv, &mut kernel, 1).unwrap().is_some());
+        assert!(a.alloc(&mut hv, &mut kernel, 1).unwrap().is_some());
+        assert!(a.alloc(&mut hv, &mut kernel, 1).unwrap().is_none());
+    }
+}

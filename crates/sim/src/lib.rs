@@ -1,0 +1,192 @@
+//! # ooh-sim — simulation substrate for Out of Hypervisor
+//!
+//! Every other crate in the workspace runs *mechanisms* (page walks, vmexits,
+//! hypercalls, ring-buffer drains) against a shared [`SimCtx`]: a virtual
+//! nanosecond clock, a per-mechanism [`CostModel`] calibrated against the
+//! paper's measured Table V, and a set of [`Event`] counters.
+//!
+//! The design principle is that *costs emerge from mechanism counts × unit
+//! costs*: nothing in the benchmark harness hard-codes "SPML is slow"; SPML
+//! is slow because it executes many hypercalls and a quadratic-ish reverse
+//! mapping, each of which charges its unit cost to the clock.
+//!
+//! Time can be attributed to one of four [`Lane`]s (Tracked application,
+//! Tracker, guest kernel, hypervisor) so the harness can report both
+//! "overhead on Tracked" and "overhead on Tracker" as the paper does.
+
+pub mod clock;
+pub mod cost;
+pub mod counters;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use clock::{Lane, SimClock};
+pub use cost::CostModel;
+pub use counters::{Event, EventCounters};
+pub use rng::SimRng;
+pub use stats::{overhead_pct, percentile, speedup, Summary};
+pub use table::TextTable;
+
+use std::sync::Arc;
+
+/// Shared simulation context: clock + counters + cost model.
+///
+/// Cloning is cheap (`Arc` internally); all state is updated with relaxed
+/// atomics, so a context can be shared across threads when the bench harness
+/// runs independent scenarios in parallel (each scenario owns its own ctx).
+#[derive(Clone)]
+pub struct SimCtx {
+    inner: Arc<SimCtxInner>,
+}
+
+struct SimCtxInner {
+    clock: SimClock,
+    counters: EventCounters,
+    cost: CostModel,
+}
+
+impl SimCtx {
+    /// A fresh context with the paper-calibrated default cost model.
+    pub fn new() -> Self {
+        Self::with_cost_model(CostModel::paper_calibrated())
+    }
+
+    /// A fresh context with an explicit cost model (used by ablation benches
+    /// and by tests that want zero-cost mechanisms).
+    pub fn with_cost_model(cost: CostModel) -> Self {
+        Self {
+            inner: Arc::new(SimCtxInner {
+                clock: SimClock::new(),
+                counters: EventCounters::new(),
+                cost,
+            }),
+        }
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The event counters.
+    pub fn counters(&self) -> &EventCounters {
+        &self.inner.counters
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Record one occurrence of `event`, charging its unit cost to `lane`.
+    ///
+    /// Returns the nanoseconds charged so callers can aggregate phase times.
+    pub fn charge(&self, lane: Lane, event: Event) -> u64 {
+        let ns = self.inner.cost.unit_ns(event);
+        self.charge_ns(lane, event, ns)
+    }
+
+    /// Record `n` occurrences of `event` at once (e.g. a batched buffer copy).
+    pub fn charge_n(&self, lane: Lane, event: Event, n: u64) -> u64 {
+        let ns = self.inner.cost.unit_ns(event).saturating_mul(n);
+        self.inner.counters.add(event, n);
+        self.inner.clock.advance(lane, ns);
+        ns
+    }
+
+    /// Record one occurrence of `event` with an explicit cost (for costs
+    /// computed from mechanism state, e.g. a pagemap scan proportional to
+    /// resident pages).
+    pub fn charge_ns(&self, lane: Lane, event: Event, ns: u64) -> u64 {
+        self.inner.counters.add(event, 1);
+        self.inner.clock.advance(lane, ns);
+        ns
+    }
+
+    /// Advance the clock without recording an event (plain computation time,
+    /// e.g. the Tracked application's own work between memory operations).
+    pub fn advance(&self, lane: Lane, ns: u64) {
+        self.inner.clock.advance(lane, ns);
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+}
+
+impl Default for SimCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx")
+            .field("now_ns", &self.now_ns())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Size of a simulated page, in bytes (x86-64 4 KiB pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// log2(PAGE_SIZE), the page shift.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Number of guest-physical-address entries a hardware PML buffer holds
+/// (one 4 KiB page of 64-bit entries, per the Intel SDM).
+pub const PML_BUFFER_ENTRIES: usize = 512;
+
+/// Number of 64-bit pagemap entries a reader consumes per `read(2)` call
+/// (a 64 KiB buffer, the chunking CRIU and our /proc tracker use).
+pub const PAGEMAP_CHUNK_ENTRIES: usize = 8192;
+
+/// Convert a byte count to a number of whole pages (rounding up).
+pub fn pages_for_bytes(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_clock_and_counter() {
+        let ctx = SimCtx::new();
+        assert_eq!(ctx.now_ns(), 0);
+        let ns = ctx.charge(Lane::Kernel, Event::ContextSwitch);
+        assert!(ns > 0);
+        assert_eq!(ctx.now_ns(), ns);
+        assert_eq!(ctx.counters().get(Event::ContextSwitch), 1);
+        assert_eq!(ctx.clock().lane_ns(Lane::Kernel), ns);
+        assert_eq!(ctx.clock().lane_ns(Lane::Tracked), 0);
+    }
+
+    #[test]
+    fn charge_n_batches() {
+        let ctx = SimCtx::new();
+        let unit = ctx.cost().unit_ns(Event::RingBufferCopyEntry);
+        let ns = ctx.charge_n(Lane::Hypervisor, Event::RingBufferCopyEntry, 512);
+        assert_eq!(ns, unit * 512);
+        assert_eq!(ctx.counters().get(Event::RingBufferCopyEntry), 512);
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn zero_cost_model_charges_nothing() {
+        let ctx = SimCtx::with_cost_model(CostModel::zero());
+        ctx.charge(Lane::Tracker, Event::Hypercall);
+        assert_eq!(ctx.now_ns(), 0);
+        assert_eq!(ctx.counters().get(Event::Hypercall), 1);
+    }
+}

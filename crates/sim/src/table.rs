@@ -1,0 +1,131 @@
+//! Minimal text-table rendering for benchmark output.
+//!
+//! Every `table*`/`fig*` binary in `ooh-bench` prints its result as an
+//! aligned text table mirroring the paper's layout, plus one JSON line per
+//! row for machine checking. This module provides the text part.
+
+/// A simple left-padded column table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; shorter rows are padded with empty cells, longer rows
+    /// extend the header with empty column names.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while self.header.len() < row.len() {
+            self.header.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with single-space-padded `|` separators and a rule under the
+    /// header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{cell:>width$}"));
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let rule_len = widths.iter().sum::<usize>() + 3 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with `prec` decimals, trimming "-0.0" artifacts.
+pub fn fnum(x: f64, prec: usize) -> String {
+    let s = format!("{x:.prec$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Format a ratio as the paper does: "13.2x".
+pub fn fx(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Format a percentage: "102.4%".
+pub fn fpct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // every rendered row has the same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+        assert_eq!(fx(13.25), "13.2x");
+        assert_eq!(fpct(102.4), "102.4%");
+    }
+}

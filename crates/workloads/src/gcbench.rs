@@ -1,0 +1,225 @@
+//! GCBench — the classic garbage-collection micro-benchmark (Boehm's own
+//! choice, and the paper's): build a "stretch" tree, keep a long-lived tree
+//! and a big array alive, then churn through short-lived trees of growing
+//! depth, collecting along the way.
+
+use crate::runner::{fnv1a, WorkEnv};
+use ooh_gc::{BoehmGc, WORD};
+use ooh_guest::GuestError;
+use ooh_machine::Gva;
+use serde::Serialize;
+
+/// Tree node: [left, right, i, j] — two pointers, two integers.
+const NODE_WORDS: u32 = 4;
+
+/// GCBench parameters (Table III top: array size, lived depth, stretch
+/// depth — scaled; see `config.rs`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GcBenchConfig {
+    pub array_words: u64,
+    pub lived_depth: u32,
+    pub stretch_depth: u32,
+    /// Cap on temporary trees per depth step (the real kNumIters formula
+    /// explodes at small depths; the paper's configs bound total work).
+    pub max_iters_per_depth: u64,
+}
+
+/// Outcome + integrity data.
+#[derive(Debug, Clone, Serialize)]
+pub struct GcBenchResult {
+    pub temp_trees_built: u64,
+    pub checksum: u64,
+    pub gc_cycles: usize,
+}
+
+pub struct GcBench {
+    pub config: GcBenchConfig,
+}
+
+impl GcBench {
+    pub fn new(config: GcBenchConfig) -> Self {
+        Self { config }
+    }
+
+    fn tree_size(depth: u32) -> u64 {
+        (1u64 << (depth + 1)) - 1
+    }
+
+    /// Build a binary tree of `depth` bottom-up. Returns the root.
+    fn make_tree(
+        &self,
+        env: &mut WorkEnv<'_>,
+        gc: &mut BoehmGc,
+        depth: u32,
+    ) -> Result<Gva, GuestError> {
+        let node = gc
+            .alloc(env.hv, env.kernel, NODE_WORDS)?
+            .expect("GC heap exhausted even after collection — size the heap up");
+        if depth > 0 {
+            let left = self.make_tree(env, gc, depth - 1)?;
+            let right = self.make_tree(env, gc, depth - 1)?;
+            env.w_u64(node, left.raw())?;
+            env.w_u64(node.add(WORD), right.raw())?;
+        } else {
+            env.w_u64(node, 0)?;
+            env.w_u64(node.add(WORD), 0)?;
+        }
+        env.w_u64(node.add(2 * WORD), depth as u64)?;
+        env.w_u64(node.add(3 * WORD), 0)?;
+        Ok(node)
+    }
+
+    /// Verify a tree's shape by walking it (returns node count).
+    fn walk_tree(&self, env: &mut WorkEnv<'_>, node: Gva) -> Result<u64, GuestError> {
+        if node.raw() == 0 {
+            return Ok(0);
+        }
+        let left = Gva(env.r_u64(node)?);
+        let right = Gva(env.r_u64(node.add(WORD))?);
+        Ok(1 + self.walk_tree(env, left)? + self.walk_tree(env, right)?)
+    }
+
+    /// The full benchmark against a ready collector.
+    pub fn run(
+        &self,
+        env: &mut WorkEnv<'_>,
+        gc: &mut BoehmGc,
+    ) -> Result<GcBenchResult, GuestError> {
+        let cfg = self.config;
+        let mut checksum = 0xcbf29ce484222325u64;
+
+        // 1. Stretch the heap with a big temporary tree.
+        {
+            let stretch_root = gc.add_root_slot();
+            let tree = self.make_tree(env, gc, cfg.stretch_depth)?;
+            env.w_u64(stretch_root, tree.raw())?;
+            env.w_u64(stretch_root, 0)?; // immediately dropped
+        }
+        gc.collect(env.hv, env.kernel)?;
+
+        // 2. Long-lived structures: a tree and an array of doubles.
+        let lived_root = gc.add_root_slot();
+        let lived_tree = self.make_tree(env, gc, cfg.lived_depth)?;
+        env.w_u64(lived_root, lived_tree.raw())?;
+
+        let array_root = gc.add_root_slot();
+        let array_obj = gc
+            .alloc(env.hv, env.kernel, cfg.array_words as u32)?
+            .expect("array allocation");
+        env.w_u64(array_root, array_obj.raw())?;
+        for i in 0..cfg.array_words / 2 {
+            let v = 1.0 / (i + 1) as f64;
+            env.w_f64(array_obj.add(i * WORD), v)?;
+            checksum = fnv1a(checksum, v.to_bits());
+        }
+
+        // 3. Churn: temporary trees of growing depth.
+        let mut temp_trees = 0u64;
+        let mut depth = 4u32;
+        while depth <= cfg.lived_depth {
+            let iters = (2 * Self::tree_size(cfg.lived_depth) / Self::tree_size(depth))
+                .min(cfg.max_iters_per_depth)
+                .max(1);
+            let temp_root = gc.add_root_slot();
+            for _ in 0..iters {
+                let t = self.make_tree(env, gc, depth)?;
+                env.w_u64(temp_root, t.raw())?;
+                checksum = fnv1a(checksum, t.raw());
+                temp_trees += 1;
+            }
+            env.w_u64(temp_root, 0)?;
+            gc.collect(env.hv, env.kernel)?;
+            depth += 2;
+        }
+
+        // 4. Integrity: the long-lived structures must be intact.
+        let lived = Gva(env.r_u64(lived_root)?);
+        let nodes = self.walk_tree(env, lived)?;
+        assert_eq!(nodes, Self::tree_size(cfg.lived_depth), "lived tree corrupted");
+        for i in 0..cfg.array_words / 2 {
+            let v = env.r_f64(array_obj.add(i * WORD))?;
+            assert_eq!(v, 1.0 / (i + 1) as f64, "lived array corrupted at {i}");
+        }
+
+        Ok(GcBenchResult {
+            temp_trees_built: temp_trees,
+            checksum,
+            gc_cycles: gc.stats.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_gc::GcMode;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(256 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn gcbench_runs_and_collects_garbage() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = BoehmGc::new(&mut hv, &mut kernel, pid, 2048, 64, GcMode::StopTheWorld)
+            .unwrap();
+        let bench = GcBench::new(GcBenchConfig {
+            array_words: 512,
+            lived_depth: 6,
+            stretch_depth: 8,
+            max_iters_per_depth: 8,
+        });
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let result = bench.run(&mut env, &mut gc).unwrap();
+        assert!(result.temp_trees_built >= 2);
+        assert!(result.gc_cycles >= 2);
+        let freed: u64 = gc.stats.iter().map(|s| s.objects_freed).sum();
+        assert!(freed > 0, "temporary trees must be reclaimed");
+    }
+
+    #[test]
+    fn gcbench_deterministic_with_incremental_gc() {
+        use ooh_core::{OohSession, Technique};
+        let run = |technique: Technique| {
+            let (mut hv, mut kernel, pid) = boot();
+            let session = OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+            let mut gc = BoehmGc::new(
+                &mut hv,
+                &mut kernel,
+                pid,
+                2048,
+                64,
+                GcMode::Incremental {
+                    session,
+                    major_every: 4,
+                },
+            )
+            .unwrap();
+            let bench = GcBench::new(GcBenchConfig {
+                array_words: 256,
+                lived_depth: 6,
+                stretch_depth: 7,
+                max_iters_per_depth: 4,
+            });
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            let r = bench.run(&mut env, &mut gc).unwrap();
+            gc.shutdown(&mut hv, &mut kernel).unwrap();
+            r.checksum
+        };
+        // The benchmark's result is identical whichever technique drives the
+        // incremental marker — tracking must never change semantics.
+        let a = run(Technique::Epml);
+        let b = run(Technique::Proc);
+        let c = run(Technique::Spml);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ooh-workloads — the paper's benchmark applications
+//!
+//! Every workload runs its real algorithm against simulated guest memory
+//! (all loads/stores go through the nested page walker), so dirty-page
+//! patterns are produced, not scripted:
+//!
+//! * [`micro::ArrayParser`] — the paper's Listing-1 micro-benchmark;
+//! * [`mod@phoenix`] — the six Phoenix MapReduce applications of Table III;
+//! * [`tkrzw`] — the five in-memory DBM engines under `set` load, built on
+//!   guest-memory B-trees, hash tables and an LRU cache;
+//! * [`gcbench`] — the classic GC benchmark, allocating from `ooh-gc`;
+//! * [`config`] — Table III's small/medium/large parameter sets (scaled).
+
+pub mod config;
+pub mod gcbench;
+pub mod micro;
+pub mod phoenix;
+pub mod runner;
+pub mod tkrzw;
+
+pub use config::{
+    gcbench as gcbench_config, gcbench_heap_pages, micro, microbench_sizes_mib, phoenix,
+    tkrzw as tkrzw_config, SizeClass, PHOENIX_APPS,
+};
+pub use gcbench::{GcBench, GcBenchConfig, GcBenchResult};
+pub use micro::ArrayParser;
+pub use runner::{Arena, WorkEnv, Workload};
+pub use tkrzw::{EngineKind, KvWorkload};

@@ -1,0 +1,186 @@
+//! Phoenix `kmeans`: iterative k-means clustering. Reads every point each
+//! iteration; writes the assignment array (scattered, one word per point)
+//! and the centroid matrix each iteration — a moderate, repeating dirty
+//! set, which is why the paper measures low CRIU overhead on it.
+
+use crate::runner::{fnv1a, pages_for_words, WorkEnv, Workload};
+use ooh_guest::GuestError;
+use ooh_machine::GvaRange;
+use ooh_sim::SimRng;
+
+/// Points processed per quantum.
+const POINTS_PER_STEP: u64 = 512;
+
+pub struct KMeans {
+    pub points: u64,
+    pub dims: u64,
+    pub clusters: u64,
+    pub iterations: u32,
+    data: Option<GvaRange>,
+    centroids_r: Option<GvaRange>,
+    assign_r: Option<GvaRange>,
+    centroids: Vec<f64>,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    iter: u32,
+    cursor: u64,
+    moved: u64,
+    seed: u64,
+}
+
+impl KMeans {
+    pub fn new(points: u64, dims: u64, clusters: u64, iterations: u32, seed: u64) -> Self {
+        Self {
+            points,
+            dims,
+            clusters,
+            iterations,
+            data: None,
+            centroids_r: None,
+            assign_r: None,
+            centroids: Vec::new(),
+            sums: Vec::new(),
+            counts: Vec::new(),
+            iter: 0,
+            cursor: 0,
+            moved: 0,
+            seed,
+        }
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        let mut rng = SimRng::new(self.seed);
+        let data = env.mmap(pages_for_words(self.points * self.dims))?;
+        // Points: uniform in [0, 100)^d, written row-major.
+        let mut row = vec![0u8; (self.dims * 8) as usize];
+        for p in 0..self.points {
+            for d in 0..self.dims as usize {
+                let v = rng.next_f64() * 100.0;
+                row[d * 8..d * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            env.w_bytes(data.start.add(p * self.dims * 8), &row)?;
+        }
+        let centroids_r = env.mmap(pages_for_words(self.clusters * self.dims).max(1))?;
+        let assign_r = env.mmap(pages_for_words(self.points).max(1))?;
+        env.prefault(assign_r)?;
+        // Initial centroids: the first k points.
+        self.centroids = Vec::with_capacity((self.clusters * self.dims) as usize);
+        for c in 0..self.clusters {
+            for d in 0..self.dims {
+                let g = data.start.add((c * self.dims + d) * 8);
+                self.centroids.push(env.r_f64(g)?);
+            }
+        }
+        for (i, &v) in self.centroids.clone().iter().enumerate() {
+            env.w_f64(centroids_r.start.add(i as u64 * 8), v)?;
+        }
+        self.sums = vec![0.0; (self.clusters * self.dims) as usize];
+        self.counts = vec![0; self.clusters as usize];
+        self.data = Some(data);
+        self.centroids_r = Some(centroids_r);
+        self.assign_r = Some(assign_r);
+        Ok(())
+    }
+
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError> {
+        let data = self.data.expect("setup");
+        let assign_r = self.assign_r.expect("setup");
+        let centroids_r = self.centroids_r.expect("setup");
+        let d = self.dims as usize;
+        let end = (self.cursor + POINTS_PER_STEP).min(self.points);
+        let mut row = vec![0u8; d * 8];
+        for p in self.cursor..end {
+            env.r_bytes(data.start.add(p * self.dims * 8), &mut row)?;
+            let point: Vec<f64> = row
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            // Nearest centroid.
+            let mut best = 0usize;
+            let mut best_d2 = f64::INFINITY;
+            for c in 0..self.clusters as usize {
+                let d2: f64 = point
+                    .iter()
+                    .zip(&self.centroids[c * d..(c + 1) * d])
+                    .map(|(p, q)| (p - q) * (p - q))
+                    .sum();
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = c;
+                }
+            }
+            let old = env.r_u64(assign_r.start.add(p * 8))?;
+            if old != best as u64 {
+                env.w_u64(assign_r.start.add(p * 8), best as u64)?;
+                self.moved += 1;
+            }
+            for (k, &v) in point.iter().enumerate() {
+                self.sums[best * d + k] += v;
+            }
+            self.counts[best] += 1;
+        }
+        self.cursor = end;
+        if self.cursor < self.points {
+            return Ok(false);
+        }
+
+        // End of iteration: recompute + publish centroids.
+        for c in 0..self.clusters as usize {
+            if self.counts[c] > 0 {
+                for k in 0..d {
+                    self.centroids[c * d + k] = self.sums[c * d + k] / self.counts[c] as f64;
+                }
+            }
+        }
+        for (i, &v) in self.centroids.clone().iter().enumerate() {
+            env.w_f64(centroids_r.start.add(i as u64 * 8), v)?;
+        }
+        self.sums.iter_mut().for_each(|s| *s = 0.0);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.cursor = 0;
+        self.iter += 1;
+        let converged = self.moved == 0 && self.iter > 1;
+        self.moved = 0;
+        Ok(self.iter >= self.iterations || converged)
+    }
+
+    fn checksum(&self) -> u64 {
+        self.centroids
+            .iter()
+            .fold(0xcbf29ce484222325, |h, &v| fnv1a(h, v.to_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    #[test]
+    fn clusters_converge_deterministically() {
+        let run = || {
+            let mut hv = Hypervisor::new(
+                MachineConfig::epml(64 * 1024 * PAGE_SIZE),
+                SimCtx::new(),
+            );
+            let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+            let mut kernel = GuestKernel::new(vm);
+            let pid = kernel.spawn(&mut hv).unwrap();
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            let mut w = KMeans::new(256, 4, 4, 5, 7);
+            w.run(&mut env).unwrap();
+            assert!(w.iter >= 2);
+            w.checksum()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,157 @@
+//! Phoenix `matrix-multiply`: C = A × B over guest memory. Streams one
+//! output row per inner loop — a steadily advancing write frontier, the
+//! dirty pattern that penalizes techniques with per-page write costs.
+
+use crate::runner::{fnv1a, pages_for_words, WorkEnv, Workload};
+use ooh_guest::GuestError;
+use ooh_machine::GvaRange;
+use ooh_sim::SimRng;
+
+/// Output rows computed per quantum.
+const ROWS_PER_STEP: u64 = 4;
+
+pub struct MatrixMultiply {
+    pub n: u64,
+    a: Option<GvaRange>,
+    b: Option<GvaRange>,
+    c: Option<GvaRange>,
+    row_cursor: u64,
+    checksum: u64,
+    seed: u64,
+}
+
+impl MatrixMultiply {
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self {
+            n,
+            a: None,
+            b: None,
+            c: None,
+            row_cursor: 0,
+            checksum: 0xcbf29ce484222325,
+            seed,
+        }
+    }
+
+    fn fill(
+        env: &mut WorkEnv<'_>,
+        range: GvaRange,
+        n: u64,
+        rng: &mut SimRng,
+    ) -> Result<(), GuestError> {
+        let mut row = vec![0u8; (n * 8) as usize];
+        for i in 0..n {
+            for (j, cell) in row.chunks_exact_mut(8).enumerate() {
+                let v = ((rng.next_below(8) as f64) - 3.5) * 0.25 + (j % 3) as f64;
+                cell.copy_from_slice(&v.to_le_bytes());
+            }
+            env.w_bytes(range.start.add(i * n * 8), &row)?;
+        }
+        Ok(())
+    }
+}
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix-multiply"
+    }
+
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        let words = self.n * self.n;
+        let a = env.mmap(pages_for_words(words))?;
+        let b = env.mmap(pages_for_words(words))?;
+        let c = env.mmap(pages_for_words(words))?;
+        let mut rng = SimRng::new(self.seed);
+        Self::fill(env, a, self.n, &mut rng)?;
+        Self::fill(env, b, self.n, &mut rng)?;
+        self.a = Some(a);
+        self.b = Some(b);
+        self.c = Some(c);
+        Ok(())
+    }
+
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError> {
+        let (a, b, c) = (
+            self.a.expect("setup"),
+            self.b.expect("setup"),
+            self.c.expect("setup"),
+        );
+        let n = self.n;
+        let end = (self.row_cursor + ROWS_PER_STEP).min(n);
+        let mut a_row = vec![0u8; (n * 8) as usize];
+        let mut b_row = vec![0u8; (n * 8) as usize];
+        let mut acc = vec![0f64; n as usize];
+        for i in self.row_cursor..end {
+            env.r_bytes(a.start.add(i * n * 8), &mut a_row)?;
+            acc.iter_mut().for_each(|x| *x = 0.0);
+            for k in 0..n {
+                let aik = f64::from_le_bytes(
+                    a_row[(k * 8) as usize..(k * 8 + 8) as usize]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                if aik == 0.0 {
+                    continue;
+                }
+                env.r_bytes(b.start.add(k * n * 8), &mut b_row)?;
+                for (j, cell) in b_row.chunks_exact(8).enumerate() {
+                    acc[j] += aik * f64::from_le_bytes(cell.try_into().expect("8 bytes"));
+                }
+            }
+            let mut out = vec![0u8; (n * 8) as usize];
+            for (j, &v) in acc.iter().enumerate() {
+                out[j * 8..j * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                self.checksum = fnv1a(self.checksum, v.to_bits());
+            }
+            env.w_bytes(c.start.add(i * n * 8), &out)?;
+        }
+        self.row_cursor = end;
+        Ok(self.row_cursor == n)
+    }
+
+    fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn identity_times_b_equals_b() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let n = 8u64;
+        let mut w = MatrixMultiply::new(n, 1);
+        w.setup(&mut env).unwrap();
+        // Overwrite A with the identity matrix.
+        let a = w.a.unwrap();
+        let zero = vec![0u8; (n * 8) as usize];
+        for i in 0..n {
+            env.w_bytes(a.start.add(i * n * 8), &zero).unwrap();
+            env.w_f64(a.start.add((i * n + i) * 8), 1.0).unwrap();
+        }
+        while !w.step(&mut env).unwrap() {}
+        let (b, c) = (w.b.unwrap(), w.c.unwrap());
+        for i in 0..n {
+            for j in 0..n {
+                let vb = env.r_f64(b.start.add((i * n + j) * 8)).unwrap();
+                let vc = env.r_f64(c.start.add((i * n + j) * 8)).unwrap();
+                assert!((vb - vc).abs() < 1e-12, "C[{i}][{j}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The Phoenix benchmark suite (shared-memory MapReduce applications),
+//! reimplemented over simulated guest memory: the six applications the
+//! paper evaluates (Table III). Each runs its real algorithm — the dirty
+//! page patterns (input-read-heavy histogram, output-streaming
+//! matrix-multiply, scattered-write word-count, …) come from the
+//! computation itself.
+
+pub mod histogram;
+pub mod kmeans;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod string_match;
+pub mod word_count;
+
+pub use histogram::Histogram;
+pub use kmeans::KMeans;
+pub use matrix_multiply::MatrixMultiply;
+pub use pca::Pca;
+pub use string_match::StringMatch;
+pub use word_count::WordCount;
+
+use crate::runner::WorkEnv;
+use ooh_guest::GuestError;
+use ooh_machine::{Gva, GvaRange, PAGE_SIZE};
+use ooh_sim::SimRng;
+
+/// Fill a guest region with deterministic pseudo-random bytes (the
+/// "datafile" inputs of histogram/string-match/word-count).
+pub(crate) fn fill_random_bytes(
+    env: &mut WorkEnv<'_>,
+    range: GvaRange,
+    rng: &mut SimRng,
+) -> Result<(), GuestError> {
+    let mut page = vec![0u8; PAGE_SIZE as usize];
+    for gva in range.iter_pages().collect::<Vec<_>>() {
+        for chunk in page.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        env.w_bytes(gva, &page)?;
+    }
+    Ok(())
+}
+
+/// Fill a guest region with deterministic lowercase text with word
+/// boundaries (word-count / string-match input).
+pub(crate) fn fill_random_text(
+    env: &mut WorkEnv<'_>,
+    range: GvaRange,
+    rng: &mut SimRng,
+) -> Result<(), GuestError> {
+    let mut page = vec![0u8; PAGE_SIZE as usize];
+    for gva in range.iter_pages().collect::<Vec<_>>() {
+        for b in page.iter_mut() {
+            // ~1-in-6 space, else a letter from a zipf-ish small alphabet.
+            *b = if rng.chance(0.17) {
+                b' '
+            } else {
+                b'a' + rng.next_below(16) as u8
+            };
+        }
+        env.w_bytes(gva, &page)?;
+    }
+    Ok(())
+}
+
+/// Read a full page into `buf` (input scanning helper).
+pub(crate) fn read_page(
+    env: &mut WorkEnv<'_>,
+    gva: Gva,
+    buf: &mut [u8],
+) -> Result<(), GuestError> {
+    debug_assert_eq!(buf.len(), PAGE_SIZE as usize);
+    env.r_bytes(gva, buf)
+}

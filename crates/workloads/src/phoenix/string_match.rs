@@ -1,0 +1,139 @@
+//! Phoenix `string-match`: scan a text file for a set of keys, recording
+//! where they occur. Mostly sequential reads with bursty writes into the
+//! results log — the paper's worst case for Boehm overhead (232% with
+//! /proc, 273% with SPML, 24% with EPML).
+
+use crate::phoenix::fill_random_text;
+use crate::runner::{fnv1a, WorkEnv, Workload};
+use ooh_guest::GuestError;
+use ooh_machine::{GvaRange, PAGE_SIZE};
+use ooh_sim::SimRng;
+
+const PAGES_PER_STEP: u64 = 32;
+/// The keys searched for (Phoenix uses four fixed keys).
+const KEYS: [&[u8]; 4] = [b"abc", b"dead", b"fab", b"cafe"];
+
+pub struct StringMatch {
+    pub input_pages: u64,
+    input: Option<GvaRange>,
+    results: Option<GvaRange>,
+    matches: u64,
+    cursor: u64,
+    checksum: u64,
+    seed: u64,
+}
+
+impl StringMatch {
+    pub fn new(input_pages: u64, seed: u64) -> Self {
+        Self {
+            input_pages,
+            input: None,
+            results: None,
+            matches: 0,
+            cursor: 0,
+            checksum: 0xcbf29ce484222325,
+            seed,
+        }
+    }
+
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+impl Workload for StringMatch {
+    fn name(&self) -> &'static str {
+        "string-match"
+    }
+
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        let input = env.mmap(self.input_pages)?;
+        let mut rng = SimRng::new(self.seed);
+        fill_random_text(env, input, &mut rng)?;
+        // Result log: one u64 offset per match, sized generously.
+        let results = env.mmap((self.input_pages / 4).max(1))?;
+        self.input = Some(input);
+        self.results = Some(results);
+        Ok(())
+    }
+
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError> {
+        let input = self.input.expect("setup");
+        let results = self.results.expect("setup");
+        let end = (self.cursor + PAGES_PER_STEP).min(self.input_pages);
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        let result_cap = results.len_bytes() / 8;
+        for p in self.cursor..end {
+            env.r_bytes(input.start.add(p * PAGE_SIZE), &mut page)?;
+            for key in KEYS {
+                for pos in memchr_all(&page, key) {
+                    let offset = p * PAGE_SIZE + pos as u64;
+                    if self.matches < result_cap {
+                        env.w_u64(results.start.add(self.matches * 8), offset)?;
+                    }
+                    self.matches += 1;
+                    self.checksum = fnv1a(self.checksum, offset);
+                }
+            }
+        }
+        self.cursor = end;
+        Ok(self.cursor == self.input_pages)
+    }
+
+    fn checksum(&self) -> u64 {
+        fnv1a(self.checksum, self.matches)
+    }
+}
+
+/// All occurrences of `needle` in `hay` (naive scan; inputs are small
+/// pages and keys are tiny).
+fn memchr_all(hay: &[u8], needle: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.is_empty() || hay.len() < needle.len() {
+        return out;
+    }
+    for i in 0..=hay.len() - needle.len() {
+        if &hay[i..i + needle.len()] == needle {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::MachineConfig;
+    use ooh_sim::SimCtx;
+
+    #[test]
+    fn memchr_all_finds_overlaps() {
+        assert_eq!(memchr_all(b"aaa", b"aa"), vec![0, 1]);
+        assert_eq!(memchr_all(b"xabcx", b"abc"), vec![1]);
+        assert!(memchr_all(b"ab", b"abc").is_empty());
+    }
+
+    #[test]
+    fn finds_planted_keys() {
+        let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut w = StringMatch::new(4, 3);
+        w.setup(&mut env).unwrap();
+        // Plant a key at a known offset.
+        let input = w.input.unwrap();
+        env.w_bytes(input.start.add(100), b"zzdeadzz").unwrap();
+        while !w.step(&mut env).unwrap() {}
+        assert!(w.matches() >= 1);
+        // The planted key's offset (102) must be among the results.
+        let results = w.results.unwrap();
+        let found = (0..w.matches().min(1000))
+            .map(|i| env.r_u64(results.start.add(i * 8)).unwrap())
+            .any(|off| off == 102);
+        assert!(found);
+    }
+}

@@ -1,0 +1,198 @@
+//! Phoenix `word-count`: tokenize a text file and count word frequencies
+//! in a guest-memory hash table. Scattered read-modify-writes across the
+//! table — the dirty pattern where per-page techniques hurt most.
+
+use crate::phoenix::fill_random_text;
+use crate::runner::{fnv1a, pages_for_words, WorkEnv, Workload};
+use ooh_guest::GuestError;
+use ooh_machine::{GvaRange, PAGE_SIZE};
+use ooh_sim::SimRng;
+
+const PAGES_PER_STEP: u64 = 16;
+
+/// Open-addressed (linear probing) table entry: [hash_key, count].
+const ENTRY_WORDS: u64 = 2;
+
+pub struct WordCount {
+    pub input_pages: u64,
+    /// Table slots (power of two).
+    pub table_slots: u64,
+    input: Option<GvaRange>,
+    table: Option<GvaRange>,
+    cursor: u64,
+    words: u64,
+    dropped: u64,
+    carry: Vec<u8>,
+    seed: u64,
+}
+
+impl WordCount {
+    pub fn new(input_pages: u64, table_slots: u64, seed: u64) -> Self {
+        assert!(table_slots.is_power_of_two());
+        Self {
+            input_pages,
+            table_slots,
+            input: None,
+            table: None,
+            cursor: 0,
+            words: 0,
+            dropped: 0,
+            carry: Vec::new(),
+            seed,
+        }
+    }
+
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    fn hash_word(w: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in w {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Never 0: 0 marks an empty slot.
+        h | 1
+    }
+
+    /// Insert/increment `word` in the guest table with linear probing.
+    fn bump(&mut self, env: &mut WorkEnv<'_>, word: &[u8]) -> Result<(), GuestError> {
+        let table = self.table.expect("setup");
+        let h = Self::hash_word(word);
+        let mask = self.table_slots - 1;
+        let mut slot = h & mask;
+        for _probe in 0..64 {
+            let base = table.start.add(slot * ENTRY_WORDS * 8);
+            let key = env.r_u64(base)?;
+            if key == 0 {
+                env.w_u64(base, h)?;
+                env.w_u64(base.add(8), 1)?;
+                self.words += 1;
+                return Ok(());
+            }
+            if key == h {
+                let count = env.r_u64(base.add(8))?;
+                env.w_u64(base.add(8), count + 1)?;
+                self.words += 1;
+                return Ok(());
+            }
+            slot = (slot + 1) & mask;
+        }
+        // Table badly overloaded: drop (counted; sizes are chosen to avoid
+        // this in the benchmark configs).
+        self.dropped += 1;
+        Ok(())
+    }
+}
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word-count"
+    }
+
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        let input = env.mmap(self.input_pages)?;
+        let mut rng = SimRng::new(self.seed);
+        fill_random_text(env, input, &mut rng)?;
+        let table = env.mmap(pages_for_words(self.table_slots * ENTRY_WORDS))?;
+        env.prefault(table)?;
+        self.input = Some(input);
+        self.table = Some(table);
+        Ok(())
+    }
+
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError> {
+        let input = self.input.expect("setup");
+        let end = (self.cursor + PAGES_PER_STEP).min(self.input_pages);
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        for p in self.cursor..end {
+            env.r_bytes(input.start.add(p * PAGE_SIZE), &mut page)?;
+            let mut text = std::mem::take(&mut self.carry);
+            text.extend_from_slice(&page);
+            let mut start = 0usize;
+            let mut last_boundary = 0usize;
+            for (i, &b) in text.iter().enumerate() {
+                if b == b' ' {
+                    if i > start {
+                        let word = text[start..i].to_vec();
+                        self.bump(env, &word)?;
+                    }
+                    start = i + 1;
+                    last_boundary = i + 1;
+                }
+            }
+            // Word possibly split across the page boundary: carry it over.
+            self.carry = text[last_boundary..].to_vec();
+        }
+        self.cursor = end;
+        if self.cursor == self.input_pages {
+            if !self.carry.is_empty() {
+                let word = std::mem::take(&mut self.carry);
+                self.bump(env, &word)?;
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn checksum(&self) -> u64 {
+        fnv1a(fnv1a(0xcbf29ce484222325, self.words), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::MachineConfig;
+    use ooh_sim::SimCtx;
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn counts_words_deterministically() {
+        let run = || {
+            let (mut hv, mut kernel, pid) = boot();
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            let mut w = WordCount::new(8, 4096, 11);
+            w.run(&mut env).unwrap();
+            assert!(w.words() > 100, "random text has many words");
+            w.checksum()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn same_word_accumulates_in_one_slot() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut w = WordCount::new(1, 256, 1);
+        w.setup(&mut env).unwrap();
+        for _ in 0..5 {
+            w.bump(&mut env, b"hello").unwrap();
+        }
+        let table = w.table.unwrap();
+        let h = WordCount::hash_word(b"hello");
+        // Find the slot and read the count back.
+        let mask = 255u64;
+        let mut slot = h & mask;
+        loop {
+            let base = table.start.add(slot * 16);
+            let key = env.r_u64(base).unwrap();
+            assert_ne!(key, 0, "slot chain must contain the word");
+            if key == h {
+                assert_eq!(env.r_u64(base.add(8)).unwrap(), 5);
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Workload plumbing: the execution environment handle, the `Workload`
+//! trait the harness drives, and a bump arena for guest-memory data
+//! structures.
+//!
+//! Workloads are written against [`WorkEnv`] exactly as the paper's
+//! applications are written against libc: every load/store goes through the
+//! guest kernel's access path, so the dirty-page pattern each application
+//! exhibits is produced by its real algorithm, not synthesized.
+
+use ooh_guest::{GuestError, GuestKernel, Pid, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{Gva, GvaRange, PAGE_SIZE};
+use ooh_sim::Lane;
+
+/// The full stack a workload executes against.
+pub struct WorkEnv<'a> {
+    pub hv: &'a mut Hypervisor,
+    pub kernel: &'a mut GuestKernel,
+    pub pid: Pid,
+}
+
+impl<'a> WorkEnv<'a> {
+    pub fn new(hv: &'a mut Hypervisor, kernel: &'a mut GuestKernel, pid: Pid) -> Self {
+        Self { hv, kernel, pid }
+    }
+
+    /// mmap a fresh anonymous region of `pages` pages.
+    pub fn mmap(&mut self, pages: u64) -> Result<GvaRange, GuestError> {
+        self.kernel.mmap(self.pid, pages, true, VmaKind::Anon)
+    }
+
+    /// Pre-fault a region (the paper's `mlockall` in Listing 1).
+    pub fn prefault(&mut self, range: GvaRange) -> Result<(), GuestError> {
+        for gva in range.iter_pages().collect::<Vec<_>>() {
+            self.kernel
+                .write_u64(self.hv, self.pid, gva, 0, Lane::Tracked)?;
+        }
+        Ok(())
+    }
+
+    pub fn w_u64(&mut self, gva: Gva, v: u64) -> Result<(), GuestError> {
+        self.kernel.write_u64(self.hv, self.pid, gva, v, Lane::Tracked)
+    }
+
+    pub fn r_u64(&mut self, gva: Gva) -> Result<u64, GuestError> {
+        self.kernel.read_u64(self.hv, self.pid, gva, Lane::Tracked)
+    }
+
+    pub fn w_f64(&mut self, gva: Gva, v: f64) -> Result<(), GuestError> {
+        self.kernel.write_f64(self.hv, self.pid, gva, v, Lane::Tracked)
+    }
+
+    pub fn r_f64(&mut self, gva: Gva) -> Result<f64, GuestError> {
+        self.kernel.read_f64(self.hv, self.pid, gva, Lane::Tracked)
+    }
+
+    pub fn w_bytes(&mut self, gva: Gva, b: &[u8]) -> Result<(), GuestError> {
+        self.kernel.write_bytes(self.hv, self.pid, gva, b, Lane::Tracked)
+    }
+
+    pub fn r_bytes(&mut self, gva: Gva, b: &mut [u8]) -> Result<(), GuestError> {
+        self.kernel.read_bytes(self.hv, self.pid, gva, b, Lane::Tracked)
+    }
+
+    /// Deliver a timer tick: preempt + resume the current process (drives
+    /// the OoH scheduling hooks, the paper's N).
+    pub fn timer_tick(&mut self) -> Result<(), GuestError> {
+        self.kernel.preemption_round_trip(self.hv)
+    }
+}
+
+/// One benchmark application.
+pub trait Workload {
+    fn name(&self) -> &'static str;
+
+    /// Allocate and initialize memory. Called once.
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError>;
+
+    /// Run one quantum. Returns `true` when the workload has finished.
+    /// Quanta are sized so the harness can interleave timer ticks and
+    /// tracker rounds at realistic granularity.
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError>;
+
+    /// A value derived from the computation's output, for correctness
+    /// checks (e.g. across checkpoint/restore).
+    fn checksum(&self) -> u64;
+
+    /// Run to completion with a timer tick between quanta.
+    fn run(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        self.setup(env)?;
+        while !self.step(env)? {
+            env.timer_tick()?;
+        }
+        Ok(())
+    }
+}
+
+/// A bump allocator over a guest VMA — the `malloc` stand-in for workloads
+/// that build linked structures (B-trees, hash tables) in guest memory.
+pub struct Arena {
+    range: GvaRange,
+    next: u64,
+}
+
+impl Arena {
+    /// Create an arena of `pages` pages.
+    pub fn new(env: &mut WorkEnv<'_>, pages: u64) -> Result<Self, GuestError> {
+        let range = env.mmap(pages)?;
+        Ok(Self {
+            range,
+            next: range.start.raw(),
+        })
+    }
+
+    /// Allocate `bytes` (8-byte aligned). Returns `None` when exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Option<Gva> {
+        let aligned = bytes.div_ceil(8) * 8;
+        if self.next + aligned > self.range.end().raw() {
+            return None;
+        }
+        let at = self.next;
+        self.next += aligned;
+        Some(Gva(at))
+    }
+
+    pub fn range(&self) -> GvaRange {
+        self.range
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.next - self.range.start.raw()
+    }
+}
+
+/// Simple FNV-1a for workload checksums.
+pub fn fnv1a(h: u64, v: u64) -> u64 {
+    let mut h = h ^ v;
+    h = h.wrapping_mul(0x100000001b3);
+    h
+}
+
+/// Number of pages needed for `n` 8-byte words.
+pub fn pages_for_words(n: u64) -> u64 {
+    (n * 8).div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_machine::MachineConfig;
+    use ooh_sim::SimCtx;
+
+    pub(crate) fn boot() -> (Hypervisor, GuestKernel, Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(256 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn arena_allocates_aligned_disjoint() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 2).unwrap();
+        let a = arena.alloc(12).unwrap();
+        let b = arena.alloc(8).unwrap();
+        assert_eq!(a.raw() % 8, 0);
+        assert_eq!(b.raw(), a.raw() + 16, "12 rounds to 16");
+        assert_eq!(arena.used_bytes(), 24);
+    }
+
+    #[test]
+    fn arena_exhausts_cleanly() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 1).unwrap();
+        assert!(arena.alloc(4000).is_some());
+        assert!(arena.alloc(200).is_none());
+    }
+
+    #[test]
+    fn env_rw_roundtrip() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let r = env.mmap(1).unwrap();
+        env.w_f64(r.start, 3.25).unwrap();
+        assert_eq!(env.r_f64(r.start).unwrap(), 3.25);
+    }
+}

@@ -1,0 +1,369 @@
+//! A B-tree over guest memory — the storage engine behind tkrzw's `baby`
+//! (BabyDBM) and `stdtree` (TreeDBM) stand-ins.
+//!
+//! Classic CLRS B-tree with preemptive splitting, minimum degree `t`:
+//! nodes hold up to `2t−1` keys. Every node is a guest-memory allocation;
+//! lookups read node pages, inserts dirty the leaf (and split path), giving
+//! the real engine's dirty-page profile.
+
+use crate::runner::{Arena, WorkEnv};
+use ooh_guest::GuestError;
+use ooh_machine::Gva;
+
+/// Node layout (words):
+/// `[0] meta = (leaf as u63::MSB) | nkeys`
+/// `[1..=MAX_KEYS] keys`
+/// `[1+MAX_KEYS..=2*MAX_KEYS] values (leaf) / unused (internal)`
+/// `[1+2*MAX_KEYS..] children (internal only, MAX_KEYS+1 slots)`
+#[derive(Debug, Clone)]
+struct Node {
+    gva: Gva,
+    leaf: bool,
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    children: Vec<Gva>,
+}
+
+pub struct GuestBTree {
+    /// Minimum degree.
+    t: usize,
+    root: Gva,
+    len: u64,
+    height: u32,
+}
+
+impl GuestBTree {
+    fn max_keys(t: usize) -> usize {
+        2 * t - 1
+    }
+
+    fn node_words(t: usize) -> u64 {
+        // meta + keys + values + children
+        (1 + Self::max_keys(t) + Self::max_keys(t) + 2 * t) as u64
+    }
+
+    /// Create an empty tree with minimum degree `t` (t ≥ 2), allocating
+    /// nodes from `arena`.
+    pub fn create(
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        t: usize,
+    ) -> Result<Self, GuestError> {
+        assert!(t >= 2);
+        let root = Self::alloc_node(env, arena, t, true)?;
+        Ok(Self {
+            t,
+            root,
+            len: 0,
+            height: 1,
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn alloc_node(
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        t: usize,
+        leaf: bool,
+    ) -> Result<Gva, GuestError> {
+        let gva = arena
+            .alloc(Self::node_words(t) * 8)
+            .expect("btree arena exhausted; size the workload's arena bigger");
+        let meta = if leaf { 1u64 << 63 } else { 0 };
+        env.w_u64(gva, meta)?;
+        Ok(gva)
+    }
+
+    fn read_node(&self, env: &mut WorkEnv<'_>, gva: Gva) -> Result<Node, GuestError> {
+        let words = Self::node_words(self.t) as usize;
+        let mut raw = vec![0u8; words * 8];
+        env.r_bytes(gva, &mut raw)?;
+        let w =
+            |i: usize| u64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let meta = w(0);
+        let leaf = meta >> 63 == 1;
+        let nkeys = (meta & 0x7FFF_FFFF) as usize;
+        let mk = Self::max_keys(self.t);
+        let keys = (0..nkeys).map(|i| w(1 + i)).collect();
+        let vals = (0..nkeys).map(|i| w(1 + mk + i)).collect();
+        let children = if leaf {
+            Vec::new()
+        } else {
+            (0..=nkeys).map(|i| Gva(w(1 + 2 * mk + i))).collect()
+        };
+        Ok(Node {
+            gva,
+            leaf,
+            keys,
+            vals,
+            children,
+        })
+    }
+
+    fn write_node(&self, env: &mut WorkEnv<'_>, node: &Node) -> Result<(), GuestError> {
+        let words = Self::node_words(self.t) as usize;
+        let mk = Self::max_keys(self.t);
+        let mut raw = vec![0u8; words * 8];
+        let mut put = |i: usize, v: u64| raw[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        let meta = ((node.leaf as u64) << 63) | node.keys.len() as u64;
+        put(0, meta);
+        for (i, &k) in node.keys.iter().enumerate() {
+            put(1 + i, k);
+        }
+        for (i, &v) in node.vals.iter().enumerate() {
+            put(1 + mk + i, v);
+        }
+        for (i, &c) in node.children.iter().enumerate() {
+            put(1 + 2 * mk + i, c.raw());
+        }
+        env.w_bytes(node.gva, &raw)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, env: &mut WorkEnv<'_>, key: u64) -> Result<Option<u64>, GuestError> {
+        let mut cur = self.root;
+        loop {
+            let node = self.read_node(env, cur)?;
+            match node.keys.binary_search(&key) {
+                Ok(i) => return Ok(Some(node.vals[i])),
+                Err(i) => {
+                    if node.leaf {
+                        return Ok(None);
+                    }
+                    cur = node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Insert or update. Returns true if the key was new.
+    pub fn set(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, GuestError> {
+        let root = self.read_node(env, self.root)?;
+        if root.keys.len() == Self::max_keys(self.t) {
+            // Grow: new root with the old root as its single child.
+            let new_root_gva = Self::alloc_node(env, arena, self.t, false)?;
+            let mut new_root = Node {
+                gva: new_root_gva,
+                leaf: false,
+                keys: Vec::new(),
+                vals: Vec::new(),
+                children: vec![self.root],
+            };
+            self.split_child(env, arena, &mut new_root, 0)?;
+            self.root = new_root_gva;
+            self.height += 1;
+        }
+        let inserted = self.insert_nonfull(env, arena, self.root, key, value)?;
+        if inserted {
+            self.len += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Split `parent.children[i]` (which must be full) in place; `parent`
+    /// is updated in memory *and* written back.
+    fn split_child(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        parent: &mut Node,
+        i: usize,
+    ) -> Result<(), GuestError> {
+        let t = self.t;
+        let mut child = self.read_node(env, parent.children[i])?;
+        debug_assert_eq!(child.keys.len(), Self::max_keys(t));
+        let right_gva = Self::alloc_node(env, arena, t, child.leaf)?;
+
+        let mid_key = child.keys[t - 1];
+        let mid_val = child.vals[t - 1];
+        let right = Node {
+            gva: right_gva,
+            leaf: child.leaf,
+            keys: child.keys.split_off(t),
+            vals: child.vals.split_off(t),
+            children: if child.leaf {
+                Vec::new()
+            } else {
+                child.children.split_off(t)
+            },
+        };
+        child.keys.pop(); // drop the median (kept in the parent)
+        child.vals.pop();
+
+        parent.keys.insert(i, mid_key);
+        parent.vals.insert(i, mid_val);
+        parent.children.insert(i + 1, right_gva);
+
+        self.write_node(env, &child)?;
+        self.write_node(env, &right)?;
+        self.write_node(env, parent)?;
+        Ok(())
+    }
+
+    fn insert_nonfull(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        gva: Gva,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, GuestError> {
+        let mut node = self.read_node(env, gva)?;
+        loop {
+            match node.keys.binary_search(&key) {
+                Ok(i) => {
+                    node.vals[i] = value;
+                    self.write_node(env, &node)?;
+                    return Ok(false);
+                }
+                Err(i) => {
+                    if node.leaf {
+                        node.keys.insert(i, key);
+                        node.vals.insert(i, value);
+                        self.write_node(env, &node)?;
+                        return Ok(true);
+                    }
+                    let child_gva = node.children[i];
+                    let child = self.read_node(env, child_gva)?;
+                    if child.keys.len() == Self::max_keys(self.t) {
+                        self.split_child(env, arena, &mut node, i)?;
+                        // Re-dispatch against the updated node (the key may
+                        // equal the promoted median or belong right of it).
+                        continue;
+                    }
+                    node = child;
+                }
+            }
+        }
+    }
+
+    /// In-order key-value pairs (verification helper; O(n) guest reads).
+    pub fn items(&self, env: &mut WorkEnv<'_>) -> Result<Vec<(u64, u64)>, GuestError> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.walk(env, self.root, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk(
+        &self,
+        env: &mut WorkEnv<'_>,
+        gva: Gva,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Result<(), GuestError> {
+        let node = self.read_node(env, gva)?;
+        for i in 0..node.keys.len() {
+            if !node.leaf {
+                self.walk(env, node.children[i], out)?;
+            }
+            out.push((node.keys[i], node.vals[i]));
+        }
+        if !node.leaf {
+            self.walk(env, node.children[node.keys.len()], out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::{SimCtx, SimRng};
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(256 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 256).unwrap();
+        let mut tree = GuestBTree::create(&mut env, &mut arena, 4).unwrap();
+        for k in 0..199u64 {
+            assert!(tree.set(&mut env, &mut arena, k * 7 % 199, k).unwrap());
+        }
+        assert_eq!(tree.len(), 199);
+        for k in 0..199u64 {
+            assert_eq!(tree.get(&mut env, k * 7 % 199).unwrap(), Some(k));
+        }
+        assert_eq!(tree.get(&mut env, 9999).unwrap(), None);
+    }
+
+    #[test]
+    fn update_does_not_grow() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 64).unwrap();
+        let mut tree = GuestBTree::create(&mut env, &mut arena, 3).unwrap();
+        assert!(tree.set(&mut env, &mut arena, 5, 1).unwrap());
+        assert!(!tree.set(&mut env, &mut arena, 5, 2).unwrap());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(&mut env, 5).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn items_are_sorted_and_match_reference() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 1024).unwrap();
+        let mut tree = GuestBTree::create(&mut env, &mut arena, 5).unwrap();
+        let mut reference = std::collections::BTreeMap::new();
+        let mut rng = SimRng::new(77);
+        for _ in 0..1500 {
+            let k = rng.next_below(500);
+            let v = rng.next_u64();
+            tree.set(&mut env, &mut arena, k, v).unwrap();
+            reference.insert(k, v);
+        }
+        let items = tree.items(&mut env).unwrap();
+        let expect: Vec<(u64, u64)> = reference.into_iter().collect();
+        assert_eq!(items, expect);
+        assert_eq!(tree.len() as usize, items.len());
+        assert!(tree.height() >= 3, "1500 inserts with t=5 must grow");
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertions() {
+        for rev in [false, true] {
+            let (mut hv, mut kernel, pid) = boot();
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            let mut arena = Arena::new(&mut env, 512).unwrap();
+            let mut tree = GuestBTree::create(&mut env, &mut arena, 2).unwrap();
+            let keys: Vec<u64> = if rev {
+                (0..300).rev().collect()
+            } else {
+                (0..300).collect()
+            };
+            for &k in &keys {
+                tree.set(&mut env, &mut arena, k, k + 1).unwrap();
+            }
+            for k in 0..300 {
+                assert_eq!(tree.get(&mut env, k).unwrap(), Some(k + 1), "rev={rev}");
+            }
+        }
+    }
+}

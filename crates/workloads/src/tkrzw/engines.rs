@@ -1,0 +1,241 @@
+//! The five tkrzw engines as drivable workloads under `set` load.
+
+use crate::runner::{fnv1a, Arena, WorkEnv, Workload};
+use crate::tkrzw::{GuestBTree, GuestHashMap, GuestLruCache};
+use ooh_guest::GuestError;
+use ooh_sim::{Lane, SimRng};
+use serde::Serialize;
+
+/// Operations issued per quantum.
+const OPS_PER_STEP: u64 = 256;
+
+/// Which engine backs the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EngineKind {
+    Baby,
+    Cache,
+    StdHash,
+    StdTree,
+    Tiny,
+}
+
+impl EngineKind {
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Baby,
+        EngineKind::Cache,
+        EngineKind::StdHash,
+        EngineKind::StdTree,
+        EngineKind::Tiny,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Baby => "baby",
+            EngineKind::Cache => "cache",
+            EngineKind::StdHash => "stdhash",
+            EngineKind::StdTree => "stdtree",
+            EngineKind::Tiny => "tiny",
+        }
+    }
+}
+
+enum Engine {
+    BTree(GuestBTree),
+    Hash(GuestHashMap),
+    Lru(GuestLruCache),
+}
+
+/// A `set`-request workload against one engine, issued from `threads`
+/// interleaved request streams (the paper's `-threads N`; the VM has one
+/// vCPU, so threads time-share exactly as they would there).
+pub struct KvWorkload {
+    pub kind: EngineKind,
+    /// Total `set` operations to issue.
+    pub n_ops: u64,
+    /// Interleaved request streams.
+    pub threads: u32,
+    /// Key space (paper: keys up to iter count).
+    pub key_space: u64,
+    /// Hash bucket count (power of two) for the hash engines.
+    pub buckets: u64,
+    /// Capacity for the cache engine.
+    pub cap_rec_num: u64,
+    /// Simulated per-record compression cost (stdhash's `-record_comp
+    /// zlib`), in nanoseconds.
+    pub compress_ns: u64,
+    /// Arena pages backing entries/nodes.
+    pub arena_pages: u64,
+    engine: Option<Engine>,
+    arena: Option<Arena>,
+    streams: Vec<SimRng>,
+    issued: u64,
+    checksum: u64,
+}
+
+impl KvWorkload {
+    /// Build a workload with sizes appropriate to `kind` (buckets/capacity
+    /// scale with the op count the way Table III's parameters do).
+    pub fn new(kind: EngineKind, n_ops: u64, threads: u32, seed: u64) -> Self {
+        let buckets = match kind {
+            EngineKind::StdHash => 1024, // "few buckets": long chains
+            EngineKind::Tiny => (n_ops.next_power_of_two()).max(4096),
+            _ => 4096,
+        };
+        let mut root = SimRng::new(seed);
+        let streams = (0..threads).map(|_| root.fork()).collect();
+        Self {
+            kind,
+            n_ops,
+            threads,
+            key_space: n_ops.max(1),
+            buckets,
+            cap_rec_num: (n_ops / 2).max(16),
+            compress_ns: if kind == EngineKind::StdHash { 2_000 } else { 0 },
+            arena_pages: (n_ops * 6 * 8).div_ceil(ooh_machine::PAGE_SIZE) + 64,
+            engine: None,
+            arena: None,
+            streams,
+            issued: 0,
+            checksum: 0xcbf29ce484222325,
+        }
+    }
+
+    /// Bytes of guest memory the workload reserved (Table III's "Memory
+    /// Cons." column analog).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.arena_pages * ooh_machine::PAGE_SIZE
+    }
+
+    /// Read back `key` (verification helper).
+    pub fn get(&mut self, env: &mut WorkEnv<'_>, key: u64) -> Result<Option<u64>, GuestError> {
+        match self.engine.as_mut().expect("setup") {
+            Engine::BTree(t) => t.get(env, key),
+            Engine::Hash(h) => h.get(env, key),
+            Engine::Lru(l) => l.get(env, key),
+        }
+    }
+}
+
+impl Workload for KvWorkload {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn setup(&mut self, env: &mut WorkEnv<'_>) -> Result<(), GuestError> {
+        let mut arena = Arena::new(env, self.arena_pages)?;
+        let engine = match self.kind {
+            EngineKind::Baby => Engine::BTree(GuestBTree::create(env, &mut arena, 4)?),
+            EngineKind::StdTree => Engine::BTree(GuestBTree::create(env, &mut arena, 16)?),
+            EngineKind::StdHash => Engine::Hash(GuestHashMap::create(env, self.buckets)?),
+            EngineKind::Tiny => Engine::Hash(GuestHashMap::create(env, self.buckets)?),
+            EngineKind::Cache => {
+                Engine::Lru(GuestLruCache::create(env, self.buckets, self.cap_rec_num)?)
+            }
+        };
+        self.engine = Some(engine);
+        self.arena = Some(arena);
+        Ok(())
+    }
+
+    fn step(&mut self, env: &mut WorkEnv<'_>) -> Result<bool, GuestError> {
+        let mut engine = self.engine.take().expect("setup");
+        let mut arena = self.arena.take().expect("setup");
+        let end = (self.issued + OPS_PER_STEP).min(self.n_ops);
+        let ctx = env.hv.ctx.clone();
+        for i in self.issued..end {
+            let stream = (i % self.threads as u64) as usize;
+            let rng = &mut self.streams[stream];
+            let key = rng.next_below(self.key_space);
+            let value = rng.next_u64();
+            if self.compress_ns > 0 {
+                // The zlib record compression the paper configures.
+                ctx.advance(Lane::Tracked, self.compress_ns);
+            }
+            match &mut engine {
+                Engine::BTree(t) => {
+                    t.set(env, &mut arena, key, value)?;
+                }
+                Engine::Hash(h) => {
+                    h.set(env, &mut arena, key, value)?;
+                }
+                Engine::Lru(l) => {
+                    l.set(env, &mut arena, key, value)?;
+                }
+            }
+            self.checksum = fnv1a(fnv1a(self.checksum, key), value);
+        }
+        self.issued = end;
+        self.engine = Some(engine);
+        self.arena = Some(arena);
+        Ok(self.issued == self.n_ops)
+    }
+
+    fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(512 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(256 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn every_engine_runs_and_answers_gets() {
+        for kind in EngineKind::ALL {
+            let (mut hv, mut kernel, pid) = boot();
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            let mut w = KvWorkload::new(kind, 2000, 3, 42);
+            w.run(&mut env).unwrap();
+            // Some keys must be retrievable (cache may have evicted others).
+            let mut probe = SimRng::new(1);
+            let hits = (0..200)
+                .filter(|_| {
+                    let k = probe.next_below(w.key_space);
+                    w.get(&mut env, k).unwrap().is_some()
+                })
+                .count();
+            assert!(hits > 0, "{}: no keys retrievable", kind.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        for kind in [EngineKind::Baby, EngineKind::Tiny] {
+            let run = || {
+                let (mut hv, mut kernel, pid) = boot();
+                let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+                let mut w = KvWorkload::new(kind, 1000, 2, 7);
+                w.run(&mut env).unwrap();
+                w.checksum()
+            };
+            assert_eq!(run(), run(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn cache_engine_respects_capacity() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut w = KvWorkload::new(EngineKind::Cache, 3000, 5, 9);
+        w.run(&mut env).unwrap();
+        match w.engine.as_ref().unwrap() {
+            Engine::Lru(l) => {
+                assert!(l.len() <= w.cap_rec_num);
+                assert!(l.evictions > 0, "3000 ops into cap {} must evict", w.cap_rec_num);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

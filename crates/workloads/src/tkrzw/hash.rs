@@ -1,0 +1,216 @@
+//! A chained hash table over guest memory — behind tkrzw's `stdhash`
+//! (HashDBM) and `tiny` (TinyDBM) stand-ins.
+//!
+//! Bucket array in one region, entries allocated from an arena:
+//! `entry = [key, value, next]`. Bucket-head updates and entry writes
+//! scatter across the table's pages — the randomly-dirtying access pattern
+//! the KV engines exhibit under `set` load.
+
+use crate::runner::{Arena, WorkEnv};
+use ooh_guest::GuestError;
+use ooh_machine::{Gva, GvaRange};
+
+const ENTRY_WORDS: u64 = 3;
+
+pub struct GuestHashMap {
+    buckets: GvaRange,
+    pub n_buckets: u64,
+    len: u64,
+    /// Longest chain observed (health metric).
+    pub max_chain: u32,
+}
+
+impl GuestHashMap {
+    /// Create with `n_buckets` (power of two) chains.
+    pub fn create(env: &mut WorkEnv<'_>, n_buckets: u64) -> Result<Self, GuestError> {
+        assert!(n_buckets.is_power_of_two());
+        let pages = (n_buckets * 8).div_ceil(ooh_machine::PAGE_SIZE).max(1);
+        let buckets = env.mmap(pages)?;
+        env.prefault(buckets)?; // zeroed bucket heads
+        Ok(Self {
+            buckets,
+            n_buckets,
+            len: 0,
+            max_chain: 0,
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mix(key: u64) -> u64 {
+        // SplitMix64 finalizer — cheap, well distributed.
+        let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn bucket_slot(&self, key: u64) -> Gva {
+        let b = Self::mix(key) & (self.n_buckets - 1);
+        self.buckets.start.add(b * 8)
+    }
+
+    /// Insert or update. Returns true if the key was new.
+    pub fn set(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, GuestError> {
+        let slot = self.bucket_slot(key);
+        let head = env.r_u64(slot)?;
+        // Walk the chain.
+        let mut cur = head;
+        let mut chain = 0u32;
+        while cur != 0 {
+            chain += 1;
+            let k = env.r_u64(Gva(cur))?;
+            if k == key {
+                env.w_u64(Gva(cur).add(8), value)?;
+                return Ok(false);
+            }
+            cur = env.r_u64(Gva(cur).add(16))?;
+        }
+        self.max_chain = self.max_chain.max(chain + 1);
+        // Prepend a new entry.
+        let entry = arena
+            .alloc(ENTRY_WORDS * 8)
+            .expect("hash arena exhausted; size the workload's arena bigger");
+        env.w_u64(entry, key)?;
+        env.w_u64(entry.add(8), value)?;
+        env.w_u64(entry.add(16), head)?;
+        env.w_u64(slot, entry.raw())?;
+        self.len += 1;
+        Ok(true)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, env: &mut WorkEnv<'_>, key: u64) -> Result<Option<u64>, GuestError> {
+        let mut cur = env.r_u64(self.bucket_slot(key))?;
+        while cur != 0 {
+            if env.r_u64(Gva(cur))? == key {
+                return Ok(Some(env.r_u64(Gva(cur).add(8))?));
+            }
+            cur = env.r_u64(Gva(cur).add(16))?;
+        }
+        Ok(None)
+    }
+
+    /// Remove `key`. Returns the removed value. (The entry is unlinked;
+    /// arena memory is not recycled, as in an append-only DBM segment.)
+    pub fn remove(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        key: u64,
+    ) -> Result<Option<u64>, GuestError> {
+        let slot = self.bucket_slot(key);
+        let mut prev: Option<Gva> = None;
+        let mut cur = env.r_u64(slot)?;
+        while cur != 0 {
+            let k = env.r_u64(Gva(cur))?;
+            let next = env.r_u64(Gva(cur).add(16))?;
+            if k == key {
+                let v = env.r_u64(Gva(cur).add(8))?;
+                match prev {
+                    Some(p) => env.w_u64(p.add(16), next)?,
+                    None => env.w_u64(slot, next)?,
+                }
+                self.len -= 1;
+                return Ok(Some(v));
+            }
+            prev = Some(Gva(cur));
+            cur = next;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::{SimCtx, SimRng};
+
+    fn boot() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(256 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn set_get_update_remove() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 64).unwrap();
+        let mut map = GuestHashMap::create(&mut env, 64).unwrap();
+        assert!(map.set(&mut env, &mut arena, 10, 100).unwrap());
+        assert!(!map.set(&mut env, &mut arena, 10, 200).unwrap());
+        assert_eq!(map.get(&mut env, 10).unwrap(), Some(200));
+        assert_eq!(map.get(&mut env, 11).unwrap(), None);
+        assert_eq!(map.remove(&mut env, 10).unwrap(), Some(200));
+        assert_eq!(map.get(&mut env, 10).unwrap(), None);
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 64).unwrap();
+        // 2 buckets: heavy collisions by construction.
+        let mut map = GuestHashMap::create(&mut env, 2).unwrap();
+        for k in 0..50u64 {
+            map.set(&mut env, &mut arena, k, k * 2).unwrap();
+        }
+        for k in 0..50u64 {
+            assert_eq!(map.get(&mut env, k).unwrap(), Some(k * 2));
+        }
+        // Remove from the middle of chains.
+        for k in (0..50u64).step_by(3) {
+            assert_eq!(map.remove(&mut env, k).unwrap(), Some(k * 2));
+        }
+        for k in 0..50u64 {
+            let want = if k % 3 == 0 { None } else { Some(k * 2) };
+            assert_eq!(map.get(&mut env, k).unwrap(), want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_random_ops() {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 512).unwrap();
+        let mut map = GuestHashMap::create(&mut env, 256).unwrap();
+        let mut reference = std::collections::HashMap::new();
+        let mut rng = SimRng::new(99);
+        for _ in 0..3000 {
+            let k = rng.next_below(400);
+            match rng.next_below(3) {
+                0 | 1 => {
+                    let v = rng.next_u64();
+                    map.set(&mut env, &mut arena, k, v).unwrap();
+                    reference.insert(k, v);
+                }
+                _ => {
+                    let got = map.remove(&mut env, k).unwrap();
+                    assert_eq!(got, reference.remove(&k));
+                }
+            }
+        }
+        assert_eq!(map.len() as usize, reference.len());
+        for (&k, &v) in &reference {
+            assert_eq!(map.get(&mut env, k).unwrap(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! A capacity-bounded LRU cache over guest memory — behind tkrzw's `cache`
+//! (CacheDBM) stand-in.
+//!
+//! Entries live in an arena as `[key, value, hash_next, lru_prev, lru_next]`
+//! and are linked both into a chained hash table (lookup) and a doubly
+//! linked recency list (eviction). Every hit rewrites list links — a
+//! high-dirty-rate pattern that stresses the trackers exactly as CacheDBM's
+//! `set`-heavy workload does.
+
+use crate::runner::{Arena, WorkEnv};
+use ooh_guest::GuestError;
+use ooh_machine::{Gva, GvaRange};
+
+const ENTRY_WORDS: u64 = 5;
+const OFF_KEY: u64 = 0;
+const OFF_VAL: u64 = 8;
+const OFF_HNEXT: u64 = 16;
+const OFF_PREV: u64 = 24;
+const OFF_NEXT: u64 = 32;
+
+pub struct GuestLruCache {
+    buckets: GvaRange,
+    n_buckets: u64,
+    pub capacity: u64,
+    len: u64,
+    /// Most-recently-used entry (0 = none).
+    head: u64,
+    /// Least-recently-used entry (0 = none).
+    tail: u64,
+    /// Recycled entries (eviction reuses their guest memory).
+    free: Vec<Gva>,
+    pub evictions: u64,
+}
+
+impl GuestLruCache {
+    pub fn create(
+        env: &mut WorkEnv<'_>,
+        n_buckets: u64,
+        capacity: u64,
+    ) -> Result<Self, GuestError> {
+        assert!(n_buckets.is_power_of_two());
+        assert!(capacity > 0);
+        let pages = (n_buckets * 8).div_ceil(ooh_machine::PAGE_SIZE).max(1);
+        let buckets = env.mmap(pages)?;
+        env.prefault(buckets)?;
+        Ok(Self {
+            buckets,
+            n_buckets,
+            capacity,
+            len: 0,
+            head: 0,
+            tail: 0,
+            free: Vec::new(),
+            evictions: 0,
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mix(key: u64) -> u64 {
+        let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn bucket_slot(&self, key: u64) -> Gva {
+        self.buckets
+            .start
+            .add((Self::mix(key) & (self.n_buckets - 1)) * 8)
+    }
+
+    fn find(&self, env: &mut WorkEnv<'_>, key: u64) -> Result<Option<Gva>, GuestError> {
+        let mut cur = env.r_u64(self.bucket_slot(key))?;
+        while cur != 0 {
+            if env.r_u64(Gva(cur + OFF_KEY))? == key {
+                return Ok(Some(Gva(cur)));
+            }
+            cur = env.r_u64(Gva(cur + OFF_HNEXT))?;
+        }
+        Ok(None)
+    }
+
+    /// Unlink `e` from the recency list.
+    fn list_unlink(&mut self, env: &mut WorkEnv<'_>, e: Gva) -> Result<(), GuestError> {
+        let prev = env.r_u64(e.add(OFF_PREV))?;
+        let next = env.r_u64(e.add(OFF_NEXT))?;
+        if prev != 0 {
+            env.w_u64(Gva(prev + OFF_NEXT), next)?;
+        } else {
+            self.head = next;
+        }
+        if next != 0 {
+            env.w_u64(Gva(next + OFF_PREV), prev)?;
+        } else {
+            self.tail = prev;
+        }
+        Ok(())
+    }
+
+    /// Push `e` at the head (most recently used).
+    fn list_push_front(&mut self, env: &mut WorkEnv<'_>, e: Gva) -> Result<(), GuestError> {
+        env.w_u64(e.add(OFF_PREV), 0)?;
+        env.w_u64(e.add(OFF_NEXT), self.head)?;
+        if self.head != 0 {
+            env.w_u64(Gva(self.head + OFF_PREV), e.raw())?;
+        }
+        self.head = e.raw();
+        if self.tail == 0 {
+            self.tail = e.raw();
+        }
+        Ok(())
+    }
+
+    /// Unlink `e` from its hash chain.
+    fn hash_unlink(&mut self, env: &mut WorkEnv<'_>, e: Gva) -> Result<(), GuestError> {
+        let key = env.r_u64(e.add(OFF_KEY))?;
+        let slot = self.bucket_slot(key);
+        let mut prev: Option<Gva> = None;
+        let mut cur = env.r_u64(slot)?;
+        while cur != 0 {
+            let next = env.r_u64(Gva(cur + OFF_HNEXT))?;
+            if cur == e.raw() {
+                match prev {
+                    Some(p) => env.w_u64(p.add(OFF_HNEXT), next)?,
+                    None => env.w_u64(slot, next)?,
+                }
+                return Ok(());
+            }
+            prev = Some(Gva(cur));
+            cur = next;
+        }
+        unreachable!("entry must be in its chain");
+    }
+
+    /// Insert or update; evicts the LRU entry when over capacity.
+    /// Returns the evicted key, if any.
+    pub fn set(
+        &mut self,
+        env: &mut WorkEnv<'_>,
+        arena: &mut Arena,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, GuestError> {
+        if let Some(e) = self.find(env, key)? {
+            env.w_u64(e.add(OFF_VAL), value)?;
+            self.list_unlink(env, e)?;
+            self.list_push_front(env, e)?;
+            return Ok(None);
+        }
+        let entry = self.free.pop().unwrap_or_else(|| {
+            arena
+                .alloc(ENTRY_WORDS * 8)
+                .expect("lru arena exhausted; capacity bounds allocations, size the arena for it")
+        });
+        env.w_u64(entry.add(OFF_KEY), key)?;
+        env.w_u64(entry.add(OFF_VAL), value)?;
+        let slot = self.bucket_slot(key);
+        let head = env.r_u64(slot)?;
+        env.w_u64(entry.add(OFF_HNEXT), head)?;
+        env.w_u64(slot, entry.raw())?;
+        self.list_push_front(env, entry)?;
+        self.len += 1;
+
+        if self.len > self.capacity {
+            let victim = Gva(self.tail);
+            let victim_key = env.r_u64(victim.add(OFF_KEY))?;
+            self.list_unlink(env, victim)?;
+            self.hash_unlink(env, victim)?;
+            self.free.push(victim);
+            self.len -= 1;
+            self.evictions += 1;
+            return Ok(Some(victim_key));
+        }
+        Ok(None)
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, env: &mut WorkEnv<'_>, key: u64) -> Result<Option<u64>, GuestError> {
+        match self.find(env, key)? {
+            Some(e) => {
+                let v = env.r_u64(e.add(OFF_VAL))?;
+                self.list_unlink(env, e)?;
+                self.list_push_front(env, e)?;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooh_guest::GuestKernel;
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::SimCtx;
+
+    fn rig() -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+        let mut hv = Hypervisor::new(MachineConfig::epml(256 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        (hv, kernel, pid)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let (mut hv, mut kernel, pid) = rig();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 16).unwrap();
+        let mut lru = GuestLruCache::create(&mut env, 16, 3).unwrap();
+        assert_eq!(lru.set(&mut env, &mut arena, 1, 10).unwrap(), None);
+        assert_eq!(lru.set(&mut env, &mut arena, 2, 20).unwrap(), None);
+        assert_eq!(lru.set(&mut env, &mut arena, 3, 30).unwrap(), None);
+        // Touch 1 so that 2 becomes LRU.
+        assert_eq!(lru.get(&mut env, 1).unwrap(), Some(10));
+        assert_eq!(lru.set(&mut env, &mut arena, 4, 40).unwrap(), Some(2));
+        assert_eq!(lru.get(&mut env, 2).unwrap(), None);
+        assert_eq!(lru.get(&mut env, 1).unwrap(), Some(10));
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.evictions, 1);
+    }
+
+    #[test]
+    fn update_refreshes_recency_without_eviction() {
+        let (mut hv, mut kernel, pid) = rig();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 16).unwrap();
+        let mut lru = GuestLruCache::create(&mut env, 8, 2).unwrap();
+        lru.set(&mut env, &mut arena, 1, 10).unwrap();
+        lru.set(&mut env, &mut arena, 2, 20).unwrap();
+        lru.set(&mut env, &mut arena, 1, 11).unwrap(); // update, refresh
+        assert_eq!(lru.set(&mut env, &mut arena, 3, 30).unwrap(), Some(2));
+        assert_eq!(lru.get(&mut env, 1).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn matches_reference_lru() {
+        // Reference: VecDeque-based LRU.
+        let (mut hv, mut kernel, pid) = rig();
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let mut arena = Arena::new(&mut env, 64).unwrap();
+        let cap = 8usize;
+        let mut lru = GuestLruCache::create(&mut env, 16, cap as u64).unwrap();
+        let mut ref_map: std::collections::HashMap<u64, u64> = Default::default();
+        let mut ref_order: std::collections::VecDeque<u64> = Default::default();
+        let mut rng = ooh_sim::SimRng::new(5);
+        for _ in 0..2000 {
+            let k = rng.next_below(24);
+            if rng.chance(0.6) {
+                let v = rng.next_u64();
+                let evicted = lru.set(&mut env, &mut arena, k, v).unwrap();
+                if ref_map.insert(k, v).is_some() {
+                    ref_order.retain(|&x| x != k);
+                    assert_eq!(evicted, None);
+                } else if ref_map.len() > cap {
+                    let victim = ref_order.pop_back().expect("over capacity");
+                    ref_map.remove(&victim);
+                    assert_eq!(evicted, Some(victim));
+                } else {
+                    assert_eq!(evicted, None);
+                }
+                ref_order.push_front(k);
+            } else {
+                let got = lru.get(&mut env, k).unwrap();
+                assert_eq!(got, ref_map.get(&k).copied());
+                if got.is_some() {
+                    ref_order.retain(|&x| x != k);
+                    ref_order.push_front(k);
+                }
+            }
+            assert_eq!(lru.len() as usize, ref_map.len());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The tkrzw key-value suite: the five in-memory DBM engines the paper
+//! injects `set` requests into (Table III), rebuilt over guest memory.
+//!
+//! | engine | paper DBM | structure here |
+//! |---|---|---|
+//! | `baby` | BabyDBM | B-tree, small nodes ([`btree::GuestBTree`], t=4) |
+//! | `cache` | CacheDBM | LRU-bounded hash ([`lru::GuestLruCache`]) |
+//! | `stdhash` | StdHashDBM | chained hash, few buckets, per-record compression cost |
+//! | `stdtree` | StdTreeDBM | B-tree, large nodes (t=16) |
+//! | `tiny` | TinyDBM | chained hash, many buckets |
+
+pub mod btree;
+pub mod engines;
+pub mod hash;
+pub mod lru;
+
+pub use btree::GuestBTree;
+pub use engines::{EngineKind, KvWorkload};
+pub use hash::GuestHashMap;
+pub use lru::GuestLruCache;

@@ -1,0 +1,75 @@
+//! Checkpoint/restore demo: run a tkrzw-style B-tree KV engine under load,
+//! take an EPML-tracked incremental checkpoint chain, kill the process, and
+//! restore a byte-identical copy.
+//!
+//! ```sh
+//! cargo run --example checkpoint_restore
+//! ```
+
+use ooh::prelude::*;
+use ooh::workloads::{tkrzw_config, EngineKind, WorkEnv};
+
+fn main() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(1024 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(256 * 1024 * PAGE_SIZE, 1).expect("vm");
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+
+    // The application: a B-tree KV store taking `set` requests.
+    let mut app = tkrzw_config(EngineKind::Baby, SizeClass::Medium, 7);
+    {
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        app.setup(&mut env).expect("setup");
+    }
+
+    // Attach CRIU with the EPML technique and take the base image.
+    let mut criu = Criu::attach(&mut hv, &mut kernel, pid, CriuConfig::new(Technique::Epml))
+        .expect("attach");
+    let (mut image, stats) = criu.full_dump(&mut hv, &mut kernel, pid).expect("full dump");
+    println!(
+        "base image: {} pages, MW {:.2} ms",
+        stats.pages_written,
+        stats.mw_ns as f64 / 1e6
+    );
+
+    // Let the engine churn, taking incremental pre-dumps as it runs.
+    let mut done = false;
+    let mut round = 0;
+    while !done {
+        for _ in 0..24 {
+            let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+            done = app.step(&mut env).expect("step");
+            env.timer_tick().expect("tick");
+            if done {
+                break;
+            }
+        }
+        let (delta, stats) = criu.pre_dump(&mut hv, &mut kernel, pid).expect("pre-dump");
+        println!(
+            "pre-dump {round}: {} dirty pages (MD {:.2} ms, MW {:.2} ms)",
+            stats.pages_written,
+            stats.md_ns as f64 / 1e6,
+            stats.mw_ns as f64 / 1e6
+        );
+        image.apply(&delta);
+        round += 1;
+    }
+    let (fin, stats) = criu.final_dump(&mut hv, &mut kernel, pid).expect("final dump");
+    println!("final dump: {} pages", stats.pages_written);
+    image.apply(&fin);
+    criu.detach(&mut hv, &mut kernel).expect("detach");
+
+    // Serialize the image (CRIU's pages.img analog) and kill the process.
+    let wire = image.encode();
+    println!("image on the wire: {:.2} MiB", wire.len() as f64 / (1 << 20) as f64);
+    kernel.exit(&mut hv, pid).expect("exit");
+
+    // Restore into a brand-new process and verify byte identity.
+    let image = ooh::criu::CheckpointImage::decode(wire).expect("decode");
+    let new_pid = restore(&mut hv, &mut kernel, &image).expect("restore");
+    let checked = verify(&mut hv, &mut kernel, new_pid, &image).expect("verify");
+    println!("restored as {new_pid}: {checked} pages verified byte-identical");
+}

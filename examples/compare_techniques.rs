@@ -1,0 +1,45 @@
+//! Head-to-head comparison of all four techniques on the paper's Listing-1
+//! array parser — a miniature Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example compare_techniques
+//! ```
+
+use ooh::bench::{run_baseline, run_tracked};
+use ooh::prelude::*;
+use ooh::sim::TextTable;
+use ooh::workloads::micro;
+
+fn main() {
+    let mib = 10u64;
+    let passes = 4;
+
+    let mut w = micro(mib, passes);
+    let baseline = run_baseline(&mut w).expect("baseline");
+    println!(
+        "array parser, {mib} MiB x {passes} passes, untracked: {:.2} ms\n",
+        baseline as f64 / 1e6
+    );
+
+    let mut tbl = TextTable::new([
+        "technique",
+        "slowdown",
+        "init (ms)",
+        "dirty pages",
+        "collect rounds",
+    ]);
+    for technique in Technique::ALL {
+        let mut w = micro(mib, passes);
+        let steps_per_pass = w.num_pages.div_ceil(256) as u32;
+        let run = run_tracked(technique, &mut w, steps_per_pass).expect("tracked");
+        tbl.row([
+            technique.name().to_string(),
+            format!("{:.2}x", run.tracked_done_ns as f64 / baseline as f64),
+            format!("{:.2}", run.init_ns as f64 / 1e6),
+            run.union_dirty_pages.to_string(),
+            run.rounds.len().to_string(),
+        ]);
+    }
+    println!("{tbl}");
+    println!("The paper's ordering: SPML > ufd > /proc > EPML in overhead.");
+}

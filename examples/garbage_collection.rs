@@ -1,0 +1,87 @@
+//! Incremental GC demo: GCBench on the Boehm-style collector, comparing
+//! stop-the-world full cycles against dirty-page-driven incremental cycles
+//! under each tracking technique.
+//!
+//! ```sh
+//! cargo run --example garbage_collection
+//! ```
+
+use ooh::gc::CycleStats;
+use ooh::prelude::*;
+use ooh::workloads::{gcbench_config, gcbench_heap_pages, WorkEnv};
+
+fn boot() -> (Hypervisor, GuestKernel, Pid) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(1024 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(256 * 1024 * PAGE_SIZE, 1).expect("vm");
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+    (hv, kernel, pid)
+}
+
+fn report(label: &str, cycles: &[CycleStats]) {
+    let total: u64 = cycles.iter().map(|c| c.total_ns).sum();
+    let freed: u64 = cycles.iter().map(|c| c.objects_freed).sum();
+    println!("{label:24} {} cycles, {:8.3} ms GC time, {freed} objects reclaimed", cycles.len(), total as f64 / 1e6);
+    for c in cycles {
+        println!(
+            "    cycle {:2} ({}) mark {:8.1} us, sweep {:6.1} us, {:4} dirty pages, {:4} freed",
+            c.cycle,
+            if c.minor { "minor" } else { "major" },
+            c.mark_ns as f64 / 1e3,
+            c.sweep_ns as f64 / 1e3,
+            c.dirty_pages,
+            c.objects_freed
+        );
+    }
+}
+
+fn main() {
+    let size = SizeClass::Medium;
+    let bench = gcbench_config(size);
+
+    // Baseline: stop-the-world (every cycle scans the whole live graph).
+    {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = BoehmGc::new(
+            &mut hv,
+            &mut kernel,
+            pid,
+            gcbench_heap_pages(size),
+            64,
+            GcMode::StopTheWorld,
+        )
+        .expect("gc");
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        let result = bench.run(&mut env, &mut gc).expect("gcbench");
+        report("stop-the-world", &gc.stats);
+        println!("    ({} temporary trees built)\n", result.temp_trees_built);
+    }
+
+    // Incremental under each technique.
+    for technique in [Technique::Proc, Technique::Spml, Technique::Epml] {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut session =
+            OohSession::start(&mut hv, &mut kernel, pid, technique).expect("session");
+        session.enable_collection_cache();
+        let mut gc = BoehmGc::new(
+            &mut hv,
+            &mut kernel,
+            pid,
+            gcbench_heap_pages(size),
+            64,
+            GcMode::Incremental {
+                session,
+                major_every: 64,
+            },
+        )
+        .expect("gc");
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        bench.run(&mut env, &mut gc).expect("gcbench");
+        report(&format!("incremental / {}", technique.name()), &gc.stats);
+        gc.shutdown(&mut hv, &mut kernel).expect("shutdown");
+        println!();
+    }
+}

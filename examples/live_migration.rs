@@ -1,0 +1,80 @@
+//! Live migration demo: the hypervisor's *own* PML consumer (pre-copy
+//! migration) running while a guest process is simultaneously tracked with
+//! SPML — the two-flag coordination of §IV-C(3).
+//!
+//! ```sh
+//! cargo run --example live_migration
+//! ```
+
+use ooh::prelude::*;
+use ooh::workloads::{micro, WorkEnv, Workload};
+
+fn main() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::stock(1024 * 1024 * PAGE_SIZE), // SPML needs no EPML hw
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(256 * 1024 * PAGE_SIZE, 1).expect("vm");
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+
+    // A write-heavy guest process, tracked in-guest with SPML.
+    let mut app = micro(4, 50); // 4 MiB region, many passes: steady dirtying
+    {
+        let mut env = WorkEnv::new(&mut hv, &mut kernel, pid);
+        app.setup(&mut env).expect("setup");
+    }
+    let mut session =
+        OohSession::start(&mut hv, &mut kernel, pid, Technique::Spml).expect("session");
+    println!(
+        "guest tracking active: enabled_by_guest={}",
+        hv.vm(vm).spml.enabled_by_guest
+    );
+
+    // The hypervisor starts migrating the same VM.
+    let mig = PreCopyMigration::start(&mut hv, vm, MigrationConfig::default());
+    println!(
+        "migration started:     enabled_by_hyp={}",
+        hv.vm(vm).spml.enabled_by_hyp
+    );
+
+    // Pre-copy rounds interleaved with guest execution; the guest tracker
+    // keeps collecting its per-process dirty pages at the same time.
+    let mut guest_rounds = 0u32;
+    let report = mig
+        .run_to_completion(&mut hv, |hv| {
+            for _ in 0..8 {
+                let mut env = WorkEnv::new(hv, &mut kernel, pid);
+                let _ = env
+                    .timer_tick()
+                    .and_then(|_| app.step(&mut env).map(|_| ()));
+            }
+            guest_rounds += 1;
+            Ok(())
+        })
+        .expect("migration");
+
+    println!("\npre-copy rounds:");
+    for r in &report.rounds {
+        println!(
+            "  round {:2}: {:6} pages sent ({:8.2} ms)",
+            r.round,
+            r.pages_sent,
+            r.ns as f64 / 1e6
+        );
+    }
+    println!(
+        "converged={} total={} pages, downtime pages={}",
+        report.converged, report.total_pages_sent, report.downtime_pages
+    );
+
+    // §IV-C(3): migration ending must not turn off the guest's tracking.
+    assert!(hv.vm(vm).spml.enabled_by_guest);
+    assert!(!hv.vm(vm).spml.enabled_by_hyp);
+    let dirty = session.fetch_dirty(&mut hv, &mut kernel).expect("fetch");
+    println!(
+        "\nguest tracker still live after migration: {} dirty pages this round",
+        dirty.len()
+    );
+    session.stop(&mut hv, &mut kernel).expect("stop");
+}

@@ -1,0 +1,61 @@
+//! Working-set-size estimation (the PML-R extension): the hypervisor
+//! samples a guest's WSS while a phased workload runs — no write
+//! protection, no guest pauses.
+//!
+//! ```sh
+//! cargo run --release --example working_set
+//! ```
+
+use ooh::hypervisor::WssEstimator;
+use ooh::prelude::*;
+
+fn main() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(1024 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(256 * 1024 * PAGE_SIZE, 1).expect("vm");
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+
+    // A process with 4096 pages (16 MiB), pre-faulted.
+    let region = kernel.mmap(pid, 4096, true, VmaKind::Anon).expect("mmap");
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).expect("prefault");
+    }
+
+    let mut wss = WssEstimator::start(&mut hv, vm).expect("wss start");
+
+    // Phased behaviour: the working set grows, peaks, then shrinks.
+    let phases: &[(u64, &str)] = &[
+        (256, "warm-up"),
+        (1024, "ramp"),
+        (4096, "peak (full scan)"),
+        (512, "cool-down"),
+        (64, "steady state"),
+    ];
+    println!("interval | phase              | WSS (pages) | dirty (pages)");
+    println!("---------------------------------------------------------------");
+    for (i, &(touch, label)) in phases.iter().enumerate() {
+        for p in 0..touch {
+            let g = region.start.add((p * 7 % 4096) * PAGE_SIZE);
+            if p % 4 == 0 {
+                kernel.write_u64(&mut hv, pid, g, p, Lane::Tracked).expect("write");
+            } else {
+                kernel.read_u64(&mut hv, pid, g, Lane::Tracked).expect("read");
+            }
+        }
+        let s = wss.sample(&mut hv).expect("sample");
+        println!(
+            "{:8} | {:18} | {:11} | {:13}",
+            i, label, s.accessed_pages, s.dirty_pages
+        );
+    }
+    println!(
+        "\npeak working set: {} pages ({:.1} MiB) of {} resident",
+        wss.peak_accessed(),
+        wss.peak_accessed() as f64 * PAGE_SIZE as f64 / (1 << 20) as f64,
+        kernel.process(pid).unwrap().resident_pages(),
+    );
+    wss.stop(&mut hv).expect("stop");
+}

@@ -1,0 +1,75 @@
+//! # OoH — Out of Hypervisor, in Rust
+//!
+//! A full reproduction of *"Out of Hypervisor (OoH): Efficient Dirty Page
+//! Tracking in Userspace Using Hardware Virtualization Features"*
+//! (Bitchebe & Tchana, SC 2022), including every substrate the paper
+//! depends on, built from scratch:
+//!
+//! * [`machine`] — a software model of the VT-x MMU path: physical memory,
+//!   nested page tables, TLB, the PML logging circuit, VMCS (+shadowing),
+//!   posted interrupts, and the paper's proposed **EPML** extension;
+//! * [`hypervisor`] — the Xen slice: VMs, EPT, the PML-full handler, the
+//!   OoH hypercalls, pre-copy live migration;
+//! * [`guest`] — the Linux slice: processes, demand paging, soft-dirty
+//!   `/proc` machinery, userfaultfd, the OoH kernel module;
+//! * [`core`] — the OoH library: one [`core::DirtyPageTracker`] trait, four
+//!   techniques (`/proc`, `ufd`, SPML, EPML);
+//! * [`criu`] — checkpoint/restore on top of the trackers;
+//! * [`gc`] — a Boehm-style conservative GC with dirty-page-driven
+//!   incremental marking;
+//! * [`workloads`] — the paper's benchmarks (array parser, GCBench,
+//!   Phoenix, tkrzw) running over simulated guest memory;
+//! * [`mod@bench`] — the harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ooh::prelude::*;
+//!
+//! // Boot a stack: EPML-capable machine, one VM, one process.
+//! let mut hv = Hypervisor::new(
+//!     MachineConfig::epml(64 * 1024 * 4096),
+//!     SimCtx::new(),
+//! );
+//! let vm = hv.create_vm(16 * 1024 * 4096, 1).unwrap();
+//! let mut kernel = GuestKernel::new(vm);
+//! let pid = kernel.spawn(&mut hv).unwrap();
+//!
+//! // Give the process some memory and touch it.
+//! let region = kernel.mmap(pid, 8, true, VmaKind::Anon).unwrap();
+//! for gva in region.iter_pages().collect::<Vec<_>>() {
+//!     kernel.write_u64(&mut hv, pid, gva, 0, Lane::Tracked).unwrap();
+//! }
+//!
+//! // Track dirty pages with EPML.
+//! let mut session = OohSession::start(&mut hv, &mut kernel, pid, Technique::Epml).unwrap();
+//! kernel.write_u64(&mut hv, pid, region.start, 42, Lane::Tracked).unwrap();
+//! let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+//! assert_eq!(dirty.len(), 1);
+//! session.stop(&mut hv, &mut kernel).unwrap();
+//! ```
+
+pub use ooh_bench as bench;
+pub use ooh_core as core;
+pub use ooh_criu as criu;
+pub use ooh_gc as gc;
+pub use ooh_guest as guest;
+pub use ooh_hypervisor as hypervisor;
+pub use ooh_machine as machine;
+pub use ooh_secheap as secheap;
+pub use ooh_sim as sim;
+pub use ooh_workloads as workloads;
+
+/// The names you need for the common flows, in one import.
+pub mod prelude {
+    pub use ooh_core::{DirtyPageTracker, DirtySet, OohSession, TrackEnv, Technique};
+    pub use ooh_criu::{restore, verify, Criu, CriuConfig};
+    pub use ooh_gc::{BoehmGc, GcMode};
+    pub use ooh_guest::{GuestError, GuestKernel, OohMode, OohModule, Pid, VmaKind};
+    pub use ooh_hypervisor::{
+        Hypercall, Hypervisor, MigrationConfig, PreCopyMigration, VmId,
+    };
+    pub use ooh_machine::{Gva, GvaRange, MachineConfig, PAGE_SIZE};
+    pub use ooh_sim::{Lane, SimCtx};
+    pub use ooh_workloads::{SizeClass, WorkEnv, Workload};
+}

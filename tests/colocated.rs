@@ -1,0 +1,193 @@
+//! Co-location scenarios: the paper's §III-C motivation is that tasks are
+//! co-located inside VMs (FaaS), so per-process tracking must not observe —
+//! or be polluted by — neighbours sharing the same guest.
+
+use ooh::prelude::*;
+use ooh_machine::GvaRange;
+
+fn boot() -> (Hypervisor, GuestKernel) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let kernel = GuestKernel::new(vm);
+    (hv, kernel)
+}
+
+fn spawn_with_region(
+    hv: &mut Hypervisor,
+    kernel: &mut GuestKernel,
+    pages: u64,
+) -> (Pid, GvaRange) {
+    let pid = kernel.spawn(hv).unwrap();
+    let region = kernel.mmap(pid, pages, true, VmaKind::Anon).unwrap();
+    kernel.context_switch(hv, pid).unwrap();
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(hv, pid, g, 0, Lane::Tracked).unwrap();
+    }
+    (pid, region)
+}
+
+/// A neighbour process's writes never appear in the tracked process's dirty
+/// set, for any technique — the scheduler hooks gate logging to the tracked
+/// process's quanta.
+#[test]
+fn neighbour_writes_are_invisible_to_the_tracker() {
+    for technique in Technique::ALL {
+        let (mut hv, mut kernel) = boot();
+        let (tracked, tracked_region) = spawn_with_region(&mut hv, &mut kernel, 16);
+        let (neighbour, neighbour_region) = spawn_with_region(&mut hv, &mut kernel, 16);
+        // Identical address-space layouts — the aliasing case that would
+        // expose any GVA-keyed confusion between processes.
+        assert_eq!(tracked_region.start, neighbour_region.start);
+
+        kernel.context_switch(&mut hv, tracked).unwrap();
+        let mut session =
+            OohSession::start(&mut hv, &mut kernel, tracked, technique).unwrap();
+
+        // Interleave: tracked writes pages {1,2}; neighbour writes {5,6,7}.
+        kernel.context_switch(&mut hv, tracked).unwrap();
+        for i in [1u64, 2] {
+            kernel
+                .write_u64(&mut hv, tracked, tracked_region.start.add(i * PAGE_SIZE), i, Lane::Tracked)
+                .unwrap();
+        }
+        kernel.context_switch(&mut hv, neighbour).unwrap();
+        for i in [5u64, 6, 7] {
+            kernel
+                .write_u64(&mut hv, neighbour, neighbour_region.start.add(i * PAGE_SIZE), i, Lane::Tracked)
+                .unwrap();
+        }
+        kernel.context_switch(&mut hv, tracked).unwrap();
+
+        let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+        assert_eq!(
+            dirty.len(),
+            2,
+            "{}: got {:?}",
+            technique.name(),
+            dirty.iter().collect::<Vec<_>>()
+        );
+        assert!(dirty.contains(tracked_region.start.add(PAGE_SIZE)));
+        assert!(!dirty.contains(tracked_region.start.add(5 * PAGE_SIZE)));
+        session.stop(&mut hv, &mut kernel).unwrap();
+    }
+}
+
+/// Checkpoint a process in one VM and restore it into a *different* VM on
+/// the same host — process-granular migration, the capability §III-C says
+/// whole-VM checkpointing cannot give you.
+#[test]
+fn process_migrates_across_vms_via_checkpoint() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(1024 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm_a = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let vm_b = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel_a = GuestKernel::new(vm_a);
+    let mut kernel_b = GuestKernel::new(vm_b);
+
+    let pid = kernel_a.spawn(&mut hv).unwrap();
+    let region = kernel_a.mmap(pid, 8, true, VmaKind::Anon).unwrap();
+    for (i, g) in region.iter_pages().enumerate().collect::<Vec<_>>() {
+        kernel_a
+            .write_u64(&mut hv, pid, g, 0xA100 + i as u64, Lane::Tracked)
+            .unwrap();
+    }
+
+    let mut criu =
+        Criu::attach(&mut hv, &mut kernel_a, pid, CriuConfig::new(Technique::Epml)).unwrap();
+    let (img, _) = criu.full_dump(&mut hv, &mut kernel_a, pid).unwrap();
+    criu.detach(&mut hv, &mut kernel_a).unwrap();
+    kernel_a.exit(&mut hv, pid).unwrap();
+
+    // Restore into VM B: different EPT, different physical frames, same
+    // virtual contents.
+    let new_pid = restore(&mut hv, &mut kernel_b, &img).unwrap();
+    let checked = verify(&mut hv, &mut kernel_b, new_pid, &img).unwrap();
+    assert_eq!(checked, 8);
+    for (i, g) in region.iter_pages().enumerate().collect::<Vec<_>>() {
+        assert_eq!(
+            kernel_b.read_u64(&mut hv, new_pid, g, Lane::Tracked).unwrap(),
+            0xA100 + i as u64
+        );
+    }
+}
+
+/// SPP guards are per-VM: the same GPA-page numbers in another VM are
+/// unaffected (isolation of the §III-D extension).
+#[test]
+fn spp_masks_do_not_leak_across_vms() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::stock(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm_a = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+    let vm_b = hv.create_vm(64 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel_a = GuestKernel::new(vm_a);
+    let mut kernel_b = GuestKernel::new(vm_b);
+    let pid_a = kernel_a.spawn(&mut hv).unwrap();
+    let pid_b = kernel_b.spawn(&mut hv).unwrap();
+    let ra = kernel_a.mmap(pid_a, 1, true, VmaKind::Anon).unwrap();
+    let rb = kernel_b.mmap(pid_b, 1, true, VmaKind::Anon).unwrap();
+
+    // Fully write-protect A's page.
+    kernel_a
+        .spp_set_page_mask(&mut hv, pid_a, ra.start, 0)
+        .unwrap();
+    assert!(kernel_a
+        .write_u64(&mut hv, pid_a, ra.start, 1, Lane::Tracked)
+        .is_err());
+    // B, same GVA (and likely the same GPA page number in its own space):
+    // completely unaffected.
+    kernel_b
+        .write_u64(&mut hv, pid_b, rb.start, 1, Lane::Tracked)
+        .unwrap();
+}
+
+/// The guest never sees host-physical addresses through any OoH surface
+/// (§V): SPML rings carry GPAs, EPML rings carry GVAs.
+#[test]
+fn rings_never_expose_host_physical_addresses() {
+    for (technique, hpa_like) in [(Technique::Spml, false), (Technique::Epml, false)] {
+        let (mut hv, mut kernel) = boot();
+        let (pid, region) = spawn_with_region(&mut hv, &mut kernel, 8);
+        let mut session = OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 1, Lane::Tracked).unwrap();
+        }
+        // Peek at raw ring contents before the tracker consumes them.
+        let ring = kernel.ooh.as_ref().unwrap().ring().clone();
+        if let Some(module) = kernel.ooh.take() {
+            kernel.ooh = Some(module);
+        }
+        // Flush whatever is pending, then inspect.
+        let _ = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+        // After fetch the ring is drained; write more and flush manually.
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g.add(8), 2, Lane::Tracked).unwrap();
+        }
+        kernel.preemption_round_trip(&mut hv).unwrap(); // forces a drain
+        let entries = ring.drain(&mut hv.machine.phys).unwrap();
+        assert!(!entries.is_empty(), "{}", technique.name());
+        for e in &entries {
+            match technique {
+                // SPML entries are GPAs: small guest-physical page numbers.
+                Technique::Spml => assert!(
+                    *e < 128 * 1024 * PAGE_SIZE,
+                    "SPML entry {e:#x} outside guest-physical range"
+                ),
+                // EPML entries are GVAs in the mmap area.
+                Technique::Epml => assert!(
+                    *e >= ooh::guest::MMAP_BASE.raw(),
+                    "EPML entry {e:#x} is not a userspace GVA"
+                ),
+                _ => unreachable!(),
+            }
+        }
+        let _ = hpa_like;
+        session.stop(&mut hv, &mut kernel).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over the full stack. Case counts are kept modest —
+//! every case boots a whole simulated machine — but each case exercises an
+//! arbitrary pattern, which is where the regressions hide.
+
+use ooh::prelude::*;
+use proptest::prelude::*;
+
+fn boot() -> (Hypervisor, GuestKernel, Pid) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).expect("vm");
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+    (hv, kernel, pid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the write pattern — duplicates, preemptions interleaved,
+    /// multiple rounds — every technique reports exactly the written pages
+    /// of each round.
+    #[test]
+    fn trackers_report_exactly_the_written_pages(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u64..64, any::<bool>()), 0..40),
+            1..4,
+        ),
+        technique_idx in 0usize..4,
+    ) {
+        let technique = Technique::ALL[technique_idx];
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 64, true, VmaKind::Anon).unwrap();
+        for g in region.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+        }
+        let mut session = OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+
+        for round in rounds {
+            let mut expected = std::collections::BTreeSet::new();
+            for (page, preempt) in round {
+                kernel
+                    .write_u64(&mut hv, pid, region.start.add(page * PAGE_SIZE), page, Lane::Tracked)
+                    .unwrap();
+                expected.insert(page);
+                if preempt {
+                    kernel.preemption_round_trip(&mut hv).unwrap();
+                }
+            }
+            let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+            let got: std::collections::BTreeSet<u64> = dirty
+                .pages()
+                .map(|p| p - region.start.page())
+                .collect();
+            prop_assert_eq!(got, expected, "technique {}", technique.name());
+        }
+        session.stop(&mut hv, &mut kernel).unwrap();
+    }
+
+    /// Checkpoint → wire encode/decode → restore is byte-identical for any
+    /// write pattern, under any technique.
+    #[test]
+    fn checkpoint_roundtrip_is_byte_identical(
+        writes in proptest::collection::vec((0u64..32, any::<u64>()), 1..60),
+        technique_idx in 0usize..4,
+    ) {
+        let technique = Technique::ALL[technique_idx];
+        let (mut hv, mut kernel, pid) = boot();
+        let region = kernel.mmap(pid, 32, true, VmaKind::Anon).unwrap();
+        for &(page, value) in &writes {
+            kernel
+                .write_u64(&mut hv, pid, region.start.add(page * PAGE_SIZE + (value % 500) * 8), value, Lane::Tracked)
+                .unwrap();
+        }
+        let mut criu = Criu::attach(&mut hv, &mut kernel, pid, CriuConfig::new(technique)).unwrap();
+        let (img, _) = criu.full_dump(&mut hv, &mut kernel, pid).unwrap();
+        criu.detach(&mut hv, &mut kernel).unwrap();
+
+        let img = ooh::criu::CheckpointImage::decode(img.encode()).unwrap();
+        let new_pid = restore(&mut hv, &mut kernel, &img).unwrap();
+        let checked = verify(&mut hv, &mut kernel, new_pid, &img).unwrap();
+        let distinct: std::collections::BTreeSet<u64> = writes.iter().map(|(p, _)| *p).collect();
+        prop_assert_eq!(checked as usize, distinct.len());
+    }
+
+    /// The GC never reclaims a reachable object and always reclaims
+    /// unreachable ones by the next major cycle, for arbitrary graphs.
+    #[test]
+    fn gc_reachability_is_exact(
+        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..48),
+        rooted in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let (mut hv, mut kernel, pid) = boot();
+        let mut gc = BoehmGc::new(&mut hv, &mut kernel, pid, 64, 32, GcMode::StopTheWorld).unwrap();
+
+        // 24 objects, each with 4 pointer slots.
+        let objs: Vec<Gva> = (0..24)
+            .map(|_| gc.alloc(&mut hv, &mut kernel, 4).unwrap().unwrap())
+            .collect();
+        // Wire the random edges (slot = edge index mod 4).
+        for (i, &(from, to)) in edges.iter().enumerate() {
+            kernel
+                .write_u64(&mut hv, pid, objs[from].add((i as u64 % 4) * 8), objs[to].raw(), Lane::Tracked)
+                .unwrap();
+        }
+        // Roots.
+        let mut root_slots = Vec::new();
+        for (i, &is_root) in rooted.iter().enumerate() {
+            if is_root {
+                let slot = gc.add_root_slot();
+                kernel
+                    .write_u64(&mut hv, pid, slot, objs[i].raw(), Lane::Tracked)
+                    .unwrap();
+                root_slots.push(i);
+            }
+        }
+
+        // Host-side reachability reference.
+        let mut reachable = std::collections::BTreeSet::new();
+        let mut stack: Vec<usize> = root_slots.clone();
+        while let Some(n) = stack.pop() {
+            if !reachable.insert(n) {
+                continue;
+            }
+            for (i, &(from, to)) in edges.iter().enumerate() {
+                // Edge survives only if not overwritten by a later edge in
+                // the same slot of the same object.
+                let slot = i % 4;
+                let overwritten = edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &(f2, _))| j > i && f2 == from && j % 4 == slot);
+                if from == n && !overwritten {
+                    stack.push(to);
+                }
+            }
+        }
+
+        gc.collect(&mut hv, &mut kernel).unwrap();
+        for (i, &o) in objs.iter().enumerate() {
+            prop_assert_eq!(
+                gc.heap.contains_object(o),
+                reachable.contains(&i),
+                "object {} (reachable = {})",
+                i,
+                reachable.contains(&i)
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Working-set-size estimation (PML-R) over a live guest — the related-work
+//! extension implemented end to end.
+
+use ooh::hypervisor::WssEstimator;
+use ooh::prelude::*;
+
+#[test]
+fn wss_tracks_the_touched_set_per_interval() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    let region = kernel.mmap(pid, 256, true, VmaKind::Anon).unwrap();
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+    }
+
+    let mut wss = WssEstimator::start(&mut hv, vm).unwrap();
+
+    // Interval 1: read 32 pages, write 8 of them.
+    for i in 0..32u64 {
+        kernel
+            .read_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), Lane::Tracked)
+            .unwrap();
+    }
+    for i in 0..8u64 {
+        kernel
+            .write_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), 1, Lane::Tracked)
+            .unwrap();
+    }
+    let s1 = wss.sample(&mut hv).unwrap();
+    // Data pages dominate; PT-page traffic adds a small amount of noise.
+    assert!(
+        (32..48).contains(&s1.accessed_pages),
+        "interval 1 accessed = {}",
+        s1.accessed_pages
+    );
+    assert!(
+        (8..16).contains(&s1.dirty_pages),
+        "interval 1 dirty = {}",
+        s1.dirty_pages
+    );
+
+    // Interval 2: a hotter phase — 128 pages read-only.
+    for i in 0..128u64 {
+        kernel
+            .read_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), Lane::Tracked)
+            .unwrap();
+    }
+    let s2 = wss.sample(&mut hv).unwrap();
+    assert!(
+        (128..150).contains(&s2.accessed_pages),
+        "interval 2 accessed = {}",
+        s2.accessed_pages
+    );
+    assert_eq!(s2.dirty_pages, 0, "read-only phase must show no dirty pages");
+
+    // Interval 3: idle.
+    let s3 = wss.sample(&mut hv).unwrap();
+    assert_eq!(s3.accessed_pages, 0, "idle interval must be empty");
+
+    assert_eq!(wss.peak_accessed(), s2.accessed_pages);
+    let samples = wss.stop(&mut hv).unwrap();
+    assert_eq!(samples.len(), 3);
+
+    // After stop, PML returns to idle: a guest write logs nothing.
+    kernel
+        .write_u64(&mut hv, pid, region.start, 2, Lane::Tracked)
+        .unwrap();
+    assert!(!hv.vm(vm).vcpus[0].pml.hyp_logging);
+}
+
+/// WSS estimation coexists with in-guest EPML tracking: the guest tracker's
+/// per-process dirty sets are unaffected while the hypervisor samples.
+#[test]
+fn wss_coexists_with_guest_tracking() {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(512 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(128 * 1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    let region = kernel.mmap(pid, 32, true, VmaKind::Anon).unwrap();
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+    }
+
+    let mut session = OohSession::start(&mut hv, &mut kernel, pid, Technique::Epml).unwrap();
+    let mut wss = WssEstimator::start(&mut hv, vm).unwrap();
+
+    for i in [3u64, 9, 20] {
+        kernel
+            .write_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), i, Lane::Tracked)
+            .unwrap();
+    }
+
+    let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+    assert_eq!(dirty.len(), 3, "guest tracker unaffected by WSS sampling");
+    let s = wss.sample(&mut hv).unwrap();
+    assert!(s.accessed_pages >= 3, "hypervisor saw the same activity");
+    wss.stop(&mut hv).unwrap();
+    session.stop(&mut hv, &mut kernel).unwrap();
+}
