@@ -8,6 +8,8 @@
 //! 3. **SPML reverse-map caching (paper footnote 2)** — Boehm's
 //!    cache-after-first-cycle vs re-resolving every cycle.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::gc_scenarios::run_gcbench;
 use ooh_bench::{report, Stack};
 use ooh_core::{OohSession, Technique};

@@ -4,6 +4,8 @@
 //! story from measured event counts and lane times on a fixed round:
 //! 64 pages dirtied, one collection.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{counter, report, run_tracked};
 use ooh_core::Technique;
 use ooh_sim::{Event, TextTable};

@@ -7,6 +7,8 @@
 //! per-vCPU; the ring is per-process). The VMs time-share one physical CPU
 //! round-robin, as tenants on one core would.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::report;
 use ooh_core::{OohSession, Technique};
 use ooh_gc::{BoehmGc, GcMode};

@@ -5,6 +5,8 @@
 //! Paper shape: reverse mapping is the bottleneck, >68% of collection time
 //! on average and growing with memory size; ring copy is negligible.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{counter, report, run_tracked};
 use ooh_core::Technique;
 use ooh_sim::table::fpct;

@@ -5,6 +5,8 @@
 //! ufd next (up to 15×, worst below 250 MB), /proc up to ~4×, EPML
 //! negligible (≤0.6%) at every size.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{report, run_baseline, run_tracked};
 use ooh_core::Technique;
 use ooh_sim::table::fnum;

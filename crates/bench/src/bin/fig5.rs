@@ -6,6 +6,8 @@
 //! Paper shape: ignoring the first cycle, SPML ≤ /proc; EPML best (up to
 //! 58% faster than /proc and 47% than SPML on GCBench Medium).
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::gc_scenarios::{run_gcbench, run_phoenix_gc, GcAppRun};
 use ooh_bench::report;
 use ooh_core::Technique;

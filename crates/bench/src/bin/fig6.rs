@@ -5,6 +5,8 @@
 //! Paper shape: SPML ≥ /proc on most apps (up to 273% on string-match);
 //! EPML cuts the overhead to single digits (up to 62% better than /proc).
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::gc_scenarios::run_phoenix_gc;
 use ooh_bench::report;
 use ooh_core::Technique;

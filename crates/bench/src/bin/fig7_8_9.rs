@@ -10,6 +10,8 @@
 //! * Fig. 9 — overhead on the checkpointed application (paper: /proc up to
 //!   ~102%, SPML up to ~114%, EPML ≤14%, avg 3%).
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::criu_scenarios::{criu_baseline, run_criu, App};
 use ooh_bench::report;
 use ooh_core::Technique;

@@ -5,6 +5,8 @@
 //! Paper reference points (1 GB): ufd 1463% / 1349%, /proc 335% / 147%.
 //! Run with `OOH_FULL=1` to extend the sweep to 500 MB and 1 GB.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{report, run_baseline, run_tracked};
 use ooh_core::Technique;
 use ooh_sim::{overhead_pct, TextTable};

@@ -3,6 +3,8 @@
 //! from-scratch subsystem in this reproduction, split into code and tests,
 //! counted from the workspace sources at run time.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::report;
 use ooh_sim::TextTable;
 use serde::Serialize;

@@ -3,6 +3,8 @@
 //! memory; we print ours (scaled, see config.rs) with the memory actually
 //! resident after a run.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{report, Stack};
 use ooh_machine::PAGE_SIZE;
 use ooh_sim::TextTable;

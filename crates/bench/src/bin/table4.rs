@@ -5,6 +5,8 @@
 //! Paper result: the formulas estimate E(C_tker) with ~96% average accuracy
 //! and E(C_tked_tker) with ~99%.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{accuracy_pct, estimate_tracked_impact_ns, estimate_tracker_ns, report, Stack};
 use ooh_core::Technique;
 use ooh_criu::{Criu, CriuConfig};

@@ -6,6 +6,8 @@
 //! Part (b): size-dependent totals for the array parser at each region
 //! size, measured with clock deltas around the mechanism.
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{report, Stack};
 use ooh_core::{OohSession, Technique};
 use ooh_guest::{OohMode, OohModule, UfdMode, VmaKind};

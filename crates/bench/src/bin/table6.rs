@@ -4,6 +4,8 @@
 //! structure plus a measured probe run per technique (the counts prove the
 //! associations rather than asserting them).
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh_bench::{counter, report, run_tracked};
 use ooh_core::Technique;
 use ooh_sim::{Event, TextTable};

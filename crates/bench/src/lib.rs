@@ -20,6 +20,8 @@
 //!
 //! Criterion microbenches for the hot primitives live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod criu_scenarios;
 pub mod formula;
 pub mod gc_scenarios;

@@ -2,6 +2,9 @@
 //! table on stdout plus one JSON line per row (prefixed `#json `), so
 //! results are both human-readable and machine-checkable.
 
+// stdout IS this module's job — it renders the bench binaries' results.
+#![allow(clippy::print_stdout)]
+
 use serde::Serialize;
 
 /// Print the experiment header.

@@ -14,8 +14,12 @@
 //! plus [`OohSession`], the application-facing facade, and the
 //! [`revmap`] module implementing SPML's GPA→GVA resolution.
 
+#![forbid(unsafe_code)]
+
 pub mod dirtyset;
 pub mod epml;
+#[cfg(feature = "debug-invariants")]
+pub mod invariants;
 pub mod proc_tracker;
 pub mod revmap;
 pub mod session;
@@ -204,7 +208,7 @@ mod tests {
     /// disruption is the smallest.
     #[test]
     fn cost_ordering_matches_the_paper() {
-        let mut total = std::collections::HashMap::new();
+        let mut total = std::collections::BTreeMap::new();
         for technique in Technique::ALL {
             let mut rig = boot(256);
             let mut session =

@@ -18,7 +18,7 @@ use ooh_sim::{Event, Lane};
 /// the addresses afterwards, because a process's physical placement is
 /// stable. Entries are `Option<GVA page>` so "this GPA has no userspace
 /// mapping" (page-table noise) is cached too.
-pub type RevMapCache = std::collections::HashMap<u64, Option<u64>>;
+pub type RevMapCache = std::collections::BTreeMap<u64, Option<u64>>;
 
 /// Cost of a cache hit (one hash probe in the library).
 const CACHE_HIT_NS: u64 = 50;
@@ -43,7 +43,7 @@ pub fn reverse_map_batch(
     // index once (so the simulation is O(n + m)) but charge the modeled
     // per-lookup scan cost (so the virtual clock behaves like the paper's
     // measurements).
-    let inverse: std::collections::HashMap<u64, u64> = proc
+    let inverse: std::collections::BTreeMap<u64, u64> = proc
         .resident
         .iter()
         .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))
@@ -72,7 +72,7 @@ pub fn reverse_map_batch_cached(
     let ctx = hv.ctx.clone();
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
-    let inverse: std::collections::HashMap<u64, u64> = proc
+    let inverse: std::collections::BTreeMap<u64, u64> = proc
         .resident
         .iter()
         .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))

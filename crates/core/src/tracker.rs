@@ -13,7 +13,7 @@ use ooh_hypervisor::Hypervisor;
 use serde::Serialize;
 
 /// The four techniques the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub enum Technique {
     /// `/proc/PID/pagemap` soft-dirty (CRIU's and Boehm's default).
     Proc,

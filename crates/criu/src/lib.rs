@@ -14,6 +14,8 @@
 //! The MD (collect) and MW (write) phases are timed separately per
 //! technique, reproducing Figures 7–9.
 
+#![forbid(unsafe_code)]
+
 pub mod dump;
 pub mod image;
 pub mod restore;

@@ -6,6 +6,8 @@
 //! tracker reports written since the previous cycle — the exact place the
 //! paper patches Boehm (the *mark phase*), swapping `/proc` for SPML/EPML.
 
+#![forbid(unsafe_code)]
+
 pub mod collector;
 pub mod heap;
 

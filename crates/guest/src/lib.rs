@@ -16,6 +16,8 @@
 //!   hooks, EPML guest-level PML buffer management and the buffer-full
 //!   self-IPI handler.
 
+#![forbid(unsafe_code)]
+
 pub mod kernel;
 pub mod ooh_module;
 pub mod process;

@@ -161,6 +161,7 @@ impl OohModule {
                 if let Some((slot, pte)) = kernel.pte_lookup(hv, pid, gva)? {
                     if pte.is_dirty() {
                         kernel.kernel_phys_write(hv, slot, pte.without(Pte::DIRTY).0)?;
+                        hv.note_guest_pte_dirty_cleared(kernel.vm, kernel.vcpu, gva);
                     }
                 }
             }
@@ -350,6 +351,7 @@ impl OohModule {
             if let Some((slot_gpa, pte)) = kernel.pte_lookup(hv, pid, gva)? {
                 if pte.is_dirty() {
                     kernel.kernel_phys_write(hv, slot_gpa, pte.without(Pte::DIRTY).0)?;
+                    hv.note_guest_pte_dirty_cleared(kernel.vm, kernel.vcpu, gva);
                 }
             }
             if per_page_invalidate {

@@ -256,6 +256,7 @@ impl Hypervisor {
             }
             // Reset per-round dirty state.
             vmref.ept.clear_dirty(phys, gpa)?;
+            vc.pml.note_hyp_dirty_cleared(gpa.page());
             vc.tlb.invalidate_gpa_page(gpa.page());
         }
         Ok(n)
@@ -299,6 +300,7 @@ impl Hypervisor {
                 vmref.ept.clear_all_dirty(&mut self.machine.phys)?;
                 for vc in &mut vmref.vcpus {
                     vc.tlb.flush_all();
+                    vc.pml.shadow_reset_hyp();
                 }
                 vmref.sync_logging();
                 Ok(HypercallResult::Ok)
@@ -309,6 +311,9 @@ impl Hypervisor {
                 vmref.spml.enabled_by_guest = false;
                 vmref.spml.guest_logging_on = false;
                 vmref.spml.guest_ring = None;
+                for vc in &mut vmref.vcpus {
+                    vc.pml.shadow_reset_hyp();
+                }
                 vmref.sync_logging();
                 Ok(HypercallResult::Ok)
             }
@@ -378,6 +383,9 @@ impl Hypervisor {
                 let vc = &mut self.vms[vm.0 as usize].vcpus[vcpu as usize];
                 vc.vmcs.detach_shadow();
                 vc.sync_pml_from_vmcs();
+                // Undrained guest-buffer entries die with the session; the
+                // shadow must not outlive them (debug-invariants only).
+                vc.pml.shadow_reset_guest();
                 Ok(HypercallResult::Ok)
             }
         }
@@ -403,6 +411,16 @@ impl Hypervisor {
             &mut self.machine.phys,
             &mut vmref.ept,
         )
+    }
+
+    /// `debug-invariants` hook: the guest OoH module cleared the D bit of the
+    /// guest PTE mapping `gva` (track-reset or guest-buffer drain). Keeps the
+    /// PML shadow's "already logged" set in sync so a later 0→1 transition is
+    /// not mistaken for a double-log. No-op unless the feature is enabled.
+    pub fn note_guest_pte_dirty_cleared(&mut self, vm: VmId, vcpu: u32, gva: Gva) {
+        self.vms[vm.0 as usize].vcpus[vcpu as usize]
+            .pml
+            .note_guest_dirty_cleared(gva.page());
     }
 
     /// Execute a guest-mode `vmread` on `vcpu`.

@@ -16,6 +16,8 @@
 //!   the guest's per-process tracking coexist with the hypervisor's own PML
 //!   consumer, pre-copy live migration ([`migration::PreCopyMigration`]).
 
+#![forbid(unsafe_code)]
+
 pub mod hypercall;
 pub mod hypervisor;
 pub mod migration;

@@ -47,6 +47,7 @@ impl WssEstimator {
             vmref.wss_active = true;
             for vc in &mut vmref.vcpus {
                 vc.tlb.flush_all();
+                vc.pml.shadow_reset_hyp();
                 vc.pml.log_accesses = true;
             }
             vmref.sync_logging();
@@ -81,6 +82,7 @@ impl WssEstimator {
             vmref.ept.clear_all_dirty(phys)?;
             for vc in &mut vmref.vcpus {
                 vc.tlb.flush_all();
+                vc.pml.shadow_reset_hyp();
             }
             s
         };

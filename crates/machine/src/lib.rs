@@ -22,6 +22,8 @@
 //! Timing is charged to a shared [`ooh_sim::SimCtx`] with unit costs
 //! calibrated to the paper's Table V; see `ooh-sim` for the calibration.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod ept;
 pub mod error;

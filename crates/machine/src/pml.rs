@@ -121,6 +121,81 @@ pub struct PmlState {
     /// working-set size without write-protecting the guest. Only meaningful
     /// while `hyp_logging` is on.
     pub log_accesses: bool,
+    /// Shadow bookkeeping for the `debug-invariants` feature. Stays empty
+    /// (and costs one pointer-sized struct) when the feature is off.
+    pub shadow: PmlShadow,
+}
+
+/// Shadow tracking behind the `debug-invariants` feature: the set of pages
+/// whose 0→1 dirty-bit transition has been logged and whose dirty bit has
+/// not been cleared since. The architectural invariant is *exactly one log
+/// entry per transition per round*: a second log for the same page without
+/// an intervening clear means the walker double-logged; a missing clear
+/// notification means a drain path forgot to reset per-round state.
+#[derive(Debug, Default)]
+pub struct PmlShadow {
+    /// GPA pages dirty-logged into the hypervisor-level buffer.
+    hyp_logged: std::collections::BTreeSet<u64>,
+    /// GVA pages dirty-logged into the guest-level (EPML) buffer.
+    guest_logged: std::collections::BTreeSet<u64>,
+}
+
+impl PmlState {
+    /// The walker logged a 0→1 EPT dirty transition for `gpa_page` into the
+    /// hypervisor buffer. Panics (feature `debug-invariants` only) if the
+    /// page was already logged this round.
+    pub fn note_hyp_dirty_logged(&mut self, gpa_page: u64) {
+        if cfg!(feature = "debug-invariants") {
+            assert!(
+                self.shadow.hyp_logged.insert(gpa_page),
+                "PML invariant violated: GPA page {gpa_page:#x} dirty-logged twice \
+                 without an intervening EPT dirty-bit clear"
+            );
+        }
+    }
+
+    /// The drain path cleared the EPT dirty bit of `gpa_page`; it may log
+    /// again. No-op without `debug-invariants`.
+    pub fn note_hyp_dirty_cleared(&mut self, gpa_page: u64) {
+        if cfg!(feature = "debug-invariants") {
+            self.shadow.hyp_logged.remove(&gpa_page);
+        }
+    }
+
+    /// The walker logged a 0→1 guest-PTE dirty transition for `gva_page`
+    /// into the guest-level (EPML) buffer.
+    pub fn note_guest_dirty_logged(&mut self, gva_page: u64) {
+        if cfg!(feature = "debug-invariants") {
+            assert!(
+                self.shadow.guest_logged.insert(gva_page),
+                "PML invariant violated: GVA page {gva_page:#x} dirty-logged twice \
+                 without an intervening guest-PTE dirty-bit clear"
+            );
+        }
+    }
+
+    /// The OoH module cleared the dirty bit of the guest PTE mapping
+    /// `gva_page` (drain or track-reset); it may log again.
+    pub fn note_guest_dirty_cleared(&mut self, gva_page: u64) {
+        if cfg!(feature = "debug-invariants") {
+            self.shadow.guest_logged.remove(&gva_page);
+        }
+    }
+
+    /// Bulk reset of the hypervisor-side shadow — paired with
+    /// `Ept::clear_all_dirty` (SPML init, WSS intervals).
+    pub fn shadow_reset_hyp(&mut self) {
+        if cfg!(feature = "debug-invariants") {
+            self.shadow.hyp_logged.clear();
+        }
+    }
+
+    /// Bulk reset of the guest-side shadow — paired with EPML deactivation.
+    pub fn shadow_reset_guest(&mut self) {
+        if cfg!(feature = "debug-invariants") {
+            self.shadow.guest_logged.clear();
+        }
+    }
 }
 
 /// Events produced by a single logged store, to be dispatched by the caller.
@@ -209,6 +284,50 @@ mod tests {
     fn drain_empty_is_empty() {
         let (phys, mut b) = mk();
         assert!(b.drain(&phys).unwrap().is_empty());
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    mod invariant_tests {
+        use super::super::PmlState;
+
+        #[test]
+        fn log_clear_log_is_legal() {
+            let mut s = PmlState::default();
+            s.note_hyp_dirty_logged(0x40);
+            s.note_hyp_dirty_cleared(0x40);
+            s.note_hyp_dirty_logged(0x40);
+            s.note_guest_dirty_logged(0x99);
+            s.note_guest_dirty_cleared(0x99);
+            s.note_guest_dirty_logged(0x99);
+        }
+
+        #[test]
+        #[should_panic(expected = "PML invariant violated")]
+        fn double_hyp_log_without_clear_panics() {
+            let mut s = PmlState::default();
+            s.note_hyp_dirty_logged(0x40);
+            s.note_hyp_dirty_logged(0x40);
+        }
+
+        #[test]
+        #[should_panic(expected = "PML invariant violated")]
+        fn double_guest_log_without_clear_panics() {
+            let mut s = PmlState::default();
+            s.note_guest_dirty_logged(0x7);
+            s.note_guest_dirty_logged(0x7);
+        }
+
+        #[test]
+        fn bulk_reset_forgives_everything() {
+            let mut s = PmlState::default();
+            s.note_hyp_dirty_logged(1);
+            s.note_hyp_dirty_logged(2);
+            s.shadow_reset_hyp();
+            s.note_hyp_dirty_logged(1);
+            s.note_guest_dirty_logged(3);
+            s.shadow_reset_guest();
+            s.note_guest_dirty_logged(3);
+        }
     }
 
     #[test]

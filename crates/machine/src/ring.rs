@@ -102,12 +102,41 @@ impl RingView {
         self.data[page].add(off)
     }
 
+    /// `debug-invariants` only: structural SPSC checks on the shared header.
+    /// `head` must never run past `tail` (FIFO: pops consume pushes), the
+    /// queue depth must never exceed capacity (wraparound must not overwrite
+    /// unconsumed entries), and the header capacity must match this view's
+    /// (attach/create disagreement corrupts slot arithmetic).
+    fn check_invariants(&self, phys: &HostPhys, head: u64, tail: u64) -> Result<(), MachineError> {
+        if cfg!(feature = "debug-invariants") {
+            let cap = phys.read_u64(self.header.add(OFF_CAP))?;
+            assert_eq!(
+                cap, self.capacity,
+                "ring invariant violated: header capacity {cap} != view capacity {}",
+                self.capacity
+            );
+            assert!(
+                head <= tail,
+                "ring invariant violated: head {head} ran past tail {tail} (pop without push)"
+            );
+            assert!(
+                tail - head <= self.capacity,
+                "ring invariant violated: {} queued entries exceed capacity {} \
+                 (producer wrapped over unconsumed entries)",
+                tail - head,
+                self.capacity
+            );
+        }
+        Ok(())
+    }
+
     /// Push one entry. Returns `false` (and bumps the dropped counter) if
     /// the ring is full — the consumer will detect drops and fall back to a
     /// full rescan, as the OoH library does.
     pub fn push(&self, phys: &mut HostPhys, value: u64) -> Result<bool, MachineError> {
         let head = self.head(phys)?;
         let tail = self.tail(phys)?;
+        self.check_invariants(phys, head, tail)?;
         if tail - head >= self.capacity {
             let d = self.dropped(phys)?;
             phys.write_u64(self.header.add(OFF_DROPPED), d + 1)?;
@@ -122,6 +151,7 @@ impl RingView {
     pub fn pop(&self, phys: &mut HostPhys) -> Result<Option<u64>, MachineError> {
         let head = self.head(phys)?;
         let tail = self.tail(phys)?;
+        self.check_invariants(phys, head, tail)?;
         if head == tail {
             return Ok(None);
         }
@@ -207,6 +237,44 @@ mod tests {
         }
         for i in 0..ring.capacity() {
             assert_eq!(ring.pop(&mut phys).unwrap(), Some(i * 7));
+        }
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    mod invariant_tests {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "ring invariant violated")]
+        fn corrupted_head_past_tail_panics() {
+            let (mut phys, ring) = mk(1);
+            ring.push(&mut phys, 1).unwrap();
+            // Corrupt the shared header the way a buggy consumer would:
+            // advance head beyond tail.
+            phys.write_u64(ring.header.add(super::super::OFF_HEAD), 5).unwrap();
+            let _ = ring.pop(&mut phys);
+        }
+
+        #[test]
+        #[should_panic(expected = "ring invariant violated")]
+        fn corrupted_overfull_ring_panics() {
+            let (mut phys, ring) = mk(1);
+            // A producer that wrapped over unconsumed entries: tail - head
+            // exceeds capacity.
+            phys.write_u64(
+                ring.header.add(super::super::OFF_TAIL),
+                ring.capacity() + 1,
+            )
+            .unwrap();
+            let _ = ring.push(&mut phys, 1);
+        }
+
+        #[test]
+        #[should_panic(expected = "ring invariant violated")]
+        fn capacity_mismatch_panics() {
+            let (mut phys, ring) = mk(2);
+            phys.write_u64(ring.header.add(super::super::OFF_CAP), 8).unwrap();
+            let _ = ring.push(&mut phys, 1);
         }
     }
 

@@ -11,7 +11,7 @@
 //! `ooh-secheap` crate builds exactly that on this model.
 
 use crate::addr::Gpa;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bytes per sub-page.
 pub const SUBPAGE_SIZE: u64 = 128;
@@ -22,7 +22,7 @@ pub const SUBPAGES_PER_PAGE: u64 = 32;
 /// map: only guarded pages have entries; unguarded pages behave as before).
 #[derive(Debug, Default)]
 pub struct SppTable {
-    masks: HashMap<u64, u32>,
+    masks: BTreeMap<u64, u32>,
 }
 
 impl SppTable {

@@ -13,7 +13,7 @@
 //! we note in EXPERIMENTS.md.
 
 use crate::addr::{Gpa, Gva, Hpa};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A cached translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +58,7 @@ impl TlbEntry {
 /// FIFO eviction for studies of walk-count sensitivity.
 #[derive(Debug, Default)]
 pub struct Tlb {
-    entries: HashMap<u64, TlbEntry>,
+    entries: BTreeMap<u64, TlbEntry>,
     /// FIFO of filled pages, used only when `capacity` is set (kept exact:
     /// stale keys are skipped at eviction).
     fill_order: std::collections::VecDeque<u64>,

@@ -12,7 +12,7 @@
 //! * the posted-interrupt notification vector used for EPML's self-IPI.
 
 use crate::error::MachineError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// VMCS field identifiers (a curated subset; encodings are symbolic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +77,7 @@ pub const NO_SHADOW: u64 = u64::MAX;
 /// One VMCS region's field storage.
 #[derive(Debug, Clone, Default)]
 pub struct VmcsData {
-    fields: HashMap<u32, u64>,
+    fields: BTreeMap<u32, u64>,
 }
 
 impl VmcsData {

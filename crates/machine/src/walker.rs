@@ -73,6 +73,9 @@ impl Mmu<'_> {
                 true
             };
             if usable {
+                if write {
+                    self.check_write_fast_path(cr3, gva, &entry)?;
+                }
                 self.ctx.charge(self.lane, Event::TlbHit);
                 return Ok(Ok(AccessOk {
                     hpa: entry.hpa(gva),
@@ -164,11 +167,11 @@ impl Mmu<'_> {
 
         // --- the PML circuit --------------------------------------------------
         if ept_d_transition {
-            self.log_hyp(data_gpa.page_base(), &mut events)?;
+            self.log_hyp(data_gpa.page_base(), true, &mut events)?;
         } else if ept_a_transition && self.pml.log_accesses {
             // PML-R: access logging for working-set estimation (a dirty
             // transition already logged above; don't double-log).
-            self.log_hyp(data_gpa.page_base(), &mut events)?;
+            self.log_hyp(data_gpa.page_base(), false, &mut events)?;
         }
         if guest_d_transition && self.epml_hw {
             self.log_guest(gva.page_base(), &mut events)?;
@@ -231,12 +234,19 @@ impl Mmu<'_> {
         }
         self.phys.write_u64(entry.frame().add(gpa.offset()), value)?;
         if d_transition {
-            self.log_hyp(gpa.page_base(), events)?;
+            self.log_hyp(gpa.page_base(), true, events)?;
         }
         Ok(Ok(()))
     }
 
-    fn log_hyp(&mut self, gpa: Gpa, events: &mut Vec<PmlEvent>) -> Result<(), MachineError> {
+    /// `dirty_transition` distinguishes D-bit logs from PML-R A-bit logs:
+    /// only the former feed the one-log-per-transition shadow invariant.
+    fn log_hyp(
+        &mut self,
+        gpa: Gpa,
+        dirty_transition: bool,
+        events: &mut Vec<PmlEvent>,
+    ) -> Result<(), MachineError> {
         if !self.pml.hyp_logging {
             return Ok(());
         }
@@ -244,11 +254,16 @@ impl Mmu<'_> {
             return Ok(());
         };
         self.ctx.charge(self.lane, Event::PmlLogGpa);
-        match buf.log(self.phys, gpa.raw())? {
+        let outcome = buf.log(self.phys, gpa.raw())?;
+        match outcome {
             LogOutcome::Logged => {}
             LogOutcome::LoggedLastSlot | LogOutcome::Full => {
                 events.push(PmlEvent::HypBufferFull);
             }
+        }
+        // A Full outcome wrote nothing, so it does not count as "logged".
+        if dirty_transition && outcome != LogOutcome::Full {
+            self.pml.note_hyp_dirty_logged(gpa.page());
         }
         Ok(())
     }
@@ -261,10 +276,66 @@ impl Mmu<'_> {
             return Ok(());
         };
         self.ctx.charge(self.lane, Event::PmlLogGva);
-        match buf.log(self.phys, gva.raw())? {
+        let outcome = buf.log(self.phys, gva.raw())?;
+        match outcome {
             LogOutcome::Logged => {}
             LogOutcome::LoggedLastSlot | LogOutcome::Full => {
                 events.push(PmlEvent::GuestBufferFull);
+            }
+        }
+        if outcome != LogOutcome::Full {
+            self.pml.note_guest_dirty_logged(gva.page());
+        }
+        Ok(())
+    }
+
+    /// `debug-invariants` only: a TLB hit is about to let a store complete
+    /// without a walk, on the cached claim that both dirty bits are already
+    /// set (`store_fast_path`). Verify the claim against the architectural
+    /// state — if a PML drain cleared a dirty bit but left this translation
+    /// cached, the store would go unlogged and the tracker would miss the
+    /// page. Reads raw PTE/EPT words only (no A/D side effects, no charges).
+    fn check_write_fast_path(
+        &mut self,
+        cr3: Gpa,
+        gva: Gva,
+        entry: &TlbEntry,
+    ) -> Result<(), MachineError> {
+        if !cfg!(feature = "debug-invariants") {
+            return Ok(());
+        }
+        let data_gpa = entry.gpa(gva);
+        match self.ept.lookup(self.phys, data_gpa)? {
+            Some((_, e)) => assert!(
+                e.is_dirty(),
+                "TLB invariant violated: write fast path for {gva:?} -> {data_gpa:?}, but the \
+                 EPT dirty bit is clear — a drain flushed this page and the stale TLB entry \
+                 would suppress PML re-logging"
+            ),
+            None => panic!(
+                "TLB invariant violated: cached translation for unmapped GPA {data_gpa:?}"
+            ),
+        }
+        // Guest-PTE side (the EPML guest buffer's log trigger).
+        let mut table = cr3;
+        for level in (0..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let Some(hslot) = self.ept.translate(self.phys, slot)? else {
+                return Ok(());
+            };
+            let e = Pte(self.phys.read_u64(hslot)?);
+            if !e.is_present() {
+                return Ok(());
+            }
+            if level == 0 {
+                assert!(
+                    e.is_dirty(),
+                    "TLB invariant violated: write fast path for {gva:?}, but the guest PTE \
+                     dirty bit is clear — the OoH module drained this page and the stale TLB \
+                     entry would suppress guest-buffer re-logging"
+                );
+            } else {
+                table = e.frame();
             }
         }
         Ok(())
@@ -370,6 +441,45 @@ mod tests {
     }
 
     const BASE: Gva = Gva(0x4000_0000);
+
+    #[cfg(feature = "debug-invariants")]
+    mod invariant_tests {
+        use super::*;
+
+        /// A drain that clears the EPT dirty bit but forgets to invalidate
+        /// the TLB is exactly the missed-logging bug the fast-path check
+        /// exists to catch.
+        #[test]
+        #[should_panic(expected = "TLB invariant violated")]
+        fn stale_tlb_entry_after_drain_panics() {
+            let mut rig = Rig::new();
+            rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+            rig.enable_hyp_pml();
+            let cr3 = rig.cr3;
+            let mut mmu = rig.mmu();
+            let gpa = mmu.access(cr3, BASE, true).unwrap().unwrap().gpa;
+            // Buggy drain: clear the EPT D bit *without* invalidating the TLB.
+            mmu.ept.clear_dirty(mmu.phys, gpa).unwrap();
+            let _ = mmu.access(cr3, BASE, true);
+        }
+
+        /// The correct drain sequence (reset buffer, clear D, note, flush
+        /// the translation) lets the page re-log without tripping anything.
+        #[test]
+        fn drain_then_rewrite_relogs_cleanly() {
+            let mut rig = Rig::new();
+            rig.map_gva(BASE, Pte::WRITABLE | Pte::USER);
+            rig.enable_hyp_pml();
+            let cr3 = rig.cr3;
+            let mut mmu = rig.mmu();
+            let gpa = mmu.access(cr3, BASE, true).unwrap().unwrap().gpa;
+            mmu.pml.hyp.as_mut().unwrap().drain(mmu.phys).unwrap();
+            mmu.ept.clear_dirty(mmu.phys, gpa).unwrap();
+            mmu.pml.note_hyp_dirty_cleared(gpa.page());
+            mmu.tlb.invalidate_gpa_page(gpa.page());
+            mmu.access(cr3, BASE, true).unwrap().unwrap();
+        }
+    }
 
     #[test]
     fn read_write_through_translation() {
@@ -528,6 +638,9 @@ mod tests {
             let h = rig.ept.translate(&rig.phys, slot).unwrap().unwrap();
             let pte = Pte(rig.phys.read_u64(h).unwrap());
             rig.phys.write_u64(h, pte.without(Pte::DIRTY).0).unwrap();
+            // The OoH module pairs the D-bit clear with this shadow note
+            // (see Hypervisor::note_guest_pte_dirty_cleared).
+            rig.pml.note_guest_dirty_cleared(BASE.page());
         }
         rig.tlb.flush_all();
         {

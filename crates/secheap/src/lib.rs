@@ -14,6 +14,8 @@
 //!   OoH-SPP kernel surface (one hypercall per affected page, no hot-path
 //!   cost).
 
+#![forbid(unsafe_code)]
+
 pub mod guard_page;
 pub mod spp_heap;
 

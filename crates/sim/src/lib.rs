@@ -14,6 +14,8 @@
 //! Tracker, guest kernel, hypervisor) so the harness can report both
 //! "overhead on Tracked" and "overhead on Tracker" as the paper does.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod cost;
 pub mod counters;

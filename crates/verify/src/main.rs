@@ -1,0 +1,54 @@
+//! CLI entry point: `cargo run -p ooh-verify [workspace-root]`.
+//!
+//! Prints every violation and exits 1 if any are found, 0 on a clean tree —
+//! suitable for CI and pre-commit hooks. Printing to stdout is this tool's
+//! output contract.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(ooh_verify::workspace_root);
+
+    let report = match ooh_verify::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ooh-verify: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // An empty scan means the root is wrong (e.g. a typo'd CI path), not a
+    // clean tree — passing silently here would defeat the whole gate.
+    if report.files_scanned == 0 {
+        eprintln!(
+            "ooh-verify: no Rust sources found under {} — wrong workspace root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    println!(
+        "ooh-verify: {} files scanned, {} violation(s), {} allowlisted",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        println!("rules:");
+        for (rule, desc) in ooh_verify::RULES {
+            println!("  {rule:<10} {desc}");
+        }
+        println!("suppress with verify.allow or `// ooh-verify: allow(<rule>)` — see crates/verify/src/lib.rs");
+        ExitCode::FAILURE
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`gcbench`] — the classic GC benchmark, allocating from `ooh-gc`;
 //! * [`config`] — Table III's small/medium/large parameter sets (scaled).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod gcbench;
 pub mod micro;

@@ -6,6 +6,8 @@
 //! cargo run --example checkpoint_restore
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::prelude::*;
 use ooh::workloads::{tkrzw_config, EngineKind, WorkEnv};
 

@@ -5,6 +5,8 @@
 //! cargo run --release --example compare_techniques
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::bench::{run_baseline, run_tracked};
 use ooh::prelude::*;
 use ooh::sim::TextTable;

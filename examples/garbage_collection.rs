@@ -6,6 +6,8 @@
 //! cargo run --example garbage_collection
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::gc::CycleStats;
 use ooh::prelude::*;
 use ooh::workloads::{gcbench_config, gcbench_heap_pages, WorkEnv};

@@ -6,6 +6,8 @@
 //! cargo run --example live_migration
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::prelude::*;
 use ooh::workloads::{micro, WorkEnv, Workload};
 

@@ -4,6 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::prelude::*;
 
 fn main() {

@@ -5,6 +5,8 @@
 //! cargo run --example secure_heap
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::prelude::*;
 use ooh::secheap::{GuardPageAllocator, OverflowDetect, SecureAllocator, SppAllocator};
 

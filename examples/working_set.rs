@@ -6,6 +6,8 @@
 //! cargo run --release --example working_set
 //! ```
 
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
 use ooh::hypervisor::WssEstimator;
 use ooh::prelude::*;
 

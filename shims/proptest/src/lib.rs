@@ -1,0 +1,343 @@
+//! Offline stand-in for `proptest`, covering the surface this repo's tests
+//! use: `proptest!` with an optional `#![proptest_config(..)]`, range /
+//! tuple / `collection::vec` / `option::of` / `any::<T>()` strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Unlike the real crate there is no shrinking and no persistence; cases are
+//! drawn from a splitmix64 stream seeded by the test's name, so a given test
+//! sees the same inputs on every run and on every machine — which is exactly
+//! the determinism contract the rest of this repo is built around.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A generator of values. The shim has no shrinking, so a strategy is just a
+/// sampling function.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Types with a canonical "whole domain" strategy, i.e. `any::<T>()`.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Accepted size specifications for `collection::vec`.
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min).max(1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Run configuration. Only `cases` is honored by the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; the shim trims that so the
+            // machine-booting property suites stay fast under `cargo test`.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`: early-return
+/// an `Err(String)` from the enclosing generated test-case closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` == `{:?}`", a, b),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                a, b, format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`", a, b),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                a, b, format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// The `proptest!` block: optional `#![proptest_config(expr)]`, then one or
+/// more `#[test]` functions whose arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest `{}` case {}/{} failed:\n{}",
+                        stringify!($name), __case + 1, __config.cases, e,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            v in 3u64..17,
+            pair in (0u8..4, any::<bool>()),
+            items in crate::collection::vec(0usize..5, 0..10),
+            opt in crate::option::of(1u32..2),
+        ) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!(pair.0 < 4);
+            prop_assert!(items.len() < 10);
+            prop_assert!(items.iter().all(|&i| i < 5));
+            prop_assert_eq!(opt.unwrap_or(1), 1);
+            prop_assert_ne!(v, 100);
+        }
+    }
+}

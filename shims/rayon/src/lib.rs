@@ -1,0 +1,18 @@
+//! Offline stand-in for `rayon`. `par_iter()` degrades to a plain sequential
+//! slice iterator — same item order as rayon's indexed collect, so results
+//! are bit-identical to the parallel version, just slower. The bench bins
+//! that fan grids out across cores keep compiling and produce identical
+//! output.
+
+pub mod prelude {
+    /// Sequential fallback for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a, T: 'a> {
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T>;
+    }
+
+    impl<'a, T: 'a, S: AsRef<[T]> + ?Sized> IntoParallelRefIterator<'a, T> for S {
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.as_ref().iter()
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde_json`, paired with the `serde` shim: the shim
+//! `Serialize` trait renders JSON directly, so `to_string` just drives it.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_vec() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+}

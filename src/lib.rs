@@ -49,6 +49,8 @@
 //! session.stop(&mut hv, &mut kernel).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ooh_bench as bench;
 pub use ooh_core as core;
 pub use ooh_criu as criu;

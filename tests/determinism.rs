@@ -1,0 +1,76 @@
+//! Determinism regression tests: the same seeded scenario run twice must
+//! produce *byte-identical* results — event counters, virtual timings, round
+//! structure, everything. This is the property the whole simulator stands
+//! on (it is what lets a bench table in a PR be reviewed as a diff), and it
+//! is exactly what the `ooh-verify` determinism lints exist to protect.
+//!
+//! The runs go through the `compare_techniques` path: `run_tracked` over a
+//! workload, serializing the full `TrackedRun` (which embeds the event
+//! counter snapshot and the per-round stats) to a canonical JSON string.
+
+use ooh::bench::{run_baseline, run_tracked, TrackedRun};
+use ooh::prelude::*;
+use ooh::workloads::{micro, phoenix, SizeClass};
+
+/// Canonical byte representation of a run: serde_json over `TrackedRun`
+/// serializes every field in declaration order, so equal strings mean equal
+/// timings, equal round-by-round dirty counts and equal event counters.
+fn canonical(run: &TrackedRun) -> String {
+    serde_json::to_string(run).expect("TrackedRun serializes")
+}
+
+/// The compare_techniques scenario, one technique, one full tracked run.
+fn run_micro_once(technique: Technique) -> String {
+    let mut w = micro(4, 2);
+    let steps_per_pass = w.num_pages.div_ceil(256) as u32;
+    let run = run_tracked(technique, &mut w, steps_per_pass).expect("tracked run");
+    canonical(&run)
+}
+
+/// Two identical seeded runs of the compare_techniques scenario must be
+/// byte-identical for every technique, counters included.
+#[test]
+fn compare_techniques_scenario_is_byte_identical_across_runs() {
+    for technique in Technique::ALL {
+        let first = run_micro_once(technique);
+        let second = run_micro_once(technique);
+        assert_eq!(
+            first,
+            second,
+            "technique {} produced different stats/counters on a re-run of \
+             the same scenario — a non-deterministic source leaked in",
+            technique.name()
+        );
+        // Guard against the vacuous pass where counters went missing.
+        assert!(
+            first.contains("\"counters\""),
+            "canonical run output lost its event-counter snapshot"
+        );
+    }
+}
+
+/// An explicitly seeded workload (phoenix histogram, seed 42) must also
+/// replay byte-identically — this exercises the deterministic RNG path, not
+/// just the fixed-pattern array parser.
+#[test]
+fn seeded_phoenix_run_is_byte_identical_across_runs() {
+    let run = |()| {
+        let mut w = phoenix("histogram", SizeClass::Small, 42);
+        let r = run_tracked(Technique::Epml, &mut *w, 8).expect("tracked run");
+        canonical(&r)
+    };
+    assert_eq!(
+        run(()),
+        run(()),
+        "seeded phoenix histogram diverged between identical runs"
+    );
+}
+
+/// The untracked baseline path is deterministic too (its virtual duration
+/// feeds every slowdown figure in the paper's tables).
+#[test]
+fn baseline_virtual_time_is_reproducible() {
+    let t1 = run_baseline(&mut micro(4, 2)).expect("baseline");
+    let t2 = run_baseline(&mut micro(4, 2)).expect("baseline");
+    assert_eq!(t1, t2, "untracked baseline virtual time diverged");
+}

@@ -1,0 +1,25 @@
+//! Runs the `ooh-verify` determinism & architecture lint pass as part of the
+//! workspace's tier-1 test suite, so a violating diff fails `cargo test -q`
+//! without anyone having to remember to run the binary.
+
+#[test]
+fn workspace_passes_ooh_verify_lint() {
+    let root = ooh_verify::workspace_root();
+    let report = ooh_verify::run(&root).expect("scanning the workspace sources");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the crate layout move?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "ooh-verify found {} violation(s) — run `cargo run -p ooh-verify` for details:\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
