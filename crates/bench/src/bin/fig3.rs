@@ -4,15 +4,24 @@
 //!
 //! Paper shape: reverse mapping is the bottleneck, >68% of collection time
 //! on average and growing with memory size; ring copy is negligible.
+//!
+//! With `OOH_TRACE=1`, each run boots with an `ooh_trace::Tracer` installed;
+//! the row is rebuilt from the trace's event counts, serialized, and
+//! asserted byte-identical to the counter-based row; the per-lane
+//! conservation invariant is checked; and the largest size's profile /
+//! folded stacks / Chrome trace are written into `OOH_TRACE_OUT` (default
+//! `bench_results/`). Stdout is byte-identical with and without `OOH_TRACE`.
 
 #![allow(clippy::print_stdout)] // bench/example binaries print their results
 
-use ooh_bench::{counter, report, run_tracked};
+use ooh_bench::{counter, report, run_tracked, run_tracked_on, Stack, TrackedRun};
 use ooh_core::Technique;
 use ooh_sim::table::fpct;
 use ooh_sim::{Event, SimCtx, TextTable};
+use ooh_trace::Tracer;
 use ooh_workloads::{micro, microbench_sizes_mib};
 use serde::Serialize;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct Row {
@@ -21,6 +30,31 @@ struct Row {
     pt_walk_ms: f64,
     ring_copy_ms: f64,
     revmap_share_pct: f64,
+}
+
+fn trace_mode() -> bool {
+    std::env::var_os("OOH_TRACE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn trace_out_dir() -> std::path::PathBuf {
+    std::env::var_os("OOH_TRACE_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
+}
+
+fn make_row(mib: u64, cost: &ooh_sim::CostModel, pages: u64, count: impl Fn(Event) -> u64) -> Row {
+    let revmap_ns = count(Event::ReverseMapLookup) * cost.reverse_map_lookup_ns(pages);
+    let pt_walk_ns = count(Event::PagemapReadEntry) * cost.pagemap_entry_ns
+        + count(Event::PagemapReadChunk) * cost.pagemap_chunk_ns;
+    let ring_ns = count(Event::RingBufferCopyEntry) * cost.ring_copy_entry_ns;
+    let total = (revmap_ns + pt_walk_ns + ring_ns) as f64;
+    Row {
+        mib,
+        revmap_ms: report::ms(revmap_ns),
+        pt_walk_ms: report::ms(pt_walk_ns),
+        ring_copy_ms: report::ms(ring_ns),
+        revmap_share_pct: 100.0 * revmap_ns as f64 / total,
+    }
 }
 
 fn main() {
@@ -32,34 +66,71 @@ fn main() {
     let mut tbl = TextTable::new([
         "size", "revmap(ms)", "ptwalk(ms)", "rbcopy(ms)", "revmap share",
     ]);
-    for mib in microbench_sizes_mib() {
+    let sizes = microbench_sizes_mib();
+    let largest = *sizes.last().expect("nonempty size list");
+    for mib in sizes {
         let mut w = micro(mib, 2);
         let pages = w.num_pages;
         let steps_per_pass = pages.div_ceil(256) as u32;
-        let run = run_tracked(Technique::Spml, &mut w, steps_per_pass).expect("spml run");
 
-        let lookups = counter(&run, Event::ReverseMapLookup);
-        let revmap_ns = lookups * cost.reverse_map_lookup_ns(pages);
-        let pt_walk_ns = counter(&run, Event::PagemapReadEntry) * cost.pagemap_entry_ns
-            + counter(&run, Event::PagemapReadChunk) * cost.pagemap_chunk_ns;
-        let ring_ns = counter(&run, Event::RingBufferCopyEntry) * cost.ring_copy_entry_ns;
-        let total = (revmap_ns + pt_walk_ns + ring_ns) as f64;
-        let share = 100.0 * revmap_ns as f64 / total;
+        let (run, tracer): (TrackedRun, Option<Arc<Tracer>>) = if trace_mode() {
+            // Boot with the tracer installed before the first charge so the
+            // conservation invariant covers the whole stack lifetime.
+            let ctx = SimCtx::new();
+            let tracer = Tracer::install(&ctx);
+            let mut stack = Stack::boot_with_ctx(8 * 1024, ctx);
+            let run = run_tracked_on(&mut stack, Technique::Spml, &mut w, steps_per_pass)
+                .expect("spml run");
+            tracer
+                .check_conservation(stack.ctx().clock())
+                .expect("fig3: trace conservation");
+            (run, Some(tracer))
+        } else {
+            (
+                run_tracked(Technique::Spml, &mut w, steps_per_pass).expect("spml run"),
+                None,
+            )
+        };
+
+        let row = make_row(mib, &cost, pages, |e| counter(&run, e));
+
+        if let Some(t) = &tracer {
+            // `TrackedRun::counters` snapshots the context's counters over
+            // the stack's whole life; the trace journal covers the same
+            // window, so its event totals must regenerate the row exactly.
+            let trace_row = make_row(mib, &cost, pages, |e| t.event_units(e));
+            let a = serde_json::to_string(&row).expect("serialize row");
+            let b = serde_json::to_string(&trace_row).expect("serialize trace row");
+            assert_eq!(
+                a, b,
+                "fig3: trace-regenerated row for {mib}MB diverged from counter-based row"
+            );
+            if mib == largest {
+                let dir = trace_out_dir();
+                std::fs::create_dir_all(&dir).expect("create trace output dir");
+                let rows_json =
+                    serde_json::to_string(&t.profile_rows()).expect("serialize profile");
+                std::fs::write(dir.join("fig3_profile.json"), rows_json)
+                    .expect("write profile json");
+                std::fs::write(dir.join("fig3.folded"), t.folded())
+                    .expect("write folded stacks");
+                std::fs::write(dir.join("fig3_chrome_trace.json"), t.chrome_trace())
+                    .expect("write chrome trace");
+                eprintln!(
+                    "fig3: trace cross-check passed; profile artifacts in {}",
+                    dir.display()
+                );
+            }
+        }
 
         tbl.row([
-            format!("{mib}MB"),
-            format!("{:.2}", report::ms(revmap_ns)),
-            format!("{:.2}", report::ms(pt_walk_ns)),
-            format!("{:.3}", report::ms(ring_ns)),
-            fpct(share),
+            format!("{}MB", row.mib),
+            format!("{:.2}", row.revmap_ms),
+            format!("{:.2}", row.pt_walk_ms),
+            format!("{:.3}", row.ring_copy_ms),
+            fpct(row.revmap_share_pct),
         ]);
-        report::json_row(&Row {
-            mib,
-            revmap_ms: report::ms(revmap_ns),
-            pt_walk_ms: report::ms(pt_walk_ns),
-            ring_copy_ms: report::ms(ring_ns),
-            revmap_share_pct: share,
-        });
+        report::json_row(&row);
     }
     println!("{tbl}");
 }

@@ -26,10 +26,14 @@ impl Stack {
 
     /// Boot with `host_mib` of host RAM (guest gets half).
     pub fn boot_with_ram(host_mib: u64) -> Self {
-        let mut hv = Hypervisor::new(
-            MachineConfig::epml(host_mib * 1024 * 1024),
-            SimCtx::new(),
-        );
+        Self::boot_with_ctx(host_mib, SimCtx::new())
+    }
+
+    /// Boot against a caller-provided context — the hook the trace mode
+    /// uses to install an `ooh_trace::Tracer` *before* the first charge, so
+    /// the conservation invariant covers boot time too.
+    pub fn boot_with_ctx(host_mib: u64, ctx: SimCtx) -> Self {
+        let mut hv = Hypervisor::new(MachineConfig::epml(host_mib * 1024 * 1024), ctx);
         let vm = hv
             .create_vm(host_mib / 2 * 1024 * 1024, 1)
             .expect("VM creation");

@@ -11,7 +11,7 @@
 use ooh_guest::{GuestError, GuestKernel, Pid};
 use ooh_hypervisor::Hypervisor;
 use ooh_machine::{Gpa, Gva};
-use ooh_sim::{Event, Lane};
+use ooh_sim::{Event, Lane, ScopeKind};
 
 /// A GPA→GVA cache, used by Boehm's integration: the paper's footnote 2
 /// observes that Boehm reverse-maps during its *first* GC cycle and reuses
@@ -36,24 +36,20 @@ pub fn reverse_map_batch(
     gpas: &[Gpa],
 ) -> Result<Vec<Gva>, GuestError> {
     let ctx = hv.ctx.clone();
+    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpas.len() as u64);
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
 
-    // The real implementation scans pagemap per GPA; we build the inverse
-    // index once (so the simulation is O(n + m)) but charge the modeled
-    // per-lookup scan cost (so the virtual clock behaves like the paper's
-    // measurements).
-    let inverse: std::collections::BTreeMap<u64, u64> = proc
-        .resident
-        .iter()
-        .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))
-        .collect();
-
+    // The real implementation scans pagemap per GPA. The kernel maintains
+    // the GPA→GVA inverse incrementally on its map/unmap path, so each
+    // simulated lookup is O(log n) *wall* time — but we still charge the
+    // modeled per-lookup scan cost, so the virtual clock behaves like the
+    // paper's measurements (guarded by the determinism tests).
     let mut out = Vec::with_capacity(gpas.len());
     for gpa in gpas {
         let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
         ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
-        if let Some(&gva_page) = inverse.get(&gpa.page()) {
+        if let Some(gva_page) = proc.gva_for_gpa_page(gpa.page()) {
             out.push(Gva::from_page(gva_page));
         }
     }
@@ -70,13 +66,9 @@ pub fn reverse_map_batch_cached(
     cache: &mut RevMapCache,
 ) -> Result<Vec<Gva>, GuestError> {
     let ctx = hv.ctx.clone();
+    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpas.len() as u64);
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
-    let inverse: std::collections::BTreeMap<u64, u64> = proc
-        .resident
-        .iter()
-        .map(|(&gva_page, &gpa_page)| (gpa_page, gva_page))
-        .collect();
 
     let mut out = Vec::with_capacity(gpas.len());
     for gpa in gpas {
@@ -90,7 +82,7 @@ pub fn reverse_map_batch_cached(
             None => {
                 let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
                 ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
-                let r = inverse.get(&page).copied();
+                let r = proc.gva_for_gpa_page(page);
                 cache.insert(page, r);
                 r
             }

@@ -8,6 +8,7 @@ use crate::dirtyset::DirtySet;
 use crate::tracker::{make_tracker, DirtyPageTracker, TrackEnv, Technique};
 use ooh_guest::{GuestError, GuestKernel, Pid};
 use ooh_hypervisor::Hypervisor;
+use ooh_sim::ScopeKind;
 
 /// A live tracking session over one process.
 pub struct OohSession {
@@ -26,6 +27,10 @@ impl OohSession {
         pid: Pid,
         technique: Technique,
     ) -> Result<Self, GuestError> {
+        let ctx = hv.ctx.clone();
+        let _technique = ctx.span(ScopeKind::Technique, technique.name(), 0);
+        let _process = ctx.span(ScopeKind::Process, "pid", u64::from(pid.0));
+        let _phase = ctx.span(ScopeKind::Phase, "init", 0);
         let mut tracker = make_tracker(technique);
         let mut env = TrackEnv::new(hv, kernel, pid);
         tracker.init(&mut env)?;
@@ -65,6 +70,10 @@ impl OohSession {
         kernel: &mut GuestKernel,
     ) -> Result<DirtySet, GuestError> {
         assert!(self.active, "session already stopped");
+        let ctx = hv.ctx.clone();
+        let _technique = ctx.span(ScopeKind::Technique, self.tracker.technique().name(), 0);
+        let _process = ctx.span(ScopeKind::Process, "pid", u64::from(self.pid.0));
+        let _phase = ctx.span(ScopeKind::Phase, "collect", 0);
         let mut env = TrackEnv::new(hv, kernel, self.pid);
         let set = self.tracker.collect(&mut env)?;
         self.tracker.begin_round(&mut env)?;
@@ -79,6 +88,10 @@ impl OohSession {
         kernel: &mut GuestKernel,
     ) -> Result<(), GuestError> {
         self.active = false;
+        let ctx = hv.ctx.clone();
+        let _technique = ctx.span(ScopeKind::Technique, self.tracker.technique().name(), 0);
+        let _process = ctx.span(ScopeKind::Process, "pid", u64::from(self.pid.0));
+        let _phase = ctx.span(ScopeKind::Phase, "teardown", 0);
         let mut env = TrackEnv::new(hv, kernel, self.pid);
         self.tracker.finish(&mut env)
     }

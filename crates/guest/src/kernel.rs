@@ -177,7 +177,7 @@ impl GuestKernel {
                 if pte.is_present() {
                     self.kernel_phys_write(hv, slot, Pte::empty().0)?;
                     let proc = self.process_mut(pid)?;
-                    if let Some(gpa_page) = proc.resident.remove(&gva.page()) {
+                    if let Some(gpa_page) = proc.unmap_resident(gva.page()) {
                         hv.free_guest_page(vm, Gpa::from_page(gpa_page))?;
                     }
                 }
@@ -352,8 +352,7 @@ impl GuestKernel {
         }
         self.install_pte(hv, pid, gva, Pte::leaf(data, flags))?;
         self.process_mut(pid)?
-            .resident
-            .insert(gva.page(), data.page());
+            .map_resident(gva.page(), data.page());
         Ok(())
     }
 

@@ -310,6 +310,7 @@ impl OohModule {
             return Ok(());
         };
         let ctx = hv.ctx.clone();
+        let _span = ctx.span(ooh_sim::ScopeKind::Op, "epml_drain", 0);
 
         // Read the hardware index (vmread — the paper's M7).
         let index = hv.guest_vmread(kernel.vm, kernel.vcpu, Field::GuestPmlIndex, Lane::Kernel)?;

@@ -50,8 +50,17 @@ pub struct Process {
     /// accounting — the kernel frees them on exit).
     pub pt_pages: Vec<Gpa>,
     /// Data pages currently mapped (GVA page → GPA page), kept by the
-    /// kernel for teardown, checkpointing, and pagemap reads.
+    /// kernel for teardown, checkpointing, and pagemap reads. Mutate through
+    /// [`Process::map_resident`] / [`Process::unmap_resident`] so the
+    /// inverse index stays consistent.
     pub resident: std::collections::BTreeMap<u64, u64>,
+    /// Inverse of `resident` (GPA page → GVA page), maintained incrementally
+    /// on the kernel map/unmap path so reverse mapping is O(log n) per
+    /// lookup in *wall* time. The *virtual-clock* cost of a reverse-map
+    /// lookup is still the paper's pagemap-scan cost (charged in
+    /// `ooh-core::revmap`); this index only removes the simulator's own
+    /// rebuild-per-batch overhead.
+    resident_inverse: std::collections::BTreeMap<u64, u64>,
     /// Next free mmap address.
     next_mmap: Gva,
 }
@@ -64,6 +73,7 @@ impl Process {
             vmas: Vec::new(),
             pt_pages: Vec::new(),
             resident: std::collections::BTreeMap::new(),
+            resident_inverse: std::collections::BTreeMap::new(),
             next_mmap: MMAP_BASE,
         }
     }
@@ -90,6 +100,32 @@ impl Process {
     pub fn remove_vma(&mut self, range: GvaRange) -> Option<Vma> {
         let idx = self.vmas.iter().position(|v| v.range == range)?;
         Some(self.vmas.remove(idx))
+    }
+
+    /// Record that `gva_page` is now backed by `gpa_page`, keeping the
+    /// inverse index in sync. Returns the previous backing, if any.
+    pub fn map_resident(&mut self, gva_page: u64, gpa_page: u64) -> Option<u64> {
+        let prev = self.resident.insert(gva_page, gpa_page);
+        if let Some(old_gpa) = prev {
+            self.resident_inverse.remove(&old_gpa);
+        }
+        self.resident_inverse.insert(gpa_page, gva_page);
+        prev
+    }
+
+    /// Drop the mapping for `gva_page`, keeping the inverse index in sync.
+    /// Returns the GPA page that backed it, if any.
+    pub fn unmap_resident(&mut self, gva_page: u64) -> Option<u64> {
+        let gpa_page = self.resident.remove(&gva_page)?;
+        self.resident_inverse.remove(&gpa_page);
+        Some(gpa_page)
+    }
+
+    /// The GVA page backed by `gpa_page`, if any — the incremental inverse
+    /// of `resident`, O(log n) per call.
+    pub fn gva_for_gpa_page(&self, gpa_page: u64) -> Option<u64> {
+        debug_assert_eq!(self.resident.len(), self.resident_inverse.len());
+        self.resident_inverse.get(&gpa_page).copied()
     }
 
     /// Number of resident (mapped) pages.
@@ -153,7 +189,26 @@ mod tests {
         p.reserve_vma(8, true, VmaKind::Anon);
         assert_eq!(p.reserved_pages(), 8);
         assert_eq!(p.resident_pages(), 0);
-        p.resident.insert(0x7f000, 0x123);
+        p.map_resident(0x7f000, 0x123);
+        assert_eq!(p.resident_pages(), 1);
+        assert_eq!(p.gva_for_gpa_page(0x123), Some(0x7f000));
+    }
+
+    #[test]
+    fn inverse_index_tracks_map_and_unmap() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        assert_eq!(p.map_resident(0x10, 0xa0), None);
+        assert_eq!(p.map_resident(0x11, 0xa1), None);
+        assert_eq!(p.gva_for_gpa_page(0xa0), Some(0x10));
+        assert_eq!(p.gva_for_gpa_page(0xa1), Some(0x11));
+        // Remapping a GVA to a new GPA retires the old inverse entry.
+        assert_eq!(p.map_resident(0x10, 0xb0), Some(0xa0));
+        assert_eq!(p.gva_for_gpa_page(0xa0), None);
+        assert_eq!(p.gva_for_gpa_page(0xb0), Some(0x10));
+        // Unmap drops both directions.
+        assert_eq!(p.unmap_resident(0x11), Some(0xa1));
+        assert_eq!(p.gva_for_gpa_page(0xa1), None);
+        assert_eq!(p.unmap_resident(0x11), None);
         assert_eq!(p.resident_pages(), 1);
     }
 }

@@ -59,6 +59,7 @@ impl GuestKernel {
         lane: Lane,
     ) -> Result<u64, GuestError> {
         let ctx = hv.ctx.clone();
+        let _span = ctx.span(ooh_sim::ScopeKind::Op, "clear_refs", u64::from(pid.0));
         // The write(2) syscall into procfs.
         ctx.charge(lane, Event::ContextSwitch);
 
@@ -93,6 +94,7 @@ impl GuestKernel {
         lane: Lane,
     ) -> Result<Vec<PagemapEntry>, GuestError> {
         let ctx = hv.ctx.clone();
+        let _span = ctx.span(ooh_sim::ScopeKind::Op, "read_pagemap", range.pages);
         let mut out = Vec::with_capacity(range.pages as usize);
         for (i, gva) in range.iter_pages().enumerate() {
             if i % PAGEMAP_CHUNK_ENTRIES == 0 {

@@ -38,6 +38,22 @@ pub enum Hypercall {
     SppClear { gpa: Gpa },
 }
 
+impl Hypercall {
+    /// Stable short name, used as the trace-scope label for the call.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hypercall::SpmlInit { .. } => "spml_init",
+            Hypercall::SpmlDeactivate => "spml_deactivate",
+            Hypercall::EnableLogging => "enable_logging",
+            Hypercall::DisableLogging => "disable_logging",
+            Hypercall::EpmlInit => "epml_init",
+            Hypercall::EpmlDeactivate => "epml_deactivate",
+            Hypercall::SppSetMask { .. } => "spp_set_mask",
+            Hypercall::SppClear { .. } => "spp_clear",
+        }
+    }
+}
+
 /// Hypercall return values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HypercallResult {

@@ -206,6 +206,9 @@ impl Hypervisor {
         vcpu: u32,
         lane: Lane,
     ) -> Result<(), MachineError> {
+        let _span = self
+            .ctx
+            .span(ooh_sim::ScopeKind::Op, "pml_full_exit", u64::from(vcpu));
         self.ctx.charge(Lane::Hypervisor, Event::PmlBufferFullExit);
         self.drain_hyp_pml(vm, vcpu)?;
         self.ctx.charge(Lane::Hypervisor, Event::VmEntry);
@@ -271,6 +274,9 @@ impl Hypervisor {
         call: Hypercall,
         lane: Lane,
     ) -> Result<HypercallResult, MachineError> {
+        let _span = self
+            .ctx
+            .span(ooh_sim::ScopeKind::Op, call.name(), u64::from(vcpu));
         self.ctx.counters().add(Event::Hypercall, 1);
         match call {
             Hypercall::SpmlInit {

@@ -86,6 +86,9 @@ impl Mmu<'_> {
         }
 
         // --- full nested walk ----------------------------------------------
+        let _span = self
+            .ctx
+            .span(ooh_sim::ScopeKind::Op, "page_walk", gva.page());
         self.ctx.charge(self.lane, Event::PageWalk);
         let mut events = Vec::new();
 

@@ -1,0 +1,143 @@
+//! Property tests for the SPSC ring (`machine/src/ring.rs`) against a
+//! `VecDeque` reference model.
+//!
+//! The ring is OoH's data path: the hypervisor (SPML) or guest kernel
+//! (EPML) produces logged addresses into it, the userspace library consumes
+//! them. The properties below drive randomized push/pop/drain schedules —
+//! including wraparound, full-buffer overflow, and drain-while-push — and
+//! require the ring to agree with the obviously-correct model at every
+//! step: same FIFO contents, same length, same dropped count, and a
+//! full-buffer push that leaves state untouched.
+
+use ooh_machine::{HostPhys, Hpa, RingView, PAGE_SIZE, RING_ENTRIES_PER_PAGE};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A booted ring over `pages` data pages plus its backing memory and model.
+struct Harness {
+    phys: HostPhys,
+    ring: RingView,
+    model: VecDeque<u64>,
+    model_dropped: u64,
+}
+
+impl Harness {
+    fn new(pages: usize) -> Self {
+        let mut phys = HostPhys::new(64 * PAGE_SIZE);
+        let header = phys.alloc_frame().unwrap();
+        let data: Vec<Hpa> = (0..pages).map(|_| phys.alloc_frame().unwrap()).collect();
+        let ring = RingView::create(&mut phys, header, data).unwrap();
+        Harness {
+            phys,
+            ring,
+            model: VecDeque::new(),
+            model_dropped: 0,
+        }
+    }
+
+    fn push(&mut self, value: u64) -> Result<(), String> {
+        let accepted = self.ring.push(&mut self.phys, value).unwrap();
+        if self.model.len() as u64 >= self.ring.capacity() {
+            prop_assert!(!accepted, "push into a full ring must be rejected");
+            self.model_dropped += 1;
+        } else {
+            prop_assert!(accepted, "push into a non-full ring must succeed");
+            self.model.push_back(value);
+        }
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<(), String> {
+        let got = self.ring.pop(&mut self.phys).unwrap();
+        prop_assert_eq!(got, self.model.pop_front());
+        Ok(())
+    }
+
+    fn check_counters(&self) -> Result<(), String> {
+        prop_assert_eq!(
+            self.ring.len(&self.phys).unwrap(),
+            self.model.len() as u64
+        );
+        prop_assert_eq!(
+            self.ring.is_empty(&self.phys).unwrap(),
+            self.model.is_empty()
+        );
+        prop_assert_eq!(self.ring.dropped(&self.phys).unwrap(), self.model_dropped);
+        Ok(())
+    }
+}
+
+proptest! {
+    /// Random interleavings of push/pop/drain, biased toward pushes so the
+    /// ring fills and wraps. Every operation's result must match the model.
+    #[test]
+    fn ring_matches_vecdeque_model(
+        pages in 1usize..4,
+        ops in proptest::collection::vec((0u8..8, any::<u64>()), 100..400),
+    ) {
+        let mut h = Harness::new(pages);
+        for (op, value) in ops {
+            match op {
+                // 5/8 push, 2/8 pop, 1/8 drain: fills, wraps, and drains.
+                0..=4 => h.push(value)?,
+                5 | 6 => h.pop()?,
+                _ => {
+                    let drained = h.ring.drain(&mut h.phys).unwrap();
+                    let expected: Vec<u64> = h.model.drain(..).collect();
+                    prop_assert_eq!(drained, expected);
+                }
+            }
+            h.check_counters()?;
+        }
+    }
+
+    /// Fill the ring completely, then keep pushing: every extra push must be
+    /// rejected, counted, and must not disturb the queued entries.
+    #[test]
+    fn full_buffer_rejects_and_preserves_state(
+        extra in 1u64..64,
+        seed in any::<u64>(),
+    ) {
+        let mut h = Harness::new(1);
+        let cap = h.ring.capacity();
+        for i in 0..cap {
+            h.push(seed.wrapping_add(i))?;
+        }
+        for i in 0..extra {
+            h.push(seed.wrapping_mul(31).wrapping_add(i))?;
+            h.check_counters()?;
+        }
+        prop_assert_eq!(h.ring.dropped(&h.phys).unwrap(), extra);
+        // FIFO contents intact: exactly the first `cap` accepted values.
+        let drained = h.ring.drain(&mut h.phys).unwrap();
+        let expected: Vec<u64> = (0..cap).map(|i| seed.wrapping_add(i)).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Drain-while-push: a consumer that interleaves partial drains with an
+    /// active producer (the OoH library's steady state). The ring wraps its
+    /// free-running indices many times; order and counts must survive.
+    #[test]
+    fn drain_while_push_wraps_correctly(
+        bursts in proptest::collection::vec((1u64..700, 0u64..700), 4..16),
+    ) {
+        let mut h = Harness::new(1);
+        prop_assert_eq!(h.ring.capacity(), RING_ENTRIES_PER_PAGE);
+        let mut next = 0u64;
+        for (push_n, pop_n) in bursts {
+            for _ in 0..push_n {
+                h.push(next)?;
+                next += 1;
+            }
+            for _ in 0..pop_n {
+                h.pop()?;
+            }
+            h.check_counters()?;
+        }
+        // Final drain empties both ring and model identically.
+        let drained = h.ring.drain(&mut h.phys).unwrap();
+        let expected: Vec<u64> = h.model.drain(..).collect();
+        prop_assert_eq!(drained, expected);
+        h.check_counters()?;
+    }
+}

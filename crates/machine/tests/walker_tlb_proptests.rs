@@ -1,0 +1,382 @@
+//! Property tests for the page walker (`machine/src/walker.rs`) + TLB
+//! (`machine/src/tlb.rs`) interaction.
+//!
+//! Random map / unmap / write / drain schedules are driven against a small
+//! guest address space while a reference model tracks the architectural
+//! dirty-bit state. The properties:
+//!
+//! * **A/D-bit semantics**: the guest (EPML, GVA) buffer receives exactly
+//!   one entry per guest-PTE dirty 0→1 transition, and the hypervisor
+//!   (SPML, GPA) buffer one entry per EPT-leaf dirty 0→1 transition, in
+//!   program order — never more, never fewer, across remaps and drains.
+//! * **No stale TLB entry ever suppresses PML re-logging**: whenever a
+//!   cached translation would let a store skip the walk
+//!   ([`TlbEntry::store_fast_path`]), the model must agree that both dirty
+//!   bits are genuinely set, i.e. the store has already been logged this
+//!   round. This promotes the `debug-invariants` fast-path check in the
+//!   walker into a generative test that runs in every build.
+//!
+//! Both drain protocols are exercised: the broad `flush_all` (mov-to-CR3
+//! analog the techniques use) and targeted per-page invalidation
+//! (`invlpg` / `invalidate_gpa_page`).
+
+use ooh_machine::{
+    Ept, Fault, Gpa, Gva, HostPhys, Mmu, PmlBuffer, PmlState, Pte, PAGE_SIZE,
+};
+use ooh_sim::{Lane, SimCtx};
+use proptest::prelude::*;
+
+const BASE: Gva = Gva(0x4000_0000);
+const NUM_PAGES: u64 = 8;
+
+fn gva_of(idx: u64) -> Gva {
+    BASE.add(idx * PAGE_SIZE)
+}
+
+/// Per-page reference model of the architectural dirty state.
+#[derive(Clone, Copy, Default)]
+struct PageModel {
+    mapped: bool,
+    /// Current data GPA (meaningful only while mapped).
+    data_gpa: Gpa,
+    /// Guest leaf PTE dirty bit.
+    pte_dirty: bool,
+    /// EPT leaf dirty bit of the current data page.
+    ept_dirty: bool,
+}
+
+/// The guest from the walker's in-crate test rig, rebuilt over the crate's
+/// public API, plus the reference model.
+struct Rig {
+    phys: HostPhys,
+    ept: Ept,
+    tlb: ooh_machine::Tlb,
+    pml: PmlState,
+    ctx: SimCtx,
+    cr3: Gpa,
+    next_gpa: u64,
+    pages: [PageModel; NUM_PAGES as usize],
+    /// Expected guest (GVA) buffer contents since the last guest drain.
+    expected_guest: Vec<u64>,
+    /// Expected *data-page* GPA log sequence since the last hyp drain. The
+    /// real buffer interleaves page-table-page A/D writes; those are
+    /// filtered out via `all_data_gpas` before comparing.
+    expected_hyp: Vec<u64>,
+    /// Every GPA ever handed out as a data page (never reused).
+    all_data_gpas: std::collections::BTreeSet<u64>,
+}
+
+impl Rig {
+    fn new() -> Self {
+        let mut phys = HostPhys::new(1024 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let mut next_gpa = 0x100u64;
+        let cr3 = Gpa::from_page(next_gpa);
+        next_gpa += 1;
+        let f = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, cr3, f).unwrap();
+        let pml = PmlState {
+            hyp: Some(PmlBuffer::new(phys.alloc_frame().unwrap())),
+            hyp_logging: true,
+            guest: Some(PmlBuffer::new(phys.alloc_frame().unwrap())),
+            guest_logging: true,
+            ..Default::default()
+        };
+        Rig {
+            phys,
+            ept,
+            tlb: ooh_machine::Tlb::new(),
+            pml,
+            ctx: SimCtx::new(),
+            cr3,
+            next_gpa,
+            pages: [PageModel::default(); NUM_PAGES as usize],
+            expected_guest: Vec::new(),
+            expected_hyp: Vec::new(),
+            all_data_gpas: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn alloc_guest_page(&mut self) -> Gpa {
+        let gpa = Gpa::from_page(self.next_gpa);
+        self.next_gpa += 1;
+        let f = self.phys.alloc_frame().unwrap();
+        self.ept.map(&mut self.phys, gpa, f).unwrap();
+        gpa
+    }
+
+    /// Host-physical slot of the leaf PTE mapping `gva` (tables must exist).
+    fn leaf_slot(&mut self, gva: Gva) -> ooh_machine::Hpa {
+        let mut table = self.cr3;
+        for level in (1..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let h = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+            table = Pte(self.phys.read_u64(h).unwrap()).frame();
+        }
+        let slot = table.add(gva.pt_index(0) as u64 * 8);
+        self.ept.translate(&self.phys, slot).unwrap().unwrap()
+    }
+
+    /// Map `gva_of(idx)` to a freshly allocated data page (allocating guest
+    /// page-table pages as needed, exactly like the walker's private rig).
+    fn map(&mut self, idx: u64) {
+        let gva = gva_of(idx);
+        let data = self.alloc_guest_page();
+        let mut table = self.cr3;
+        for level in (1..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+            let e = Pte(self.phys.read_u64(hslot).unwrap());
+            table = if e.is_present() {
+                e.frame()
+            } else {
+                let t = self.alloc_guest_page();
+                self.phys.write_u64(hslot, Pte::table(t).0).unwrap();
+                t
+            };
+        }
+        let slot = table.add(gva.pt_index(0) as u64 * 8);
+        let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+        self.phys
+            .write_u64(hslot, Pte::leaf(data, Pte::WRITABLE | Pte::USER).0)
+            .unwrap();
+        self.all_data_gpas.insert(data.raw());
+        self.pages[idx as usize] = PageModel {
+            mapped: true,
+            data_gpa: data,
+            pte_dirty: false,
+            ept_dirty: false,
+        };
+    }
+
+    /// Unmap `gva_of(idx)`: clear the leaf PTE and invalidate the
+    /// translation, the way a kernel munmap does.
+    fn unmap(&mut self, idx: u64) {
+        let gva = gva_of(idx);
+        let hslot = self.leaf_slot(gva);
+        self.phys.write_u64(hslot, Pte::empty().0).unwrap();
+        self.tlb.invlpg(gva);
+        // Destroying the PTE destroys its dirty bit: retire the shadow
+        // entry so a future mapping may log the GVA again.
+        if self.pages[idx as usize].pte_dirty {
+            self.pml.note_guest_dirty_cleared(gva.page());
+        }
+        self.pages[idx as usize].mapped = false;
+    }
+
+    fn mmu(&mut self) -> Mmu<'_> {
+        Mmu {
+            phys: &mut self.phys,
+            ept: &mut self.ept,
+            tlb: &mut self.tlb,
+            pml: &mut self.pml,
+            ctx: &self.ctx,
+            lane: Lane::Tracked,
+            epml_hw: true,
+            spp: None,
+        }
+    }
+
+    /// Access `gva_of(idx)`; on a write, first run the promoted fast-path
+    /// invariant, then update the model with the expected log traffic.
+    fn access(&mut self, idx: u64, write: bool, offset: u64) -> Result<(), String> {
+        let gva = gva_of(idx).add(offset % PAGE_SIZE);
+        let m = self.pages[idx as usize];
+
+        if write {
+            // The promoted PR-2 fast-path check: if the TLB would let this
+            // store complete without a walk, the model must agree both
+            // dirty bits are set — otherwise a drain left a stale entry
+            // behind and the store would go unlogged.
+            if let Some(e) = self.tlb.lookup(self.cr3, gva) {
+                if e.store_fast_path() {
+                    prop_assert!(
+                        m.mapped && m.pte_dirty && m.ept_dirty,
+                        "stale TLB entry would suppress PML re-logging of page {}: \
+                         model mapped={} pte_dirty={} ept_dirty={}",
+                        idx,
+                        m.mapped,
+                        m.pte_dirty,
+                        m.ept_dirty
+                    );
+                }
+            }
+        }
+
+        let cr3 = self.cr3;
+        let res = self.mmu().access(cr3, gva, write).unwrap();
+        if !m.mapped {
+            prop_assert!(
+                matches!(res, Err(Fault::NotPresent { .. })),
+                "access to unmapped page {} must fault NotPresent",
+                idx
+            );
+            return Ok(());
+        }
+        let ok = match res {
+            Ok(ok) => ok,
+            Err(f) => return Err(format!("unexpected fault on mapped page {idx}: {f:?}")),
+        };
+        prop_assert_eq!(ok.gpa.page(), m.data_gpa.page());
+        if write {
+            let page = &mut self.pages[idx as usize];
+            if !page.pte_dirty {
+                page.pte_dirty = true;
+                self.expected_guest.push(gva_of(idx).raw());
+            }
+            if !page.ept_dirty {
+                page.ept_dirty = true;
+                self.expected_hyp.push(page.data_gpa.raw());
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the guest (EPML) buffer and start a new round: clear every
+    /// mapped dirty PTE, note the clears, and invalidate translations via
+    /// `flush_all` or per-page `invlpg` depending on `broad_flush`.
+    fn drain_guest(&mut self, broad_flush: bool) -> Result<(), String> {
+        let drained = self.pml.guest.as_mut().unwrap().drain(&self.phys).unwrap();
+        prop_assert_eq!(
+            &drained,
+            &self.expected_guest,
+            "guest (GVA) buffer diverged from the model"
+        );
+        self.expected_guest.clear();
+        for idx in 0..NUM_PAGES {
+            if !(self.pages[idx as usize].mapped && self.pages[idx as usize].pte_dirty) {
+                continue;
+            }
+            let gva = gva_of(idx);
+            let hslot = self.leaf_slot(gva);
+            let pte = Pte(self.phys.read_u64(hslot).unwrap());
+            self.phys.write_u64(hslot, pte.without(Pte::DIRTY).0).unwrap();
+            self.pml.note_guest_dirty_cleared(gva.page());
+            self.pages[idx as usize].pte_dirty = false;
+            if !broad_flush {
+                self.tlb.invlpg(gva);
+            }
+        }
+        if broad_flush {
+            self.tlb.flush_all();
+        }
+        Ok(())
+    }
+
+    /// Drain the hypervisor buffer and clear the EPT dirty bits of every
+    /// mapped data page (what SPML's collection round does).
+    fn drain_hyp(&mut self, broad_flush: bool) -> Result<(), String> {
+        let drained = self.pml.hyp.as_mut().unwrap().drain(&self.phys).unwrap();
+        // Filter out the page-table-page A/D-update logs (real PML traffic
+        // the OoH library also filters); data-page order is preserved.
+        let data_only: Vec<u64> = drained
+            .into_iter()
+            .filter(|v| self.all_data_gpas.contains(v))
+            .collect();
+        prop_assert_eq!(
+            &data_only,
+            &self.expected_hyp,
+            "hyp (GPA) buffer diverged from the model"
+        );
+        self.expected_hyp.clear();
+        for idx in 0..NUM_PAGES {
+            let m = self.pages[idx as usize];
+            if !(m.mapped && m.ept_dirty) {
+                continue;
+            }
+            self.ept.clear_dirty(&mut self.phys, m.data_gpa).unwrap();
+            self.pml.note_hyp_dirty_cleared(m.data_gpa.page());
+            self.pages[idx as usize].ept_dirty = false;
+            if !broad_flush {
+                self.tlb.invalidate_gpa_page(m.data_gpa.page());
+            }
+        }
+        if broad_flush {
+            self.tlb.flush_all();
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random map/unmap/write/read/drain schedules: the PML buffers must
+    /// match the model's expected log sequences at every drain, and no
+    /// fast-path-eligible TLB entry may ever disagree with the
+    /// architectural dirty bits.
+    #[test]
+    fn ad_bits_and_tlb_survive_random_schedules(
+        ops in proptest::collection::vec((0u8..16, 0u64..NUM_PAGES, any::<u64>()), 60..150),
+    ) {
+        let mut rig = Rig::new();
+        for (op, idx, arg) in ops {
+            match op {
+                // 8/16 write (the interesting op), 2/16 read, 2/16 map,
+                // 2/16 unmap, 1/16 guest drain, 1/16 hyp drain.
+                0..=7 => rig.access(idx, true, arg)?,
+                8 | 9 => rig.access(idx, false, arg)?,
+                10 | 11 => {
+                    if !rig.pages[idx as usize].mapped {
+                        rig.map(idx);
+                    }
+                }
+                12 | 13 => {
+                    if rig.pages[idx as usize].mapped {
+                        rig.unmap(idx);
+                    }
+                }
+                14 => rig.drain_guest(arg % 2 == 0)?,
+                _ => rig.drain_hyp(arg % 2 == 0)?,
+            }
+        }
+        // Closing drains: everything still pending must be in the buffers.
+        rig.drain_guest(true)?;
+        rig.drain_hyp(true)?;
+    }
+
+    /// Remap churn on a single GVA: every map→write cycle is a fresh PTE
+    /// whose first store must re-log the same GVA (A/D state does not leak
+    /// across mappings).
+    #[test]
+    fn remap_relogs_same_gva(cycles in 2u64..12, offsets in any::<u64>()) {
+        let mut rig = Rig::new();
+        for c in 0..cycles {
+            rig.map(0);
+            rig.access(0, true, offsets.wrapping_add(c))?;
+            // Second store to the same fresh page must not re-log.
+            rig.access(0, true, offsets.wrapping_mul(7).wrapping_add(c))?;
+            rig.unmap(0);
+        }
+        let drained = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        prop_assert_eq!(drained.len() as u64, cycles, "one GVA log per mapping cycle");
+        prop_assert!(drained.iter().all(|v| *v == BASE.raw()));
+        rig.expected_guest.clear();
+        rig.expected_hyp.clear();
+    }
+
+    /// Alternating rounds: write a random subset, drain (randomly choosing
+    /// the broad or targeted invalidation protocol), repeat. Every round's
+    /// buffer must contain exactly that round's newly dirtied pages.
+    #[test]
+    fn per_round_logging_is_exact(
+        rounds in proptest::collection::vec((any::<u64>(), any::<u64>()), 3..10),
+    ) {
+        let mut rig = Rig::new();
+        for idx in 0..NUM_PAGES {
+            rig.map(idx);
+        }
+        for (mask, coin) in rounds {
+            let mut expect: Vec<u64> = Vec::new();
+            for idx in 0..NUM_PAGES {
+                if mask & (1 << idx) != 0 {
+                    rig.access(idx, true, mask)?;
+                    expect.push(gva_of(idx).raw());
+                }
+            }
+            prop_assert_eq!(&rig.expected_guest, &expect);
+            rig.drain_guest(coin % 2 == 0)?;
+            rig.drain_hyp(coin % 3 == 0)?;
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod counters;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use clock::{Lane, SimClock};
 pub use cost::CostModel;
@@ -29,6 +30,7 @@ pub use counters::{Event, EventCounters};
 pub use rng::SimRng;
 pub use stats::{overhead_pct, percentile, speedup, Summary};
 pub use table::TextTable;
+pub use trace::{ScopeKind, TraceRecord, TraceSink, TraceSpan};
 
 use std::sync::Arc;
 
@@ -46,6 +48,11 @@ struct SimCtxInner {
     clock: SimClock,
     counters: EventCounters,
     cost: CostModel,
+    /// Installed trace sink, if any. `OnceLock` keeps the disabled path to a
+    /// single relaxed load, and install-once matches the determinism
+    /// contract (a sink appearing mid-run would see a partial timeline).
+    #[cfg(feature = "trace")]
+    tracer: std::sync::OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl SimCtx {
@@ -62,8 +69,71 @@ impl SimCtx {
                 clock: SimClock::new(),
                 counters: EventCounters::new(),
                 cost,
+                #[cfg(feature = "trace")]
+                tracer: std::sync::OnceLock::new(),
             }),
         }
+    }
+
+    /// Install a trace sink. Every subsequent charge is forwarded to it as a
+    /// [`TraceRecord`]. Returns `false` if a sink was already installed (the
+    /// existing one stays). Install *before* the first charge if the sink is
+    /// to account for the full timeline (conservation checks require this).
+    #[cfg(feature = "trace")]
+    pub fn install_tracer(&self, sink: Arc<dyn TraceSink>) -> bool {
+        self.inner.tracer.set(sink).is_ok()
+    }
+
+    /// The installed trace sink, if any.
+    #[cfg(feature = "trace")]
+    pub(crate) fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.inner.tracer.get()
+    }
+
+    /// Open a trace scope (technique / phase / op / process / vcpu) that
+    /// closes when the returned guard drops. Inert when tracing is compiled
+    /// out or no sink is installed, so call sites need no feature gates.
+    #[cfg(feature = "trace")]
+    pub fn span(&self, kind: ScopeKind, label: &'static str, arg: u64) -> TraceSpan {
+        match self.inner.tracer.get() {
+            Some(sink) => {
+                sink.push_scope(kind, label, arg, self.now_ns());
+                TraceSpan {
+                    ctx: Some(self.clone()),
+                }
+            }
+            None => TraceSpan::inert(),
+        }
+    }
+
+    /// Open a trace scope — no-op build (the `trace` feature is disabled).
+    #[cfg(not(feature = "trace"))]
+    pub fn span(&self, kind: ScopeKind, label: &'static str, arg: u64) -> TraceSpan {
+        let _ = (kind, label, arg);
+        TraceSpan::inert()
+    }
+
+    /// Advance the clock, forwarding the charge to the trace sink if one is
+    /// installed. The single chokepoint for all virtual time: `charge`,
+    /// `charge_n`, `charge_ns` and `advance` all land here, which is what
+    /// makes the per-lane conservation invariant (attributed ns == lane
+    /// totals) checkable at all.
+    fn advance_traced(&self, lane: Lane, event: Option<Event>, count: u64, ns: u64) {
+        #[cfg(feature = "trace")]
+        if let Some(sink) = self.inner.tracer.get() {
+            let start_ns = self.inner.clock.now_ns();
+            self.inner.clock.advance(lane, ns);
+            sink.record(TraceRecord {
+                start_ns,
+                lane,
+                event,
+                count,
+                ns,
+            });
+            return;
+        }
+        let _ = (event, count);
+        self.inner.clock.advance(lane, ns);
     }
 
     /// The virtual clock.
@@ -93,7 +163,7 @@ impl SimCtx {
     pub fn charge_n(&self, lane: Lane, event: Event, n: u64) -> u64 {
         let ns = self.inner.cost.unit_ns(event).saturating_mul(n);
         self.inner.counters.add(event, n);
-        self.inner.clock.advance(lane, ns);
+        self.advance_traced(lane, Some(event), n, ns);
         ns
     }
 
@@ -102,14 +172,17 @@ impl SimCtx {
     /// resident pages).
     pub fn charge_ns(&self, lane: Lane, event: Event, ns: u64) -> u64 {
         self.inner.counters.add(event, 1);
-        self.inner.clock.advance(lane, ns);
+        self.advance_traced(lane, Some(event), 1, ns);
         ns
     }
 
     /// Advance the clock without recording an event (plain computation time,
     /// e.g. the Tracked application's own work between memory operations).
     pub fn advance(&self, lane: Lane, ns: u64) {
-        self.inner.clock.advance(lane, ns);
+        if ns == 0 {
+            return; // mirrors SimClock::advance; nothing to attribute either
+        }
+        self.advance_traced(lane, None, 1, ns);
     }
 
     /// Current virtual time in nanoseconds.

@@ -31,7 +31,16 @@ use std::path::{Path, PathBuf};
 /// Crates whose non-test code must be deterministic: no wall-clock time, no
 /// OS randomness, no iteration-order-dependent containers. Keyed by the
 /// directory name under `crates/`.
-pub const SIM_CRATES: &[&str] = &["sim", "machine", "hypervisor", "guest", "core", "criu", "gc"];
+pub const SIM_CRATES: &[&str] = &[
+    "sim",
+    "machine",
+    "hypervisor",
+    "guest",
+    "core",
+    "criu",
+    "gc",
+    "trace",
+];
 
 /// Crates that model guest-side (non-root) software. They may only reach
 /// physical memory through the hypervisor/machine API surface, never via the

@@ -60,6 +60,7 @@ pub use ooh_hypervisor as hypervisor;
 pub use ooh_machine as machine;
 pub use ooh_secheap as secheap;
 pub use ooh_sim as sim;
+pub use ooh_trace as trace;
 pub use ooh_workloads as workloads;
 
 /// The names you need for the common flows, in one import.

@@ -74,3 +74,37 @@ fn baseline_virtual_time_is_reproducible() {
     let t2 = run_baseline(&mut micro(4, 2)).expect("baseline");
     assert_eq!(t1, t2, "untracked baseline virtual time diverged");
 }
+
+/// Tracing is an observer, not a participant: running the same scenario
+/// with an `ooh_trace::Tracer` installed must produce a byte-identical
+/// `TrackedRun` — identical virtual timings, rounds and counters — to the
+/// trace-off run. This is the "disabled ⇒ unchanged output" half of the
+/// profiler's contract (the conservation tests cover the other half).
+#[test]
+fn trace_on_and_trace_off_runs_are_byte_identical() {
+    use ooh::bench::{run_tracked_on, Stack};
+    use ooh::sim::SimCtx;
+    use ooh::trace::Tracer;
+
+    for technique in Technique::ALL {
+        let plain = run_micro_once(technique);
+
+        let ctx = SimCtx::new();
+        let tracer = Tracer::install(&ctx);
+        let mut stack = Stack::boot_with_ctx(8 * 1024, ctx);
+        let mut w = micro(4, 2);
+        let steps_per_pass = w.num_pages.div_ceil(256) as u32;
+        let run = run_tracked_on(&mut stack, technique, &mut w, steps_per_pass)
+            .expect("traced tracked run");
+        let traced = canonical(&run);
+
+        assert_eq!(
+            plain,
+            traced,
+            "technique {}: installing a tracer changed the run's observable \
+             stats — tracing must be cost-free in virtual time",
+            technique.name()
+        );
+        assert!(tracer.records() > 0, "tracer observed nothing");
+    }
+}
