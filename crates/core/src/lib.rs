@@ -20,6 +20,7 @@ pub mod dirtyset;
 pub mod epml;
 #[cfg(feature = "debug-invariants")]
 pub mod invariants;
+pub mod model_port;
 pub mod proc_tracker;
 pub mod revmap;
 pub mod session;
@@ -29,6 +30,10 @@ pub mod ufd_tracker;
 
 pub use dirtyset::DirtySet;
 pub use epml::EpmlTracker;
+pub use model_port::{
+    technique_from_token, technique_token, ModelError, ModelPort, ModelSession, ModelViolation,
+    Mutation, Scenario, Step,
+};
 pub use proc_tracker::ProcTracker;
 pub use session::OohSession;
 pub use spml::SpmlTracker;

@@ -450,13 +450,29 @@ impl GuestKernel {
         write: bool,
         lane: Lane,
     ) -> Result<Hpa, GuestError> {
+        let hpa = self.access_no_irq(hv, pid, gva, write, lane)?;
+        self.poll_interrupts(hv)?;
+        Ok(hpa)
+    }
+
+    /// [`Self::access`] without the interrupt poll: the access completes and
+    /// any posted self-IPI stays pending. This is the model checker's step
+    /// surface — it lets the explorer schedule IPI delivery as its own step
+    /// and so enumerate the store/IPI interleavings that `access` (which
+    /// services interrupts immediately, like an interruptible kernel path)
+    /// never produces. Normal workloads should use `access`.
+    pub fn access_no_irq(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        write: bool,
+        lane: Lane,
+    ) -> Result<Hpa, GuestError> {
         let cr3 = self.process(pid)?.cr3;
         for _attempt in 0..8 {
             match hv.guest_access(self.vm, self.vcpu, cr3, gva, write, lane)? {
-                Ok(acc) => {
-                    self.poll_interrupts(hv)?;
-                    return Ok(acc.hpa);
-                }
+                Ok(acc) => return Ok(acc.hpa),
                 Err(fault) => self.handle_fault(hv, pid, fault, lane)?,
             }
         }
@@ -494,13 +510,42 @@ impl GuestKernel {
         bytes: &[u8],
         lane: Lane,
     ) -> Result<(), GuestError> {
+        self.write_bytes_inner(hv, pid, gva, bytes, lane, true)
+    }
+
+    /// [`Self::write_bytes`] without the interrupt poll (see
+    /// [`Self::access_no_irq`] for when that matters).
+    pub fn write_bytes_no_irq(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        bytes: &[u8],
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        self.write_bytes_inner(hv, pid, gva, bytes, lane, false)
+    }
+
+    fn write_bytes_inner(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        bytes: &[u8],
+        lane: Lane,
+        poll_irq: bool,
+    ) -> Result<(), GuestError> {
         let ctx = hv.ctx.clone();
         let mut off = 0usize;
         while off < bytes.len() {
             let cur = gva.add(off as u64);
             let in_page = (PAGE_SIZE - cur.offset()) as usize;
             let n = in_page.min(bytes.len() - off);
-            let hpa = self.access(hv, pid, cur, true, lane)?;
+            let hpa = if poll_irq {
+                self.access(hv, pid, cur, true, lane)?
+            } else {
+                self.access_no_irq(hv, pid, cur, true, lane)?
+            };
             hv.machine.phys.write(hpa, &bytes[off..off + n])?;
             ctx.charge_ns(
                 lane,
@@ -548,6 +593,18 @@ impl GuestKernel {
         lane: Lane,
     ) -> Result<(), GuestError> {
         self.write_bytes(hv, pid, gva, &value.to_le_bytes(), lane)
+    }
+
+    /// [`Self::write_u64`] without the interrupt poll (model-checker step).
+    pub fn write_u64_no_irq(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        value: u64,
+        lane: Lane,
+    ) -> Result<(), GuestError> {
+        self.write_bytes_no_irq(hv, pid, gva, &value.to_le_bytes(), lane)
     }
 
     pub fn read_u64(

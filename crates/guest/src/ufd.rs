@@ -85,6 +85,12 @@ impl Ufd {
     pub fn pending(&self) -> usize {
         self.events.len()
     }
+
+    /// Non-destructive view of the queued events (model-checker state
+    /// hashing; the tracker itself always uses [`Self::drain_events`]).
+    pub fn pending_events(&self) -> &[UfdEvent] {
+        &self.events
+    }
 }
 
 /// Handle to an open userfaultfd (index into the kernel's table).

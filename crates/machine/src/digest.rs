@@ -1,0 +1,103 @@
+//! Deterministic state hashing for the model checker.
+//!
+//! The interleaving explorer (`ooh-model`) deduplicates search nodes by a
+//! digest of the *behaviorally observable* machine state. The hasher is a
+//! plain FNV-1a over `u64` words: deterministic across runs and platforms
+//! (no `RandomState`), cheap, and order-sensitive — callers that want a
+//! multiset digest (e.g. buffer contents whose drain order is unobservable)
+//! sort before feeding.
+
+/// 64-bit FNV-1a accumulator.
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl StateHasher {
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Fold one 64-bit word into the digest, byte by byte.
+    pub fn write_u64(&mut self, value: u64) {
+        let mut s = self.state;
+        for b in value.to_le_bytes() {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Fold a boolean as a full word (keeps adjacent bools from aliasing).
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_u64(if value { 0x1 } else { 0x2 });
+    }
+
+    /// Fold a slice of words after sorting a copy — use for contents whose
+    /// internal order is not observable (log buffers drained into sets).
+    pub fn write_sorted(&mut self, values: &[u64]) {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        self.write_u64(sorted.len() as u64);
+        for v in sorted {
+            self.write_u64(v);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = StateHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StateHasher::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StateHasher::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn sorted_write_ignores_order() {
+        let mut a = StateHasher::new();
+        a.write_sorted(&[3, 1, 2]);
+        let mut b = StateHasher::new();
+        b.write_sorted(&[2, 3, 1]);
+        assert_eq!(a.finish(), b.finish());
+        // ...but not multiplicity.
+        let mut c = StateHasher::new();
+        c.write_sorted(&[1, 2, 3, 3]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn bools_do_not_alias() {
+        let mut a = StateHasher::new();
+        a.write_bool(true);
+        a.write_bool(false);
+        let mut b = StateHasher::new();
+        b.write_bool(false);
+        b.write_bool(true);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod addr;
+pub mod digest;
 pub mod ept;
 pub mod error;
 pub mod machine;
@@ -39,6 +40,7 @@ pub mod vmcs;
 pub mod walker;
 
 pub use addr::{Gpa, Gva, GvaRange, Hpa, PAGE_SHIFT, PAGE_SIZE, PT_ENTRIES};
+pub use digest::StateHasher;
 pub use ept::Ept;
 pub use error::{Fault, MachineError};
 pub use machine::{Machine, MachineConfig};

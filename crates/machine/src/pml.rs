@@ -12,6 +12,7 @@
 //! posted interrupts instead of a vmexit.
 
 use crate::addr::Hpa;
+use crate::digest::StateHasher;
 use crate::error::MachineError;
 use crate::phys::HostPhys;
 
@@ -83,6 +84,20 @@ impl PmlBuffer {
             self.index -= 1;
             Ok(LogOutcome::Logged)
         }
+    }
+
+    /// Fold the observable buffer state into `h`: fullness, entry count, and
+    /// the logged addresses as a sorted multiset (the drain turns them into
+    /// a set, so their in-buffer order is not behaviorally observable).
+    pub fn hash_state(&self, phys: &HostPhys, h: &mut StateHasher) -> Result<(), MachineError> {
+        h.write_bool(self.is_full());
+        let n = self.len();
+        let mut entries = Vec::with_capacity(n as usize);
+        for i in (0..n).map(|k| PML_ENTRIES - 1 - k) {
+            entries.push(phys.read_u64(self.base.add(i as u64 * 8))?);
+        }
+        h.write_sorted(&entries);
+        Ok(())
     }
 
     /// Drain all logged entries (oldest first) and reset the index to 511.

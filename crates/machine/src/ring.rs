@@ -13,6 +13,7 @@
 //! reduced mod capacity on access, the classic power-of-two-free protocol.
 
 use crate::addr::{Hpa, PAGE_SIZE};
+use crate::digest::StateHasher;
 use crate::error::MachineError;
 use crate::phys::HostPhys;
 
@@ -158,6 +159,24 @@ impl RingView {
         let v = phys.read_u64(self.slot(head))?;
         phys.write_u64(self.header.add(OFF_HEAD), head + 1)?;
         Ok(Some(v))
+    }
+
+    /// Fold the observable ring state into `h`: queue depth, drop count, and
+    /// the queued entries as a sorted multiset. The absolute head/tail
+    /// positions are excluded — they are free-running, so two histories with
+    /// identical queued contents but different push totals would otherwise
+    /// never deduplicate in the model checker.
+    pub fn hash_state(&self, phys: &HostPhys, h: &mut StateHasher) -> Result<(), MachineError> {
+        let head = self.head(phys)?;
+        let tail = self.tail(phys)?;
+        h.write_u64(tail - head);
+        h.write_u64(self.dropped(phys)?);
+        let mut queued = Vec::with_capacity((tail - head) as usize);
+        for i in head..tail {
+            queued.push(phys.read_u64(self.slot(i))?);
+        }
+        h.write_sorted(&queued);
+        Ok(())
     }
 
     /// Drain everything currently queued.

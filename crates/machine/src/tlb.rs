@@ -13,6 +13,7 @@
 //! we note in EXPERIMENTS.md.
 
 use crate::addr::{Gpa, Gva, Hpa};
+use crate::digest::StateHasher;
 use std::collections::BTreeMap;
 
 /// A cached translation.
@@ -103,6 +104,33 @@ impl Tlb {
                 self.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Non-counting lookup: what `lookup` would return, without perturbing
+    /// the hit/miss statistics. Used by the model checker's invariant and
+    /// digest passes, which must observe without disturbing.
+    pub fn peek(&self, cr3: Gpa, gva: Gva) -> Option<TlbEntry> {
+        if self.cr3_tag != cr3.raw() {
+            return None;
+        }
+        self.entries.get(&gva.page()).copied()
+    }
+
+    /// Fold the behaviorally relevant TLB state (CR3 tag + cached
+    /// translations with their permission/dirty flags) into `h`. Hit/miss
+    /// statistics are deliberately excluded: they never feed back into
+    /// logging decisions. BTreeMap iteration keeps the order deterministic.
+    pub fn hash_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.cr3_tag);
+        h.write_u64(self.entries.len() as u64);
+        for (gva_page, e) in &self.entries {
+            h.write_u64(*gva_page);
+            h.write_u64(e.gpa_page);
+            h.write_bool(e.writable);
+            h.write_bool(e.guest_dirty);
+            h.write_bool(e.ept_dirty);
+            h.write_bool(e.spp_guarded);
         }
     }
 
@@ -262,6 +290,37 @@ mod tests {
         // 0x1000 is a stale FIFO key; eviction must skip it without error.
         t.fill(cr3, Gva(0x4000), entry(4));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x7000), entry(0x99));
+        assert!(t.peek(cr3, Gva(0x7000)).is_some());
+        assert!(t.peek(cr3, Gva(0x8000)).is_none());
+        assert!(t.peek(Gpa(0x2000), Gva(0x7000)).is_none());
+        assert_eq!(t.hits(), 0);
+        assert_eq!(t.misses(), 0);
+    }
+
+    #[test]
+    fn hash_state_reflects_entries_not_stats() {
+        let mut a = Tlb::new();
+        let mut b = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        a.fill(cr3, Gva(0x7000), entry(0x99));
+        b.fill(cr3, Gva(0x7000), entry(0x99));
+        // Different stats, same entries.
+        let _ = a.lookup(cr3, Gva(0x7000));
+        let digest = |t: &Tlb| {
+            let mut h = StateHasher::new();
+            t.hash_state(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        b.fill(cr3, Gva(0x8000), entry(0x77));
+        assert_ne!(digest(&a), digest(&b));
     }
 
     #[test]

@@ -71,16 +71,33 @@ impl Vcpu {
         }
         // The PML index fields are live hardware state: reads observe the
         // logging circuit's current index, not the last value software wrote.
-        match field {
+        let result = match field {
             Field::GuestPmlIndex if self.pml.guest.is_some() => {
                 // Validate access rights through the normal path first.
-                self.vmcs.vmread(self.mode, field)?;
-                Ok(self.pml.guest.as_ref().expect("checked").index as u64)
+                self.vmcs
+                    .vmread(self.mode, field)
+                    .map(|_| self.pml.guest.as_ref().expect("checked").index as u64)
             }
             Field::PmlIndex if self.pml.hyp.is_some() && self.mode == VmxMode::Root => {
                 Ok(self.pml.hyp.as_ref().expect("checked").index as u64)
             }
             _ => self.vmcs.vmread(self.mode, field),
+        };
+        self.charge_denied_exit(ctx, lane, &result);
+        result
+    }
+
+    /// A non-root vmread/vmwrite to a field outside the shadow permission
+    /// bitmaps is not a shadow fast path: real hardware takes a vmexit so
+    /// the hypervisor can emulate or inject a fault. Charge the exit/entry
+    /// round trip before the error propagates, so the cost model reflects
+    /// that denied fields pay the full trap price.
+    fn charge_denied_exit<T>(&self, ctx: &SimCtx, lane: Lane, result: &Result<T, MachineError>) {
+        if self.mode == VmxMode::NonRoot {
+            if let Err(MachineError::VmcsAccessDenied { .. }) = result {
+                ctx.charge(lane, Event::VmExit);
+                ctx.charge(lane, Event::VmEntry);
+            }
         }
     }
 
@@ -116,7 +133,9 @@ impl Vcpu {
         } else {
             value
         };
-        self.vmcs.vmwrite(self.mode, field, value)?;
+        let result = self.vmcs.vmwrite(self.mode, field, value);
+        self.charge_denied_exit(ctx, lane, &result);
+        result?;
         self.sync_pml_from_vmcs();
         // Writes to the index fields program the live logging circuit (the
         // drain path resets the index to 511 this way).
@@ -275,6 +294,96 @@ mod tests {
         assert!(!vcpu.pml.guest_logging);
         // Two sched toggles = 3 vmwrites total so far... count them exactly:
         assert_eq!(ctx.counters().get(Event::Vmwrite), 3);
+    }
+
+    /// The VMCS-shadowing permission contract (paper metric M7): fields in
+    /// the shadow bitmaps are serviced by the shadow VMCS with no vmexit;
+    /// everything else traps. `Guest PML Address` is the interesting one —
+    /// EPML whitelists it so the OoH module can program the buffer base
+    /// exit-free, but only after the hypervisor attaches the shadow.
+    #[test]
+    fn whitelisted_shadow_fields_avoid_vmexit() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        let host = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), host).unwrap();
+        vcpu.vmcs.attach_shadow(&[
+            Field::GuestPmlAddress,
+            Field::GuestPmlIndex,
+            Field::EpmlControl,
+        ]);
+        vcpu.mode = VmxMode::NonRoot;
+        vcpu.epml_hw = true;
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlAddress, 0x5000, &mut phys, &mut ept)
+            .unwrap();
+        vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlIndex, 511, &mut phys, &mut ept)
+            .unwrap();
+        assert_eq!(
+            vcpu.vmread(&ctx, Lane::Kernel, Field::GuestPmlIndex).unwrap(),
+            511
+        );
+        // Shadow fast path: instruction costs only, never an exit/entry.
+        assert_eq!(ctx.counters().get(Event::Vmwrite), 2);
+        assert_eq!(ctx.counters().get(Event::Vmread), 1);
+        assert_eq!(ctx.counters().get(Event::VmExit), 0);
+        assert_eq!(ctx.counters().get(Event::VmEntry), 0);
+    }
+
+    #[test]
+    fn denied_vmread_charges_the_vmexit_path() {
+        let (_, _, mut vcpu, ctx) = rig();
+        vcpu.mode = VmxMode::NonRoot;
+        // No shadow attached: every non-root VMCS access is denied.
+        assert!(matches!(
+            vcpu.vmread(&ctx, Lane::Kernel, Field::PmlAddress),
+            Err(MachineError::VmcsAccessDenied { non_root: true, .. })
+        ));
+        assert_eq!(ctx.counters().get(Event::Vmread), 1);
+        assert_eq!(ctx.counters().get(Event::VmExit), 1);
+        assert_eq!(ctx.counters().get(Event::VmEntry), 1);
+    }
+
+    #[test]
+    fn denied_vmwrite_charges_the_vmexit_path() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        // Shadow attached, but SecondaryExecControls stays hypervisor-owned.
+        vcpu.vmcs
+            .attach_shadow(&[Field::GuestPmlAddress, Field::GuestPmlIndex]);
+        vcpu.mode = VmxMode::NonRoot;
+        assert!(matches!(
+            vcpu.vmwrite(
+                &ctx,
+                Lane::Kernel,
+                Field::SecondaryExecControls,
+                exec_controls::ENABLE_PML,
+                &mut phys,
+                &mut ept,
+            ),
+            Err(MachineError::VmcsAccessDenied { non_root: true, .. })
+        ));
+        assert_eq!(ctx.counters().get(Event::VmExit), 1);
+        assert_eq!(ctx.counters().get(Event::VmEntry), 1);
+    }
+
+    #[test]
+    fn guest_pml_address_denied_without_shadow_whitelist() {
+        let (mut phys, mut ept, mut vcpu, ctx) = rig();
+        let host = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, Gpa(0x5000), host).unwrap();
+        vcpu.mode = VmxMode::NonRoot;
+        vcpu.epml_hw = true;
+        // EPML hardware exists and the GPA translates, but the hypervisor
+        // never whitelisted the field: the write must trap, not fast-path.
+        assert!(matches!(
+            vcpu.vmwrite(&ctx, Lane::Kernel, Field::GuestPmlAddress, 0x5000, &mut phys, &mut ept),
+            Err(MachineError::VmcsAccessDenied { non_root: true, .. })
+        ));
+        assert_eq!(ctx.counters().get(Event::VmExit), 1);
+        assert_eq!(ctx.counters().get(Event::VmEntry), 1);
+        // Root-mode writes are ordinary hypervisor work: allowed, no charge.
+        vcpu.mode = VmxMode::Root;
+        vcpu.vmwrite(&ctx, Lane::Hypervisor, Field::GuestPmlAddress, host.raw(), &mut phys, &mut ept)
+            .unwrap();
+        assert_eq!(ctx.counters().get(Event::VmExit), 1);
     }
 
     #[test]

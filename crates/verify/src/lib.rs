@@ -20,9 +20,20 @@
 //! - an entry in `verify.allow` at the workspace root
 //!   (`<rule> <path-suffix> [line-substring]`), or
 //! - an inline `// ooh-verify: allow(<rule>)` marker on the offending line.
+//!
+//! Suppressions are themselves linted: the `stale-allow` rule fails the run
+//! when a `verify.allow` entry or an inline marker no longer matches any
+//! violation (dead exemptions hide future regressions), and
+//! `cargo run -p ooh-verify -- --prune-stale` rewrites `verify.allow`
+//! without the dead entries. The `feature-gate` rule checks that every
+//! debug-invariants hook site keeps its body behind
+//! `cfg!(feature = "debug-invariants")`, so release builds pay nothing for
+//! the shadow accounting.
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -40,6 +51,7 @@ pub const SIM_CRATES: &[&str] = &[
     "criu",
     "gc",
     "trace",
+    "model",
 ];
 
 /// Crates that model guest-side (non-root) software. They may only reach
@@ -77,6 +89,32 @@ pub const RULES: &[(&str, &str)] = &[
         "arch-panic",
         "core/machine/hypervisor non-test code must not unwrap()/expect(); return errors instead",
     ),
+    (
+        "stale-allow",
+        "every verify.allow entry and inline allow marker must still match a violation; prune dead exemptions",
+    ),
+    (
+        "feature-gate",
+        "debug-invariants hook bodies must stay behind cfg!(feature = \"debug-invariants\")",
+    ),
+];
+
+/// Debug-invariants hook sites: functions whose whole body is shadow
+/// accounting or invariant checking. Each must gate on
+/// `cfg!(feature = "debug-invariants")` so release builds compile the body
+/// out (the optimizer removes the `if false` arm). Names are exact; e.g. the
+/// hypervisor's `note_guest_pte_dirty_cleared` wrapper merely delegates to
+/// `note_guest_dirty_cleared` and is deliberately not listed.
+pub const GATED_HOOKS: &[&str] = &[
+    "note_hyp_dirty_logged",
+    "note_hyp_dirty_cleared",
+    "note_guest_dirty_logged",
+    "note_guest_dirty_cleared",
+    "shadow_reset_hyp",
+    "shadow_reset_guest",
+    "check_invariants",
+    "check_write_fast_path",
+    "check_step_invariants",
 ];
 
 /// One lint hit, after allowlist filtering.
@@ -129,6 +167,22 @@ struct AllowEntry {
     path_suffix: String,
     /// If present, the raw source line must contain this substring.
     substring: Option<String>,
+    /// 1-based line in `verify.allow` (for stale-entry reports and pruning).
+    line: usize,
+    /// The trimmed entry text, echoed back in stale-entry reports.
+    text: String,
+    /// Set when the entry suppresses at least one hit during a scan.
+    used: Cell<bool>,
+}
+
+/// How a raw hit was (or was not) suppressed.
+enum Permit {
+    /// An inline `// ooh-verify: allow(<rule>)` marker on the line.
+    Inline,
+    /// A `verify.allow` entry (now marked used).
+    Entry,
+    /// Not suppressed — the hit is a violation.
+    No,
 }
 
 /// Parsed `verify.allow`. Format, one entry per line:
@@ -151,7 +205,7 @@ pub struct Allowlist {
 impl Allowlist {
     pub fn parse(text: &str) -> Allowlist {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -169,6 +223,9 @@ impl Allowlist {
                 rule: rule.to_string(),
                 path_suffix: suffix.to_string(),
                 substring,
+                line: idx + 1,
+                text: line.to_string(),
+                used: Cell::new(false),
             });
         }
         Allowlist { entries }
@@ -181,21 +238,51 @@ impl Allowlist {
         }
     }
 
-    fn permits(&self, rule: &str, path: &str, raw_line: &str) -> bool {
+    fn permit(&self, rule: &str, path: &str, raw_line: &str) -> Permit {
         // Inline marker always wins: `// ooh-verify: allow(<rule>)`.
         if raw_line.contains(&format!("ooh-verify: allow({rule})"))
             || raw_line.contains("ooh-verify: allow(all)")
         {
-            return true;
+            return Permit::Inline;
         }
-        self.entries.iter().any(|e| {
-            (e.rule == rule || e.rule == "*")
+        for e in &self.entries {
+            if (e.rule == rule || e.rule == "*")
                 && path.ends_with(&e.path_suffix)
                 && e.substring
                     .as_deref()
                     .is_none_or(|s| raw_line.contains(s))
-        })
+            {
+                e.used.set(true);
+                return Permit::Entry;
+            }
+        }
+        Permit::No
     }
+
+    /// Entries that never suppressed a hit since parsing, as
+    /// `(verify.allow line, entry text)` pairs. Meaningful after a full
+    /// workspace scan; [`run`] turns them into `stale-allow` violations.
+    pub fn stale_entries(&self) -> Vec<(usize, String)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| (e.line, e.text.clone()))
+            .collect()
+    }
+}
+
+/// Drops the given 1-based lines from `verify.allow` text — the rewrite half
+/// of `--prune-stale`. Pure text surgery: comments, blank lines, and every
+/// non-stale entry survive byte-for-byte.
+pub fn prune_stale(allow_text: &str, stale_lines: &BTreeSet<usize>) -> String {
+    let mut out = String::new();
+    for (idx, line) in allow_text.lines().enumerate() {
+        if !stale_lines.contains(&(idx + 1)) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -528,19 +615,81 @@ pub fn scan_source(
     if crate_name == "hypervisor" {
         cost_model_rule(&ctx, &mut raw_hits);
     }
+    feature_gate_rule(&ctx, &mut raw_hits);
 
     let mut allowed = 0usize;
     let mut violations = Vec::new();
+    // (line, rule) pairs whose hit an inline marker suppressed — consulted
+    // below to decide which markers are stale.
+    let mut inline_used: BTreeSet<(usize, &'static str)> = BTreeSet::new();
     for v in raw_hits {
         let line_text = source.lines().nth(v.line - 1).unwrap_or("");
-        if allow.permits(v.rule, rel_path, line_text) {
-            allowed += 1;
-        } else {
-            violations.push(v);
+        match allow.permit(v.rule, rel_path, line_text) {
+            Permit::Inline => {
+                inline_used.insert((v.line, v.rule));
+                allowed += 1;
+            }
+            Permit::Entry => allowed += 1,
+            Permit::No => violations.push(v),
+        }
+    }
+    for (line, tok) in inline_markers(source, &ctx.in_test) {
+        let used = inline_used
+            .iter()
+            .any(|&(l, r)| l == line && (tok == "all" || tok == r));
+        if !used {
+            violations.push(Violation {
+                rule: "stale-allow",
+                path: rel_path.to_string(),
+                line,
+                excerpt: raw_line(source, line),
+                message: format!(
+                    "inline marker `allow({tok})` suppresses nothing on this line; remove it"
+                ),
+            });
         }
     }
     violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (violations, allowed)
+}
+
+/// Finds inline `// ooh-verify: allow(<rule>)` markers in non-test code, as
+/// `(line, rule)` pairs. The parse is strict so that prose *about* markers
+/// does not register: the rule token must be a known rule name (or `all`)
+/// followed by a closing paren — `allow(<rule>)` placeholders in docs fail
+/// this — and the marker must sit in a line comment (a `//` earlier on the
+/// same line), so string literals that mention the syntax don't count.
+fn inline_markers(raw: &str, in_test: &[bool]) -> Vec<(usize, String)> {
+    let chars: Vec<char> = raw.chars().collect();
+    let needle: Vec<char> = "ooh-verify: allow(".chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + needle.len() <= chars.len() {
+        if chars[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        let tok_start = j;
+        while j < chars.len() && (is_ident_char(chars[j]) || chars[j] == '-') {
+            j += 1;
+        }
+        let tok: String = chars[tok_start..j].iter().collect();
+        let valid = j < chars.len()
+            && chars[j] == ')'
+            && (tok == "all" || RULES.iter().any(|(r, _)| *r == tok));
+        let line_start = chars[..start]
+            .iter()
+            .rposition(|&c| c == '\n')
+            .map_or(0, |p| p + 1);
+        let in_comment = chars[line_start..start].windows(2).any(|w| w == ['/', '/']);
+        if valid && in_comment && !in_test.get(start).copied().unwrap_or(false) {
+            out.push((line_of(&chars, start), tok));
+        }
+        i = j.max(i + 1);
+    }
+    out
 }
 
 fn token_rule(
@@ -742,6 +891,65 @@ fn hypercall_arms_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>, bstart: usiz
     }
 }
 
+// ---------------------------------------------------------------------------
+// feature-gate: debug hook bodies must compile out of release builds
+// ---------------------------------------------------------------------------
+
+/// Every function named in [`GATED_HOOKS`] must keep its body behind
+/// `cfg!(feature = "debug-invariants")`. The check is two-part because
+/// masking blanks string literals: the masked body must contain a `cfg!`
+/// token (the gate exists) and the *raw* body must contain the
+/// `debug-invariants` feature name (it gates on the right feature).
+fn feature_gate_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let hc = &ctx.masked_chars;
+    let raw_chars: Vec<char> = ctx.raw.chars().collect();
+
+    for off in find_tokens(hc, "fn") {
+        if ctx.in_test[off] {
+            continue;
+        }
+        let mut j = off + 2;
+        while j < hc.len() && hc[j].is_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < hc.len() && is_ident_char(hc[j]) {
+            j += 1;
+        }
+        let name: String = hc[start..j].iter().collect();
+        if !GATED_HOOKS.contains(&name.as_str()) {
+            continue;
+        }
+        let mut k = j;
+        let mut body = None;
+        while k < hc.len() {
+            match hc[k] {
+                '{' => {
+                    body = balanced_region(hc, k);
+                    break;
+                }
+                ';' => break,
+                _ => k += 1,
+            }
+        }
+        let Some((bstart, bend)) = body else { continue };
+        let masked_body: String = hc[bstart..bend].iter().collect();
+        let raw_body: String = raw_chars[bstart..bend].iter().collect();
+        if !(masked_body.contains("cfg!") && raw_body.contains("debug-invariants")) {
+            let line = line_of(hc, off);
+            out.push(Violation {
+                rule: "feature-gate",
+                path: ctx.rel_path.to_string(),
+                line,
+                excerpt: raw_line(ctx.raw, line),
+                message: format!(
+                    "debug hook `{name}` must gate its body behind cfg!(feature = \"debug-invariants\")"
+                ),
+            });
+        }
+    }
+}
+
 /// Given `chars[open]` in `{ ( [`, returns `(open, one_past_matching_close)`.
 fn balanced_region(chars: &[char], open: usize) -> Option<(usize, usize)> {
     let (o, c) = match chars[open] {
@@ -810,6 +1018,19 @@ pub fn run(root: &Path) -> io::Result<Report> {
             report.allowed += allowed;
             report.violations.append(&mut vs);
         }
+    }
+    // An allow entry that matched nothing across the whole walk is dead
+    // weight: it either outlived the code it exempted or never matched at
+    // all (typo'd suffix/substring), and in both cases it could silently
+    // exempt a *future* regression. Fail until it is pruned.
+    for (line, text) in allow.stale_entries() {
+        report.violations.push(Violation {
+            rule: "stale-allow",
+            path: "verify.allow".to_string(),
+            line,
+            excerpt: text.clone(),
+            message: format!("allow entry matches no current violation: `{text}`"),
+        });
     }
     report
         .violations
@@ -1020,6 +1241,97 @@ mod tests {
         );
         assert!(!vs.is_empty());
         assert!(vs.iter().all(|v| v.rule == "det-time"));
+    }
+
+    #[test]
+    fn stale_inline_marker_is_flagged() {
+        // The marker names a real rule but nothing on the line trips it.
+        let vs = scan("machine", "fn f() {} // ooh-verify: allow(det-hash)\n");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "stale-allow");
+        assert_eq!(vs[0].line, 1);
+        // Wrong-rule marker next to a real (suppressed-by-nothing) hit: the
+        // det-time violation stands AND the det-hash marker is stale.
+        let vs = scan(
+            "machine",
+            "fn f() { let t = std::time::Instant::now(); } // ooh-verify: allow(det-hash)\n",
+        );
+        let rules: Vec<_> = vs.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["det-time", "stale-allow"], "{vs:?}");
+    }
+
+    #[test]
+    fn marker_prose_and_strings_do_not_parse_as_markers() {
+        // `<rule>` placeholder in a doc comment: not a valid rule token.
+        let vs = scan("machine", "// suppress with ooh-verify: allow(<rule>)\nfn f() {}\n");
+        assert!(vs.is_empty(), "{vs:?}");
+        // Marker text inside a string literal: no `//` before it.
+        let vs = scan(
+            "machine",
+            "fn f() -> &'static str { \"ooh-verify: allow(all)\" }\n",
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+        // Markers inside #[cfg(test)] regions are someone else's business.
+        let vs = scan(
+            "machine",
+            "#[cfg(test)]\nmod tests {\n    fn f() {} // ooh-verify: allow(det-hash)\n}\n",
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn unused_allow_entries_are_reported_stale() {
+        let allow = Allowlist::parse(
+            "# comment\n\
+             arch-panic src/lib.rs boom\n\
+             det-hash src/other.rs\n",
+        );
+        let src = "fn f() { x.expect(\"boom\"); }";
+        let (vs, allowed) = scan_source("machine", "crates/x/src/lib.rs", src, &allow);
+        assert!(vs.is_empty(), "{vs:?}");
+        assert_eq!(allowed, 1);
+        let stale = allow.stale_entries();
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].0, 3, "stale entry keeps its verify.allow line");
+        assert!(stale[0].1.starts_with("det-hash"));
+    }
+
+    #[test]
+    fn prune_stale_drops_only_the_given_lines() {
+        let text = "# keep this comment\nrule-a src/a.rs\nrule-b src/b.rs\n";
+        let pruned = prune_stale(text, &BTreeSet::from([2]));
+        assert_eq!(pruned, "# keep this comment\nrule-b src/b.rs\n");
+        assert_eq!(prune_stale(text, &BTreeSet::new()), text);
+    }
+
+    #[test]
+    fn ungated_debug_hook_is_flagged() {
+        let src = "impl T {\n    pub fn note_hyp_dirty_logged(&mut self, p: u64) { self.shadow.insert(p); }\n}\n";
+        let vs = scan("machine", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "feature-gate");
+        assert_eq!(vs[0].line, 2);
+        assert!(vs[0].message.contains("note_hyp_dirty_logged"));
+    }
+
+    #[test]
+    fn gated_debug_hook_passes() {
+        let src = "impl T {\n    pub fn note_hyp_dirty_logged(&mut self, p: u64) {\n        if cfg!(feature = \"debug-invariants\") { self.shadow.insert(p); }\n    }\n}\n";
+        assert!(scan("machine", src).is_empty());
+        // Early-return style gates pass too (walker's fast-path check).
+        let src = "fn check_write_fast_path(&self) -> R {\n    if !cfg!(feature = \"debug-invariants\") { return Ok(()); }\n    self.deep_check()\n}\n";
+        assert!(scan("machine", src).is_empty());
+        // Gating on the wrong feature does not count.
+        let src = "fn shadow_reset_hyp(&mut self) { if cfg!(feature = \"other\") { self.s.clear(); } }\n";
+        let vs = scan("machine", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "feature-gate");
+    }
+
+    #[test]
+    fn test_only_hook_helpers_are_exempt_from_feature_gate() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn check_invariants() { assert!(true); }\n}\n";
+        assert!(scan("machine", src).is_empty());
     }
 
     #[test]

@@ -1,26 +1,74 @@
-//! CLI entry point: `cargo run -p ooh-verify [workspace-root]`.
+//! CLI entry point: `cargo run -p ooh-verify [--prune-stale] [workspace-root]`.
 //!
 //! Prints every violation and exits 1 if any are found, 0 on a clean tree —
 //! suitable for CI and pre-commit hooks. Printing to stdout is this tool's
-//! output contract.
+//! output contract. `--prune-stale` rewrites `verify.allow` without the
+//! entries the `stale-allow` rule flagged, then re-scans and reports on the
+//! pruned tree.
 #![allow(clippy::print_stdout)]
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(ooh_verify::workspace_root);
+    let mut root: Option<PathBuf> = None;
+    let mut prune = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--prune-stale" => prune = true,
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(ooh_verify::workspace_root);
 
-    let report = match ooh_verify::run(&root) {
+    let mut report = match ooh_verify::run(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ooh-verify: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if prune {
+        let stale_lines: BTreeSet<usize> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "stale-allow" && v.path == "verify.allow")
+            .map(|v| v.line)
+            .collect();
+        if stale_lines.is_empty() {
+            println!("ooh-verify: no stale verify.allow entries to prune");
+        } else {
+            let allow_path = root.join("verify.allow");
+            let text = match std::fs::read_to_string(&allow_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("ooh-verify: reading {}: {e}", allow_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let pruned = ooh_verify::prune_stale(&text, &stale_lines);
+            if let Err(e) = std::fs::write(&allow_path, pruned) {
+                eprintln!("ooh-verify: writing {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "ooh-verify: pruned {} stale entr{} from {}",
+                stale_lines.len(),
+                if stale_lines.len() == 1 { "y" } else { "ies" },
+                allow_path.display()
+            );
+            // Report on the tree as it now stands.
+            report = match ooh_verify::run(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ooh-verify: failed to re-scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+        }
+    }
 
     // An empty scan means the root is wrong (e.g. a typo'd CI path), not a
     // clean tree — passing silently here would defeat the whole gate.
