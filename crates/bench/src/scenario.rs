@@ -33,11 +33,23 @@ impl Stack {
     /// uses to install an `ooh_trace::Tracer` *before* the first charge, so
     /// the conservation invariant covers boot time too.
     pub fn boot_with_ctx(host_mib: u64, ctx: SimCtx) -> Self {
+        Self::boot_with_ctx_vcpus(host_mib, ctx, 1)
+    }
+
+    /// Boot an SMP stack: the VM gets `n_vcpus` vCPUs and the guest kernel
+    /// schedules across all of them (processes are placed round-robin).
+    pub fn boot_with_vcpus(host_mib: u64, n_vcpus: u32) -> Self {
+        Self::boot_with_ctx_vcpus(host_mib, SimCtx::new(), n_vcpus)
+    }
+
+    /// The fully-general boot: host size, context, and vCPU count.
+    pub fn boot_with_ctx_vcpus(host_mib: u64, ctx: SimCtx, n_vcpus: u32) -> Self {
+        let n_vcpus = n_vcpus.max(1);
         let mut hv = Hypervisor::new(MachineConfig::epml(host_mib * 1024 * 1024), ctx);
         let vm = hv
-            .create_vm(host_mib / 2 * 1024 * 1024, 1)
+            .create_vm(host_mib / 2 * 1024 * 1024, n_vcpus)
             .expect("VM creation");
-        let mut kernel = GuestKernel::new(vm);
+        let mut kernel = GuestKernel::with_vcpus(vm, n_vcpus);
         let pid = kernel.spawn(&mut hv).expect("spawn");
         Stack { hv, kernel, pid }
     }

@@ -69,6 +69,9 @@ impl DirtyPageTracker for EpmlTracker {
         if dropped != self.last_dropped {
             self.last_dropped = dropped;
             self.overflow_fallbacks += 1;
+            // Entries were lost; the pre-overflow raw count describes a
+            // round that never completed and must not leak into the next.
+            self.raw_entries_last_round = 0;
             return conservative_full_scan(env, &self.registered);
         }
         let mut set: DirtySet = raw.into_iter().map(Gva).collect();
@@ -78,5 +81,51 @@ impl DirtyPageTracker for EpmlTracker {
 
     fn finish(&mut self, env: &mut TrackEnv<'_>) -> Result<(), GuestError> {
         with_module(env, |m, env| m.untrack(env.kernel, env.hv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::DirtyPageTracker;
+    use ooh_guest::{GuestKernel, OohModule, VmaKind};
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::{Lane, SimCtx};
+
+    /// EPML twin of the SPML overflow regression test: the fallback must
+    /// reset `raw_entries_last_round` instead of leaking the pre-overflow
+    /// count of a round that never completed.
+    #[test]
+    fn overflow_fallback_resets_raw_count() {
+        let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        let pages = 600u64;
+        let range = kernel.mmap(pid, pages, true, VmaKind::Anon).unwrap();
+
+        let module = OohModule::load_with(&mut kernel, &mut hv, OohMode::Epml, 1).unwrap();
+        kernel.ooh = Some(module);
+
+        let mut tracker = EpmlTracker::new();
+        let mut env = crate::tracker::TrackEnv::new(&mut hv, &mut kernel, pid);
+        tracker.init(&mut env).unwrap();
+        tracker.begin_round(&mut env).unwrap();
+        for gva in range.iter_pages().collect::<Vec<_>>() {
+            env.kernel
+                .write_u64(env.hv, pid, gva, 7, Lane::Tracked)
+                .unwrap();
+        }
+        let set = tracker.collect(&mut env).unwrap();
+
+        assert_eq!(tracker.overflow_fallbacks, 1, "the tiny ring must overflow");
+        assert_eq!(
+            tracker.raw_entries_last_round, 0,
+            "pre-overflow raw count must not leak out of the failed round"
+        );
+        for gva in range.iter_pages() {
+            assert!(set.contains(gva));
+        }
     }
 }

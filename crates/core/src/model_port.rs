@@ -380,13 +380,29 @@ impl ModelSession {
         scenario: Scenario,
         mutation: Mutation,
     ) -> Result<ModelSession, ModelError> {
+        Self::boot_with_vcpus(technique, scenario, mutation, 1)
+    }
+
+    /// [`Self::boot`] on an SMP guest: the VM gets `vcpus` vCPUs, and both
+    /// model processes are pinned to vCPU 0 so the schedule alphabet keeps
+    /// its single-core meaning (SchedOut really hands the core over). The
+    /// extra cores exercise the cross-vCPU shootdown and per-vCPU shadow
+    /// paths, and every per-vCPU property (P4, digest) ranges over all of
+    /// them.
+    pub fn boot_with_vcpus(
+        technique: Technique,
+        scenario: Scenario,
+        mutation: Mutation,
+        vcpus: u32,
+    ) -> Result<ModelSession, ModelError> {
+        let vcpus = vcpus.max(1);
         let p = scenario.params();
         let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
-        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1)?;
-        let mut kernel = GuestKernel::new(vm);
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, vcpus)?;
+        let mut kernel = GuestKernel::with_vcpus(vm, vcpus);
 
-        let tracked = kernel.spawn(&mut hv)?;
-        let other = kernel.spawn(&mut hv)?;
+        let tracked = kernel.spawn_on(&mut hv, 0)?;
+        let other = kernel.spawn_on(&mut hv, 0)?;
         let tracked_region = kernel.mmap(tracked, p.tracked_pages, true, VmaKind::Anon)?;
         let other_region = kernel.mmap(other, p.other_pages, true, VmaKind::Anon)?;
 
@@ -409,11 +425,13 @@ impl ModelSession {
             if let Some((slot, pte)) = kernel.pte_lookup(&mut hv, other, g)? {
                 if pte.is_dirty() {
                     kernel.kernel_phys_write(&mut hv, slot, pte.without(Pte::DIRTY).0)?;
-                    hv.note_guest_pte_dirty_cleared(kernel.vm, kernel.vcpu, g);
+                    for v in 0..kernel.n_vcpus() {
+                        hv.note_guest_pte_dirty_cleared(kernel.vm, v, g);
+                    }
                 }
             }
         }
-        kernel.flush_tlb(&mut hv);
+        kernel.shootdown_all(&mut hv);
 
         kernel.context_switch(&mut hv, tracked)?;
         let session = OohSession::start(&mut hv, &mut kernel, tracked, technique)?;
@@ -607,6 +625,8 @@ impl ModelSession {
     /// dirty bit is clear must not retain a TLB entry with the guest-dirty
     /// flag set — such an entry lets the fast path skip the page-walk that
     /// would log the next write, losing the page for the following round.
+    /// Checked on *every* vCPU: a dirty-bit clear is only correct if the
+    /// shootdown reached all cores, so a stale entry anywhere violates P4.
     fn check_step_invariants(&mut self) -> Result<(), ModelViolation> {
         if cfg!(feature = "debug-invariants") {
             if self.technique != Technique::Epml {
@@ -628,10 +648,11 @@ impl ModelSession {
                 if !pte.is_present() || pte.is_dirty() {
                     continue;
                 }
-                let vc = &self.hv.vm(self.kernel.vm).vcpus[self.kernel.vcpu as usize];
-                if let Some(entry) = vc.tlb.peek(cr3, gva) {
-                    if entry.guest_dirty {
-                        return Err(ModelViolation::StaleTlb { page: gva.page() });
+                for vc in &self.hv.vm(self.kernel.vm).vcpus {
+                    if let Some(entry) = vc.tlb.peek(cr3, gva) {
+                        if entry.guest_dirty {
+                            return Err(ModelViolation::StaleTlb { page: gva.page() });
+                        }
                     }
                 }
             }
@@ -728,9 +749,11 @@ impl ModelPort for ModelSession {
         });
         h.write_u64(self.session.rounds());
         h.write_sorted(&self.oracle.iter().copied().collect::<Vec<_>>());
-        self.hv
-            .hash_vm_state(self.kernel.vm, self.kernel.vcpu, &mut h)
-            .expect("state hash must not fault");
+        for v in 0..self.kernel.n_vcpus() {
+            self.hv
+                .hash_vm_state(self.kernel.vm, v, &mut h)
+                .expect("state hash must not fault");
+        }
         if let Some(module) = self.kernel.ooh.as_ref() {
             h.write_bool(true);
             self.hv

@@ -18,7 +18,34 @@ use ooh_sim::{Event, Lane, ScopeKind};
 /// the addresses afterwards, because a process's physical placement is
 /// stable. Entries are `Option<GVA page>` so "this GPA has no userspace
 /// mapping" (page-table noise) is cached too.
-pub type RevMapCache = std::collections::BTreeMap<u64, Option<u64>>;
+///
+/// "Stable" is an assumption, not a guarantee: a munmap frees frames back
+/// to the guest allocator and the next mmap's faults recycle them, so a
+/// cached translation — or a cached negative — can silently go stale. The
+/// cache therefore records the kernel map generation it was built at, and
+/// [`reverse_map_batch_cached`] drops every entry when the process's
+/// GPA↔GVA mapping has changed since.
+#[derive(Debug, Default, Clone)]
+pub struct RevMapCache {
+    entries: std::collections::BTreeMap<u64, Option<u64>>,
+    /// Kernel map generation the entries were resolved against.
+    generation: u64,
+}
+
+impl RevMapCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every cached translation (overflow fallback, invalidation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
 
 /// Cost of a cache hit (one hash probe in the library).
 const CACHE_HIT_NS: u64 = 50;
@@ -67,13 +94,23 @@ pub fn reverse_map_batch_cached(
 ) -> Result<Vec<Gva>, GuestError> {
     let ctx = hv.ctx.clone();
     let _span = ctx.span(ScopeKind::Op, "reverse_map", gpas.len() as u64);
+
+    // Invalidate before trusting anything: if the process mapped or
+    // unmapped pages since the cache was built, frames may have been
+    // recycled under it and both positive and negative entries are suspect.
+    let generation = kernel.map_generation(pid)?;
+    if generation != cache.generation {
+        cache.entries.clear();
+        cache.generation = generation;
+    }
+
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
 
     let mut out = Vec::with_capacity(gpas.len());
     for gpa in gpas {
         let page = gpa.page();
-        let hit = cache.get(&page).copied();
+        let hit = cache.entries.get(&page).copied();
         let resolved = match hit {
             Some(cached) => {
                 ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, CACHE_HIT_NS);
@@ -83,7 +120,7 @@ pub fn reverse_map_batch_cached(
                 let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
                 ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
                 let r = proc.gva_for_gpa_page(page);
-                cache.insert(page, r);
+                cache.entries.insert(page, r);
                 r
             }
         };
@@ -166,6 +203,60 @@ mod tests {
         let warm_miss = hv.ctx.now_ns() - t3;
         assert!(miss1.is_empty() && miss2.is_empty());
         assert!(warm_miss < cold_miss);
+    }
+
+    /// Regression test for the stale-cache bug: munmap region A, mmap
+    /// region B whose faults recycle A's freed frames, and reverse-map B's
+    /// GPAs through a cache warmed on A. Before the map-generation check,
+    /// the cache returned A's dead GVAs for the recycled frames, silently
+    /// misattributing B's dirty pages.
+    #[test]
+    fn cache_invalidated_when_frames_are_recycled() {
+        let mut hv = Hypervisor::new(MachineConfig::stock(4096 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+
+        let a = kernel.mmap(pid, 4, true, VmaKind::Anon).unwrap();
+        for g in a.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 1, Lane::Tracked).unwrap();
+        }
+        let gpas_a: Vec<Gpa> = {
+            let proc = kernel.process(pid).unwrap();
+            a.iter_pages()
+                .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+                .collect()
+        };
+        let mut cache = RevMapCache::new();
+        let warm =
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &gpas_a, &mut cache).unwrap();
+        assert_eq!(warm.len(), 4);
+
+        // Recycle: free A's frames, let B's demand-zero faults reuse them.
+        kernel.munmap(&mut hv, pid, a).unwrap();
+        let b = kernel.mmap(pid, 4, true, VmaKind::Anon).unwrap();
+        for g in b.iter_pages().collect::<Vec<_>>() {
+            kernel.write_u64(&mut hv, pid, g, 2, Lane::Tracked).unwrap();
+        }
+        let gpas_b: Vec<Gpa> = {
+            let proc = kernel.process(pid).unwrap();
+            b.iter_pages()
+                .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+                .collect()
+        };
+        assert!(
+            gpas_b.iter().any(|g| gpas_a.contains(g)),
+            "test premise: at least one of A's frames must back B now"
+        );
+
+        let mut mapped =
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &gpas_b, &mut cache).unwrap();
+        mapped.sort_unstable();
+        let expected: Vec<Gva> = b.iter_pages().map(|g| g.page_base()).collect();
+        assert_eq!(
+            mapped, expected,
+            "recycled frames must resolve to B's GVAs, not A's cached ones"
+        );
     }
 
     #[test]

@@ -162,6 +162,15 @@ impl DirtyPageTracker for SpmlTracker {
         if dropped != self.last_dropped {
             self.last_dropped = dropped;
             self.overflow_fallbacks += 1;
+            // The fallback bypasses the ring and the reverse map entirely:
+            // the pre-overflow raw count describes a round that never
+            // completed, and the warm cache may hold translations for frames
+            // whose logging we just lost track of. Neither may leak into the
+            // next round.
+            self.raw_entries_last_round = 0;
+            if let Some(cache) = self.cache.as_mut() {
+                cache.clear();
+            }
             return conservative_full_scan(env, &self.registered);
         }
 
@@ -199,5 +208,61 @@ impl DirtyPageTracker for SpmlTracker {
 
     fn enable_collection_cache(&mut self) {
         self.cache = Some(RevMapCache::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::{DirtyPageTracker, TrackEnv};
+    use ooh_guest::{GuestKernel, VmaKind};
+    use ooh_hypervisor::Hypervisor;
+    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_sim::{Lane, SimCtx};
+
+    /// Regression test for the overflow-fallback reset: a 1-data-page ring
+    /// (512 entries) overflows under a 600-page round, forcing the
+    /// conservative full scan. Before the fix, `raw_entries_last_round`
+    /// kept the pre-overflow count of a round that never completed, and the
+    /// warm reverse-map cache survived into the next round.
+    #[test]
+    fn overflow_fallback_resets_raw_count_and_cache() {
+        let mut hv = Hypervisor::new(MachineConfig::stock(64 * 1024 * PAGE_SIZE), SimCtx::new());
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).unwrap();
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).unwrap();
+        let pages = 600u64;
+        let range = kernel.mmap(pid, pages, true, VmaKind::Anon).unwrap();
+
+        // Preload the module with a tiny ring so one round overflows it;
+        // the tracker's init reuses a module whose mode already matches.
+        let module = OohModule::load_with(&mut kernel, &mut hv, OohMode::Spml, 1).unwrap();
+        kernel.ooh = Some(module);
+
+        let mut tracker = SpmlTracker::new();
+        tracker.enable_collection_cache();
+        let mut env = TrackEnv::new(&mut hv, &mut kernel, pid);
+        tracker.init(&mut env).unwrap();
+        tracker.begin_round(&mut env).unwrap();
+        for gva in range.iter_pages().collect::<Vec<_>>() {
+            env.kernel
+                .write_u64(env.hv, pid, gva, 7, Lane::Tracked)
+                .unwrap();
+        }
+        let set = tracker.collect(&mut env).unwrap();
+
+        assert_eq!(tracker.overflow_fallbacks, 1, "the tiny ring must overflow");
+        assert_eq!(
+            tracker.raw_entries_last_round, 0,
+            "pre-overflow raw count must not leak out of the failed round"
+        );
+        assert!(
+            tracker.cache.as_ref().is_some_and(|c| c.is_empty()),
+            "warm revmap cache must be dropped on fallback"
+        );
+        // The conservative scan still reports every written page.
+        for gva in range.iter_pages() {
+            assert!(set.contains(gva));
+        }
     }
 }

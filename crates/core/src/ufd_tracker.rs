@@ -77,7 +77,18 @@ impl DirtyPageTracker for UfdTracker {
     fn collect(&mut self, env: &mut TrackEnv<'_>) -> Result<DirtySet, GuestError> {
         self.drain_into_current(env);
         let mut out = self.current.clone();
-        out.retain_within(&self.registered);
+        // Retain within the VMAs live *now*, not the begin-round snapshot:
+        // events for a range unmapped mid-round describe translations that
+        // no longer exist, and the pagemap- and PML-based collectors all
+        // drop such pages too.
+        let live: Vec<GvaRange> = env
+            .kernel
+            .vmas(env.pid)?
+            .iter()
+            .filter(|v| v.writable)
+            .map(|v| v.range)
+            .collect();
+        out.retain_within(&live);
         Ok(out)
     }
 

@@ -58,50 +58,103 @@ impl std::fmt::Display for GuestError {
 impl std::error::Error for GuestError {}
 
 /// The guest operating system state for one VM.
+///
+/// SMP model: the kernel owns `n_vcpus` virtual CPUs. Every process gets a
+/// *home vCPU* at spawn time (deterministic round-robin over spawn order)
+/// and all of its user-mode execution — stores, loads, faults, procfs
+/// syscalls — runs there, which is where its translations get cached and
+/// its PML/EPML entries get logged. `vcpu` always names the vCPU currently
+/// executing kernel code; syscall-style entry points switch it to the
+/// calling process's home vCPU.
 pub struct GuestKernel {
     pub vm: VmId,
-    /// The (single, per the paper's setup) vCPU this kernel runs on.
+    /// The vCPU currently executing (kernel or user) code.
     pub vcpu: u32,
+    /// Number of vCPUs this kernel schedules across.
+    n_vcpus: u32,
     processes: std::collections::BTreeMap<Pid, Process>,
     next_pid: u32,
     /// Open userfaultfd objects.
     pub ufds: Vec<Ufd>,
     /// The OoH kernel module, once loaded.
     pub ooh: Option<OohModule>,
-    /// Currently scheduled process.
-    current: Option<Pid>,
+    /// Per-vCPU currently scheduled process.
+    current: Vec<Option<Pid>>,
+    /// Home vCPU of every live process.
+    placement: std::collections::BTreeMap<Pid, u32>,
+    /// Round-robin cursor for spawn placement.
+    next_placement: u32,
+    /// Timer ticks delivered so far (drives the tick → vCPU rotation).
+    timer_ticks: u64,
     /// Total context switches performed (the paper's N).
     pub context_switches: u64,
 }
 
 impl GuestKernel {
+    /// A single-vCPU kernel (the paper's baseline setup).
     pub fn new(vm: VmId) -> Self {
+        Self::with_vcpus(vm, 1)
+    }
+
+    /// An SMP kernel scheduling across `n_vcpus` vCPUs. The VM passed in
+    /// must have been created with at least as many vCPUs.
+    pub fn with_vcpus(vm: VmId, n_vcpus: u32) -> Self {
+        let n = n_vcpus.max(1);
         Self {
             vm,
             vcpu: 0,
+            n_vcpus: n,
             processes: std::collections::BTreeMap::new(),
             next_pid: 1,
             ufds: Vec::new(),
             ooh: None,
-            current: None,
+            current: vec![None; n as usize],
+            placement: std::collections::BTreeMap::new(),
+            next_placement: 0,
+            timer_ticks: 0,
             context_switches: 0,
         }
     }
 
+    /// Number of vCPUs this kernel schedules across.
+    pub fn n_vcpus(&self) -> u32 {
+        self.n_vcpus
+    }
+
+    /// The home vCPU `pid` was placed on at spawn (current vCPU if unknown).
+    pub fn vcpu_of(&self, pid: Pid) -> u32 {
+        self.placement.get(&pid).copied().unwrap_or(self.vcpu)
+    }
+
+    /// Switch execution to `pid`'s home vCPU (syscall entry on its core).
+    fn run_on_home_vcpu(&mut self, pid: Pid) {
+        self.vcpu = self.vcpu_of(pid);
+    }
+
     // --- process lifecycle -------------------------------------------------
 
-    /// Create a process: allocates its page-table root.
+    /// Create a process: allocates its page-table root and places it on the
+    /// next vCPU in deterministic round-robin order.
     pub fn spawn(&mut self, hv: &mut Hypervisor) -> Result<Pid, GuestError> {
+        let vcpu = self.next_placement % self.n_vcpus;
+        self.next_placement += 1;
+        self.spawn_on(hv, vcpu)
+    }
+
+    /// Create a process pinned to `vcpu` (taskset-style explicit placement).
+    pub fn spawn_on(&mut self, hv: &mut Hypervisor, vcpu: u32) -> Result<Pid, GuestError> {
+        debug_assert!(vcpu < self.n_vcpus, "vCPU {vcpu} out of range");
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let cr3 = hv.alloc_guest_page(self.vm)?;
         let mut proc = Process::new(pid, cr3);
         proc.pt_pages.push(cr3);
         self.processes.insert(pid, proc);
-        if self.current.is_none() {
-            self.current = Some(pid);
+        self.placement.insert(pid, vcpu);
+        if self.current[vcpu as usize].is_none() {
+            self.current[vcpu as usize] = Some(pid);
             let ctx = hv.ctx.clone();
-            hv.vm_mut(self.vm).vcpus[self.vcpu as usize].set_cr3(&ctx, Lane::Kernel, cr3);
+            hv.vm_mut(self.vm).vcpus[vcpu as usize].set_cr3(&ctx, Lane::Kernel, cr3);
         }
         Ok(pid)
     }
@@ -118,8 +171,11 @@ impl GuestKernel {
         for gpa in proc.pt_pages {
             hv.free_guest_page(self.vm, gpa)?;
         }
-        if self.current == Some(pid) {
-            self.current = None;
+        self.placement.remove(&pid);
+        for slot in self.current.iter_mut() {
+            if *slot == Some(pid) {
+                *slot = None;
+            }
         }
         Ok(())
     }
@@ -138,8 +194,14 @@ impl GuestKernel {
         self.processes.keys().copied().collect()
     }
 
+    /// The process running on the currently executing vCPU.
     pub fn current(&self) -> Option<Pid> {
-        self.current
+        self.current[self.vcpu as usize]
+    }
+
+    /// The process running on `vcpu`.
+    pub fn current_on(&self, vcpu: u32) -> Option<Pid> {
+        self.current.get(vcpu as usize).copied().flatten()
     }
 
     // --- memory mapping -----------------------------------------------------
@@ -155,13 +217,17 @@ impl GuestKernel {
         Ok(self.process_mut(pid)?.reserve_vma(pages, writable, kind))
     }
 
-    /// munmap: drop the VMA and free its resident pages and PTEs.
+    /// munmap: drop the VMA and free its resident pages and PTEs, then
+    /// shoot the stale translations down on *every* vCPU — the PTE teardown
+    /// is globally visible, so a single-vCPU flush would leave other cores
+    /// free to write through (and dirty-log against) dead translations.
     pub fn munmap(
         &mut self,
         hv: &mut Hypervisor,
         pid: Pid,
         range: GvaRange,
     ) -> Result<(), GuestError> {
+        self.run_on_home_vcpu(pid);
         let vm = self.vm;
         {
             let proc = self.process_mut(pid)?;
@@ -172,9 +238,19 @@ impl GuestKernel {
                 });
             }
         }
+        let n_vcpus = self.n_vcpus;
         for gva in range.iter_pages().collect::<Vec<_>>() {
             if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
                 if pte.is_present() {
+                    // The PTE (and with it any set dirty bit) is going away:
+                    // tell every vCPU's PML shadow, or the page would
+                    // false-panic as "logged twice" when the GVA/GPA is
+                    // recycled and dirtied again under debug-invariants.
+                    if pte.is_dirty() {
+                        for v in 0..n_vcpus {
+                            hv.note_guest_pte_dirty_cleared(vm, v, gva);
+                        }
+                    }
                     self.kernel_phys_write(hv, slot, Pte::empty().0)?;
                     let proc = self.process_mut(pid)?;
                     if let Some(gpa_page) = proc.unmap_resident(gva.page()) {
@@ -183,10 +259,7 @@ impl GuestKernel {
                 }
             }
         }
-        let ctx = hv.ctx.clone();
-        let vcpu = &mut hv.vm_mut(self.vm).vcpus[self.vcpu as usize];
-        vcpu.tlb.flush_all();
-        ctx.charge(Lane::Kernel, Event::TlbFlush);
+        self.shootdown_all(hv);
         Ok(())
     }
 
@@ -438,6 +511,38 @@ impl GuestKernel {
             .flush_all();
     }
 
+    /// Cross-vCPU single-page TLB shootdown: invlpg locally, then send a
+    /// shootdown IPI to every other vCPU. Each remote core drops the
+    /// translation; the initiating kernel lane pays one calibrated IPI cost
+    /// per remote core (send, remote handler, wait-for-ack). With one vCPU
+    /// this degenerates to a plain local invlpg.
+    pub fn shootdown_page(&self, hv: &mut Hypervisor, gva: Gva) {
+        self.invlpg(hv, gva);
+        let ctx = hv.ctx.clone();
+        for v in 0..self.n_vcpus {
+            if v == self.vcpu {
+                continue;
+            }
+            ctx.charge(Lane::Kernel, Event::TlbShootdownIpi);
+            hv.vm_mut(self.vm).vcpus[v as usize].tlb.shootdown_invlpg(gva);
+        }
+    }
+
+    /// Cross-vCPU full-flush shootdown (munmap / clear_refs batches): flush
+    /// locally, then IPI every other vCPU to flush too. With one vCPU this
+    /// degenerates to a plain local flush.
+    pub fn shootdown_all(&self, hv: &mut Hypervisor) {
+        self.flush_tlb(hv);
+        let ctx = hv.ctx.clone();
+        for v in 0..self.n_vcpus {
+            if v == self.vcpu {
+                continue;
+            }
+            ctx.charge(Lane::Kernel, Event::TlbShootdownIpi);
+            hv.vm_mut(self.vm).vcpus[v as usize].tlb.shootdown_flush_all();
+        }
+    }
+
     // --- the access path ----------------------------------------------------------
 
     /// Translate + access one byte address, resolving faults like a real
@@ -469,6 +574,7 @@ impl GuestKernel {
         write: bool,
         lane: Lane,
     ) -> Result<Hpa, GuestError> {
+        self.run_on_home_vcpu(pid);
         let cr3 = self.process(pid)?.cr3;
         for _attempt in 0..8 {
             match hv.guest_access(self.vm, self.vcpu, cr3, gva, write, lane)? {
@@ -479,24 +585,38 @@ impl GuestKernel {
         Err(GuestError::FaultLoop { pid, gva })
     }
 
-    /// Service pending posted interrupts (the EPML buffer-full self-IPI).
+    /// Service pending posted interrupts (the EPML buffer-full self-IPI) on
+    /// every vCPU. Each vCPU drains its *own* guest-level PML buffer — the
+    /// self-IPI is posted to the core whose buffer filled, and the handler
+    /// runs there (`self.vcpu` is switched for the duration so the module
+    /// drains the right buffer).
     pub fn poll_interrupts(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
-        loop {
-            let vector = {
-                let vcpu = &mut hv.vm_mut(self.vm).vcpus[self.vcpu as usize];
-                vcpu.take_interrupt()
-            };
-            match vector {
-                Some(EPML_SELF_IPI_VECTOR) => {
-                    if let Some(mut ooh) = self.ooh.take() {
-                        ooh.handle_self_ipi(self, hv)?;
-                        self.ooh = Some(ooh);
+        let entry_vcpu = self.vcpu;
+        for v in 0..self.n_vcpus {
+            loop {
+                let vector = {
+                    let vcpu = &mut hv.vm_mut(self.vm).vcpus[v as usize];
+                    vcpu.take_interrupt()
+                };
+                match vector {
+                    Some(EPML_SELF_IPI_VECTOR) => {
+                        self.vcpu = v;
+                        if let Some(mut ooh) = self.ooh.take() {
+                            let r = ooh.handle_self_ipi(self, hv);
+                            self.ooh = Some(ooh);
+                            if let Err(e) = r {
+                                self.vcpu = entry_vcpu;
+                                return Err(e);
+                            }
+                        }
                     }
+                    Some(_) => {} // spurious vector: ignore
+                    None => break,
                 }
-                Some(_) => {} // spurious vector: ignore
-                None => return Ok(()),
             }
         }
+        self.vcpu = entry_vcpu;
+        Ok(())
     }
 
     // --- typed data access (what workloads use) -------------------------------------
@@ -644,17 +764,21 @@ impl GuestKernel {
 
     // --- scheduling -------------------------------------------------------------------
 
-    /// Context-switch to `pid`: charges M1, loads CR3 (TLB flush), and runs
-    /// the OoH module's schedule hooks for tracked processes.
+    /// Context-switch `pid`'s home vCPU to `pid`: charges M1, loads CR3
+    /// (TLB flush), and runs the OoH module's schedule hooks — per-vCPU
+    /// SPML enable/disable hypercalls and per-vCPU EPML control vmwrites —
+    /// for tracked processes, on that vCPU.
     pub fn context_switch(&mut self, hv: &mut Hypervisor, pid: Pid) -> Result<(), GuestError> {
-        if self.current == Some(pid) {
+        self.run_on_home_vcpu(pid);
+        let slot = self.vcpu as usize;
+        if self.current[slot] == Some(pid) {
             return Ok(());
         }
         let ctx = hv.ctx.clone();
         ctx.charge(Lane::Kernel, Event::ContextSwitch);
         self.context_switches += 1;
 
-        let old = self.current;
+        let old = self.current[slot];
         // Schedule-out hook for the old process.
         if let Some(old_pid) = old {
             if let Some(mut ooh) = self.ooh.take() {
@@ -666,8 +790,8 @@ impl GuestKernel {
         }
 
         let cr3 = self.process(pid)?.cr3;
-        hv.vm_mut(self.vm).vcpus[self.vcpu as usize].set_cr3(&ctx, Lane::Kernel, cr3);
-        self.current = Some(pid);
+        hv.vm_mut(self.vm).vcpus[slot].set_cr3(&ctx, Lane::Kernel, cr3);
+        self.current[slot] = Some(pid);
         ctx.counters().add(Event::SchedIn, 1);
         if old.is_some() {
             ctx.counters().add(Event::SchedOut, 1);
@@ -683,12 +807,12 @@ impl GuestKernel {
         Ok(())
     }
 
-    /// Model a timer tick that preempts the current process in favour of an
-    /// idle kernel thread and comes back — two context switches and the OoH
-    /// schedule hooks, exactly what perturbs SPML (hypercalls) and EPML
-    /// (vmwrites) during the monitoring phase.
+    /// Model a timer tick that preempts the process on the current vCPU in
+    /// favour of an idle kernel thread and comes back — two context switches
+    /// and the OoH schedule hooks, exactly what perturbs SPML (hypercalls)
+    /// and EPML (vmwrites) during the monitoring phase.
     pub fn preemption_round_trip(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
-        let Some(pid) = self.current else {
+        let Some(pid) = self.current[self.vcpu as usize] else {
             return Ok(());
         };
         let ctx = hv.ctx.clone();
@@ -704,11 +828,40 @@ impl GuestKernel {
         Ok(())
     }
 
+    /// [`Self::preemption_round_trip`] on an explicit vCPU: the SMP timer
+    /// tick, delivered to one core. Workload runners rotate this over all
+    /// vCPUs to model per-core timer interrupts.
+    pub fn preemption_round_trip_on(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+    ) -> Result<(), GuestError> {
+        debug_assert!(vcpu < self.n_vcpus, "vCPU {vcpu} out of range");
+        self.vcpu = vcpu;
+        self.preemption_round_trip(hv)
+    }
+
+    /// Deliver the next timer tick, rotating deterministically across the
+    /// vCPUs so every core's scheduler hooks fire under SMP. At one vCPU
+    /// this is exactly [`Self::preemption_round_trip`] on vCPU 0.
+    pub fn timer_tick(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        let target = (self.timer_ticks % u64::from(self.n_vcpus)) as u32;
+        self.timer_ticks += 1;
+        self.preemption_round_trip_on(hv, target)
+    }
+
     // --- VMA helpers used by trackers ------------------------------------------------------
 
     /// All VMAs of `pid` (tracker-facing copy of /proc/PID/maps).
     pub fn vmas(&self, pid: Pid) -> Result<Vec<Vma>, GuestError> {
         Ok(self.process(pid)?.vmas.clone())
+    }
+
+    /// The process's GPA↔GVA map generation (see
+    /// [`Process::map_generation`]): trackers caching reverse-map results
+    /// across rounds must invalidate when this moves.
+    pub fn map_generation(&self, pid: Pid) -> Result<u64, GuestError> {
+        Ok(self.process(pid)?.map_generation())
     }
 }
 

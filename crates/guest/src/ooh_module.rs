@@ -43,8 +43,10 @@ pub struct OohModule {
     /// The kernel's view of the ring (HPA-resolved at allocation time; ring
     /// pages are pinned, so the translation is stable).
     ring: RingView,
-    /// EPML: the guest-level PML buffer page (GPA, module-owned).
-    guest_pml_gpa: Option<Gpa>,
+    /// EPML: per-vCPU guest-level PML buffer pages (GPA, module-owned),
+    /// indexed by vCPU id. Each core logs into — and drains, via its own
+    /// self-IPI — its own buffer; they are never shared across cores.
+    guest_pml_gpas: Vec<Option<Gpa>>,
     /// Statistics: entries pushed into the ring by this module (EPML) or by
     /// the hypervisor on our behalf (SPML, counted at fetch).
     pub entries_logged: u64,
@@ -104,7 +106,7 @@ impl OohModule {
             tracked: None,
             ring_pages_gpa,
             ring,
-            guest_pml_gpa: None,
+            guest_pml_gpas: vec![None; kernel.n_vcpus() as usize],
             entries_logged: 0,
             self_ipis: 0,
             invlpg_threshold: 64,
@@ -121,26 +123,31 @@ impl OohModule {
                 hv.hypercall(kernel.vm, kernel.vcpu, call, Lane::Tracker)?;
             }
             OohMode::Epml => {
-                // One-time: enable VMCS shadowing (the only hypercall EPML
-                // ever makes), then configure the guest-level buffer with
-                // vmexit-free vmwrites.
-                hv.hypercall(kernel.vm, kernel.vcpu, Hypercall::EpmlInit, Lane::Tracker)?;
-                let buf_gpa = hv.alloc_guest_page(kernel.vm)?;
-                module.guest_pml_gpa = Some(buf_gpa);
-                hv.guest_vmwrite(
-                    kernel.vm,
-                    kernel.vcpu,
-                    Field::GuestPmlAddress,
-                    buf_gpa.raw(),
-                    Lane::Tracker,
-                )?;
-                hv.guest_vmwrite(
-                    kernel.vm,
-                    kernel.vcpu,
-                    Field::GuestPmlIndex,
-                    (PML_ENTRIES - 1) as u64,
-                    Lane::Tracker,
-                )?;
+                // One-time, per vCPU: enable VMCS shadowing (the only
+                // hypercall EPML ever makes), then give every core its own
+                // guest-level buffer with vmexit-free vmwrites. The tracked
+                // process executes on its home vCPU, but the buffer-full
+                // self-IPI is delivered to whichever core logged, so each
+                // core must own a drainable buffer.
+                for v in 0..kernel.n_vcpus() {
+                    hv.hypercall(kernel.vm, v, Hypercall::EpmlInit, Lane::Tracker)?;
+                    let buf_gpa = hv.alloc_guest_page(kernel.vm)?;
+                    module.guest_pml_gpas[v as usize] = Some(buf_gpa);
+                    hv.guest_vmwrite(
+                        kernel.vm,
+                        v,
+                        Field::GuestPmlAddress,
+                        buf_gpa.raw(),
+                        Lane::Tracker,
+                    )?;
+                    hv.guest_vmwrite(
+                        kernel.vm,
+                        v,
+                        Field::GuestPmlIndex,
+                        (PML_ENTRIES - 1) as u64,
+                        Lane::Tracker,
+                    )?;
+                }
             }
         }
         Ok(module)
@@ -155,6 +162,9 @@ impl OohModule {
         pid: Pid,
     ) -> Result<(), GuestError> {
         self.tracked = Some(pid);
+        // The ioctl runs on the tracked process's home core; the logging
+        // state the hooks toggle lives in that vCPU's VMCS.
+        kernel.vcpu = kernel.vcpu_of(pid);
         if self.mode == OohMode::Epml {
             // Reset the process's accumulated guest-PT dirty state so only
             // writes from now on log (the SPML equivalent happens inside the
@@ -171,11 +181,14 @@ impl OohModule {
                 if let Some((slot, pte)) = kernel.pte_lookup(hv, pid, gva)? {
                     if pte.is_dirty() {
                         kernel.kernel_phys_write(hv, slot, pte.without(Pte::DIRTY).0)?;
-                        hv.note_guest_pte_dirty_cleared(kernel.vm, kernel.vcpu, gva);
+                        for v in 0..kernel.n_vcpus() {
+                            hv.note_guest_pte_dirty_cleared(kernel.vm, v, gva);
+                        }
                     }
                 }
             }
-            kernel.flush_tlb(hv);
+            // The D-bit clears must be visible on every core.
+            kernel.shootdown_all(hv);
         }
         if kernel.current() == Some(pid) {
             self.sched_in(kernel, hv)?;
@@ -189,7 +202,8 @@ impl OohModule {
         kernel: &mut GuestKernel,
         hv: &mut Hypervisor,
     ) -> Result<(), GuestError> {
-        if self.tracked.take().is_some() {
+        if let Some(pid) = self.tracked.take() {
+            kernel.vcpu = kernel.vcpu_of(pid);
             self.disable_logging(kernel, hv)?;
         }
         Ok(())
@@ -275,6 +289,7 @@ impl OohModule {
         let Some(pid) = self.tracked else {
             return Ok(());
         };
+        kernel.vcpu = kernel.vcpu_of(pid);
         match self.mode {
             OohMode::Spml => {
                 let running = kernel.current() == Some(pid);
@@ -293,7 +308,17 @@ impl OohModule {
                     )?;
                 }
             }
-            OohMode::Epml => self.drain_guest_buffer(kernel, hv)?,
+            OohMode::Epml => {
+                // The tracked process logs into its home vCPU's buffer, but
+                // scheduling history may have left entries on other cores —
+                // drain every per-vCPU buffer, then return to the home core.
+                let entry_vcpu = kernel.vcpu;
+                for v in 0..kernel.n_vcpus() {
+                    kernel.vcpu = v;
+                    self.drain_guest_buffer(kernel, hv)?;
+                }
+                kernel.vcpu = entry_vcpu;
+            }
         }
         Ok(())
     }
@@ -319,7 +344,14 @@ impl OohModule {
         if self.mode != OohMode::Epml {
             return Ok(());
         }
-        let Some(buf_gpa) = self.guest_pml_gpa else {
+        // Each core drains its own buffer (the self-IPI handler runs on the
+        // core whose buffer filled; `kernel.vcpu` names it here).
+        let Some(buf_gpa) = self
+            .guest_pml_gpas
+            .get(kernel.vcpu as usize)
+            .copied()
+            .flatten()
+        else {
             return Ok(());
         };
         let ctx = hv.ctx.clone();
@@ -375,19 +407,23 @@ impl OohModule {
                 ctx.counters().add(Event::RingBufferOverflow, 1);
             }
             self.entries_logged += 1;
-            // Clear the guest PTE dirty bit so the next write re-logs.
+            // Clear the guest PTE dirty bit so the next write re-logs. The
+            // PTE is shared by every core, so every vCPU's shadow — and,
+            // below, every vCPU's TLB — must forget it.
             if let Some((slot_gpa, pte)) = kernel.pte_lookup(hv, pid, gva)? {
                 if pte.is_dirty() {
                     kernel.kernel_phys_write(hv, slot_gpa, pte.without(Pte::DIRTY).0)?;
-                    hv.note_guest_pte_dirty_cleared(kernel.vm, kernel.vcpu, gva);
+                    for v in 0..kernel.n_vcpus() {
+                        hv.note_guest_pte_dirty_cleared(kernel.vm, v, gva);
+                    }
                 }
             }
             if per_page_invalidate {
-                kernel.invlpg(hv, gva);
+                kernel.shootdown_page(hv, gva);
             }
         }
         if !per_page_invalidate {
-            kernel.flush_tlb(hv);
+            kernel.shootdown_all(hv);
         }
 
         // Reset the hardware index (vmwrite — M8).
@@ -422,14 +458,13 @@ impl OohModule {
             }
             OohMode::Epml => {
                 hv.guest_vmwrite(kernel.vm, kernel.vcpu, Field::EpmlControl, 0, Lane::Tracker)?;
-                hv.hypercall(
-                    kernel.vm,
-                    kernel.vcpu,
-                    Hypercall::EpmlDeactivate,
-                    Lane::Tracker,
-                )?;
-                if let Some(g) = self.guest_pml_gpa.take() {
-                    hv.free_guest_page(kernel.vm, g)?;
+                for v in 0..kernel.n_vcpus() {
+                    hv.hypercall(kernel.vm, v, Hypercall::EpmlDeactivate, Lane::Tracker)?;
+                }
+                for slot in self.guest_pml_gpas.iter_mut() {
+                    if let Some(g) = slot.take() {
+                        hv.free_guest_page(kernel.vm, g)?;
+                    }
                 }
             }
         }

@@ -61,6 +61,12 @@ pub struct Process {
     /// `ooh-core::revmap`); this index only removes the simulator's own
     /// rebuild-per-batch overhead.
     resident_inverse: std::collections::BTreeMap<u64, u64>,
+    /// Bumped on every map/unmap of a resident page. Caches derived from
+    /// the GPA↔GVA mapping (the SPML tracker's cross-round reverse-map
+    /// cache) compare this against the generation they were built at: any
+    /// change means a frame may have been recycled under them, so a cached
+    /// translation — or a cached negative — can be stale.
+    map_generation: u64,
     /// Next free mmap address.
     next_mmap: Gva,
 }
@@ -74,6 +80,7 @@ impl Process {
             pt_pages: Vec::new(),
             resident: std::collections::BTreeMap::new(),
             resident_inverse: std::collections::BTreeMap::new(),
+            map_generation: 0,
             next_mmap: MMAP_BASE,
         }
     }
@@ -110,6 +117,7 @@ impl Process {
             self.resident_inverse.remove(&old_gpa);
         }
         self.resident_inverse.insert(gpa_page, gva_page);
+        self.map_generation += 1;
         prev
     }
 
@@ -118,7 +126,16 @@ impl Process {
     pub fn unmap_resident(&mut self, gva_page: u64) -> Option<u64> {
         let gpa_page = self.resident.remove(&gva_page)?;
         self.resident_inverse.remove(&gpa_page);
+        self.map_generation += 1;
         Some(gpa_page)
+    }
+
+    /// Current map generation: changes whenever `resident` does. A cached
+    /// negative matters as much as a cached positive here — a GPA that had
+    /// no GVA last round may be a recycled frame backing a live page now —
+    /// so both map *and* unmap bump it.
+    pub fn map_generation(&self) -> u64 {
+        self.map_generation
     }
 
     /// The GVA page backed by `gpa_page`, if any — the incremental inverse

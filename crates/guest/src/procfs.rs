@@ -58,9 +58,10 @@ impl GuestKernel {
         pid: Pid,
         lane: Lane,
     ) -> Result<u64, GuestError> {
+        self.vcpu = self.vcpu_of(pid);
         let ctx = hv.ctx.clone();
         let _span = ctx.span(ooh_sim::ScopeKind::Op, "clear_refs", u64::from(pid.0));
-        // The write(2) syscall into procfs.
+        // The write(2) syscall into procfs, served on the process's core.
         ctx.charge(lane, Event::ContextSwitch);
 
         let vmas = self.vmas(pid)?;
@@ -79,8 +80,10 @@ impl GuestKernel {
                 }
             }
         }
-        // One flush covers the whole sweep (Linux batches it).
-        self.flush_tlb(hv);
+        // One flush covers the whole sweep (Linux batches it) — and because
+        // the write-protect must be visible on every core, it is a full
+        // cross-vCPU shootdown, not a local flush.
+        self.shootdown_all(hv);
         Ok(touched)
     }
 
@@ -93,6 +96,7 @@ impl GuestKernel {
         range: GvaRange,
         lane: Lane,
     ) -> Result<Vec<PagemapEntry>, GuestError> {
+        self.vcpu = self.vcpu_of(pid);
         let ctx = hv.ctx.clone();
         let _span = ctx.span(ooh_sim::ScopeKind::Op, "read_pagemap", range.pages);
         let mut out = Vec::with_capacity(range.pages as usize);

@@ -153,7 +153,11 @@ impl crate::kernel::GuestKernel {
                 }
             }
         }
-        self.flush_tlb(hv);
+        // Tightening PTE permissions is globally visible: a core still
+        // holding a writable translation would write through without
+        // faulting and the event — the dirty page — would be lost. Shoot
+        // the range's translations down on every vCPU, not just this one.
+        self.shootdown_all(hv);
         Ok(touched)
     }
 

@@ -1,0 +1,66 @@
+//! Regression tests for shadow-PML invalidation on PTE teardown.
+//!
+//! The debug-invariants shadow cross-checks that no page is dirty-logged
+//! twice without an intervening dirty-clear. Before munmap (guest PTEs) and
+//! `free_guest_page` (EPT + hyp shadow) notified the shadow about the
+//! teardown, the dirty-log → unmap → remap → dirty sequence false-panicked
+//! with "PML invariant violated: ... dirty-logged twice" the moment the
+//! guest allocator recycled a freed frame.
+
+#![cfg(feature = "debug-invariants")]
+
+use ooh_guest::{GuestKernel, OohMode, OohModule, VmaKind};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{MachineConfig, PAGE_SIZE};
+use ooh_sim::{Lane, SimCtx};
+
+fn boot(config: MachineConfig) -> (Hypervisor, GuestKernel, ooh_guest::Pid) {
+    let mut hv = Hypervisor::new(config, SimCtx::new());
+    let vm = hv.create_vm(1024 * PAGE_SIZE, 1).unwrap();
+    let mut kernel = GuestKernel::new(vm);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    (hv, kernel, pid)
+}
+
+fn track(kernel: &mut GuestKernel, hv: &mut Hypervisor, mode: OohMode) {
+    let pid = *kernel.pids().first().expect("one process spawned");
+    let module = OohModule::load(kernel, hv, mode).unwrap();
+    kernel.ooh = Some(module);
+    let mut module = kernel.ooh.take().unwrap();
+    module.track(kernel, hv, pid).unwrap();
+    kernel.ooh = Some(module);
+}
+
+fn dirty_unmap_remap_dirty(mode: OohMode) {
+    let config = match mode {
+        OohMode::Epml => MachineConfig::epml(4096 * PAGE_SIZE),
+        _ => MachineConfig::stock(4096 * PAGE_SIZE),
+    };
+    let (mut hv, mut kernel, pid) = boot(config);
+    track(&mut kernel, &mut hv, mode);
+
+    // Dirty-log a region while logging is armed.
+    let a = kernel.mmap(pid, 4, true, VmaKind::Anon).unwrap();
+    for gva in a.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, gva, 1, Lane::Tracked).unwrap();
+    }
+    // Tear it down: the frames go back on the guest allocator's free list.
+    kernel.munmap(&mut hv, pid, a).unwrap();
+    // Dirty the recycled frames through a fresh mapping. Pre-fix, the hyp
+    // shadow still remembered A's logs for those GPAs and the second log
+    // panicked "dirty-logged twice".
+    let b = kernel.mmap(pid, 4, true, VmaKind::Anon).unwrap();
+    for gva in b.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, gva, 2, Lane::Tracked).unwrap();
+    }
+}
+
+#[test]
+fn spml_dirty_log_unmap_remap_dirty_does_not_false_panic() {
+    dirty_unmap_remap_dirty(OohMode::Spml);
+}
+
+#[test]
+fn epml_dirty_log_unmap_remap_dirty_does_not_false_panic() {
+    dirty_unmap_remap_dirty(OohMode::Epml);
+}

@@ -219,15 +219,15 @@ impl Hypervisor {
     /// Drain the hypervisor PML buffer of `vcpu`, routing entries per the
     /// coordination flags. Returns the number of entries processed.
     pub fn drain_hyp_pml(&mut self, vm: VmId, vcpu: u32) -> Result<u64, MachineError> {
-        let epml_hw = self.machine.config.epml;
-        let _ = epml_hw;
         let phys = &mut self.machine.phys;
         let vmref = &mut self.vms[vm.0 as usize];
-        let vc = &mut vmref.vcpus[vcpu as usize];
-        let Some(buf) = vc.pml.hyp.as_mut() else {
-            return Ok(0);
+        let entries = {
+            let vc = &mut vmref.vcpus[vcpu as usize];
+            let Some(buf) = vc.pml.hyp.as_mut() else {
+                return Ok(0);
+            };
+            buf.drain(phys)?
         };
-        let entries = buf.drain(phys)?;
         let n = entries.len() as u64;
         if n == 0 {
             return Ok(0);
@@ -257,10 +257,17 @@ impl Hypervisor {
                     }
                 }
             }
-            // Reset per-round dirty state.
+            // Reset per-round dirty state. The EPT D bit is VM-global: once
+            // cleared, the next write from *any* vCPU must re-log, so every
+            // vCPU — not just the one whose buffer filled — forgets the page
+            // in both its TLB and its PML shadow. A remote core writing
+            // through a stale dirty-marked translation would silently skip
+            // the log.
             vmref.ept.clear_dirty(phys, gpa)?;
-            vc.pml.note_hyp_dirty_cleared(gpa.page());
-            vc.tlb.invalidate_gpa_page(gpa.page());
+            for vc in &mut vmref.vcpus {
+                vc.pml.note_hyp_dirty_cleared(gpa.page());
+                vc.tlb.invalidate_gpa_page(gpa.page());
+            }
         }
         Ok(n)
     }

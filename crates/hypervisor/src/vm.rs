@@ -107,9 +107,14 @@ impl Vm {
             phys.free_frame(hpa)?;
             self.free_gpa_pages.push(gpa.page());
             self.allocated_pages -= 1;
-            // Stale translations must not survive the unmap.
+            // Stale translations must not survive the unmap — and neither
+            // may the PML shadow's memory of the frame: the GPA goes back on
+            // the free list and its next owner starts with a clean dirty
+            // history, or a recycled frame would false-panic as "logged
+            // twice" under debug-invariants.
             for vcpu in &mut self.vcpus {
                 vcpu.tlb.invalidate_gpa_page(gpa.page());
+                vcpu.pml.note_hyp_dirty_cleared(gpa.page());
             }
         }
         Ok(())

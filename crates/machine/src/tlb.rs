@@ -70,6 +70,7 @@ pub struct Tlb {
     flushes: u64,
     invlpgs: u64,
     evictions: u64,
+    shootdowns: u64,
 }
 
 impl Tlb {
@@ -176,6 +177,27 @@ impl Tlb {
     /// (used when the hypervisor changes an EPT mapping).
     pub fn invalidate_gpa_page(&mut self, gpa_page: u64) {
         self.entries.retain(|_, e| e.gpa_page != gpa_page);
+    }
+
+    /// Remote half of a cross-vCPU TLB shootdown: invalidate one page on
+    /// behalf of another vCPU's IPI. Same architectural effect as
+    /// [`Tlb::invlpg`], but counted separately — the *initiator* charges the
+    /// IPI cost, this vCPU only records that it serviced a shootdown.
+    pub fn shootdown_invlpg(&mut self, gva: Gva) {
+        self.entries.remove(&gva.page());
+        self.shootdowns += 1;
+    }
+
+    /// Remote half of a full-flush shootdown (munmap / clear_refs batches).
+    pub fn shootdown_flush_all(&mut self) {
+        self.entries.clear();
+        self.fill_order.clear();
+        self.shootdowns += 1;
+    }
+
+    /// Shootdown requests this TLB serviced on behalf of other vCPUs.
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns
     }
 
     pub fn len(&self) -> usize {
@@ -321,6 +343,22 @@ mod tests {
         assert_eq!(digest(&a), digest(&b));
         b.fill(cr3, Gva(0x8000), entry(0x77));
         assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn shootdowns_invalidate_and_count_separately() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(0x1000), entry(1));
+        t.fill(cr3, Gva(0x2000), entry(2));
+        t.shootdown_invlpg(Gva(0x1000));
+        assert!(t.peek(cr3, Gva(0x1000)).is_none());
+        assert!(t.peek(cr3, Gva(0x2000)).is_some());
+        t.shootdown_flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.shootdowns(), 2);
+        // Local-flush and invlpg statistics are untouched by remote work.
+        assert_eq!(t.flushes(), 0);
     }
 
     #[test]

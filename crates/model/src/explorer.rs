@@ -19,20 +19,29 @@ pub struct ModelConfig {
     pub technique: Technique,
     pub scenario: Scenario,
     pub mutation: Mutation,
+    /// vCPUs the guest boots with (1 = the classic single-core model; more
+    /// exercise the cross-vCPU shootdown and per-vCPU shadow paths).
+    pub vcpus: u32,
 }
 
 impl ModelConfig {
     pub fn boot(&self) -> Result<ModelSession, ModelError> {
-        ModelSession::boot(self.technique, self.scenario, self.mutation)
+        ModelSession::boot_with_vcpus(self.technique, self.scenario, self.mutation, self.vcpus)
     }
 
-    /// `scenario/technique` label used in summaries and file names.
+    /// `scenario/technique` label used in summaries and file names (with a
+    /// `smpN` leg when the guest is multi-vCPU).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}",
             self.scenario.token(),
             technique_token(self.technique)
-        )
+        );
+        if self.vcpus > 1 {
+            format!("{base}/smp{}", self.vcpus)
+        } else {
+            base
+        }
     }
 }
 
@@ -277,6 +286,7 @@ mod tests {
                 technique: Technique::Epml,
                 scenario: Scenario::Small,
                 mutation,
+                vcpus: 1,
             },
             depth,
         }

@@ -22,18 +22,20 @@ use std::process::ExitCode;
 struct Args {
     depth: Option<usize>,
     technique: Option<Technique>,
+    vcpus: u32,
     out: Option<std::path::PathBuf>,
     self_validate: bool,
     replay: Option<std::path::PathBuf>,
 }
 
 const USAGE: &str = "usage: ooh-model [--depth N] [--technique soft-dirty|ufd|spml|epml] \
-[--out DIR] [--self-validate | --replay FILE]";
+[--vcpus N] [--out DIR] [--self-validate | --replay FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         depth: None,
         technique: None,
+        vcpus: 1,
         out: None,
         self_validate: false,
         replay: None,
@@ -55,6 +57,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 args.out = Some(v.into());
+            }
+            "--vcpus" => {
+                let v = it.next().ok_or("--vcpus needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad vcpu count {v:?}"))?;
+                if n == 0 {
+                    return Err("--vcpus must be at least 1".into());
+                }
+                args.vcpus = n;
             }
             "--self-validate" => args.self_validate = true,
             "--replay" => {
@@ -138,13 +148,14 @@ fn write_counterexample(
 /// The supported (scenario, technique) pairs: every technique handles the
 /// small shape; the near-full shape pre-fills a PML buffer, which only the
 /// PML techniques have.
-fn sweep_configs() -> Vec<ModelConfig> {
+fn sweep_configs(vcpus: u32) -> Vec<ModelConfig> {
     let mut configs = Vec::new();
     for technique in Technique::ALL {
         configs.push(ModelConfig {
             technique,
             scenario: Scenario::Small,
             mutation: Mutation::None,
+            vcpus,
         });
     }
     for technique in [Technique::Spml, Technique::Epml] {
@@ -152,6 +163,7 @@ fn sweep_configs() -> Vec<ModelConfig> {
             technique,
             scenario: Scenario::NearFull,
             mutation: Mutation::None,
+            vcpus,
         });
     }
     configs
@@ -167,9 +179,12 @@ fn run_sweep(args: &Args) -> Result<bool, String> {
             Scenario::NearFull.default_depth()
         ),
     }
+    if args.vcpus > 1 {
+        println!("vcpus: {}", args.vcpus);
+    }
     let mut checked = 0usize;
     let mut violations = 0usize;
-    for model in sweep_configs() {
+    for model in sweep_configs(args.vcpus) {
         if let Some(t) = args.technique {
             if model.technique != t {
                 continue;
@@ -203,16 +218,15 @@ fn run_sweep(args: &Args) -> Result<bool, String> {
                     ShrinkOutcome::VanishedViolation => cx,
                 };
                 println!("      shrunk: {}", format_schedule(&shrunk.schedule));
-                write_counterexample(
-                    args,
-                    &format!(
-                        "violation-{}-{}",
-                        model.scenario.token(),
-                        ooh_core::technique_token(model.technique)
-                    ),
-                    model,
-                    &shrunk,
-                )?;
+                let mut stem = format!(
+                    "violation-{}-{}",
+                    model.scenario.token(),
+                    ooh_core::technique_token(model.technique)
+                );
+                if model.vcpus > 1 {
+                    stem.push_str(&format!("-smp{}", model.vcpus));
+                }
+                write_counterexample(args, &stem, model, &shrunk)?;
             }
         }
     }
@@ -221,7 +235,7 @@ fn run_sweep(args: &Args) -> Result<bool, String> {
 }
 
 /// The three seeded protocol bugs and the shape each is detected in.
-fn mutation_configs() -> [(Mutation, ModelConfig); 3] {
+fn mutation_configs(vcpus: u32) -> [(Mutation, ModelConfig); 3] {
     [
         (
             Mutation::DropIpi,
@@ -229,6 +243,7 @@ fn mutation_configs() -> [(Mutation, ModelConfig); 3] {
                 technique: Technique::Epml,
                 scenario: Scenario::NearFull,
                 mutation: Mutation::DropIpi,
+                vcpus,
             },
         ),
         (
@@ -237,6 +252,7 @@ fn mutation_configs() -> [(Mutation, ModelConfig); 3] {
                 technique: Technique::Epml,
                 scenario: Scenario::Small,
                 mutation: Mutation::ClearBeforeDrain,
+                vcpus,
             },
         ),
         (
@@ -245,6 +261,7 @@ fn mutation_configs() -> [(Mutation, ModelConfig); 3] {
                 technique: Technique::Epml,
                 scenario: Scenario::Small,
                 mutation: Mutation::SkipDisableLogging,
+                vcpus,
             },
         ),
     ]
@@ -253,8 +270,8 @@ fn mutation_configs() -> [(Mutation, ModelConfig); 3] {
 fn run_self_validate(args: &Args) -> Result<bool, String> {
     println!("ooh-model: mutation self-validation");
     let mut caught = 0usize;
-    let total = mutation_configs().len();
-    for (mutation, model) in mutation_configs() {
+    let total = mutation_configs(args.vcpus).len();
+    for (mutation, model) in mutation_configs(args.vcpus) {
         let depth = args.depth.unwrap_or(model.scenario.default_depth());
         let label = format!("{} ({})", mutation.token(), model.label());
         let report = explore(&ExploreConfig { model, depth })

@@ -17,9 +17,11 @@
 //! ```
 //!
 //! `technique` and `scenario` are mandatory; `mutation` defaults to `none`;
-//! `property` is informational (it records what the explorer saw — replay
-//! re-derives the actual violation). Step tokens are defined by
-//! [`Step::token`] and carry an argument only for the write steps.
+//! `vcpus` defaults to 1 (and is only serialized when the model is
+//! multi-vCPU, so single-core corpus files stay byte-stable); `property` is
+//! informational (it records what the explorer saw — replay re-derives the
+//! actual violation). Step tokens are defined by [`Step::token`] and carry
+//! an argument only for the write steps.
 
 use crate::explorer::ModelConfig;
 use ooh_core::{technique_from_token, technique_token, Mutation, Scenario, Step};
@@ -59,6 +61,9 @@ impl ScheduleFile {
         ));
         out.push_str(&format!("scenario = {}\n", self.model.scenario.token()));
         out.push_str(&format!("mutation = {}\n", self.model.mutation.token()));
+        if self.model.vcpus != 1 {
+            out.push_str(&format!("vcpus = {}\n", self.model.vcpus));
+        }
         if let Some(p) = &self.property {
             out.push_str(&format!("property = {p}\n"));
         }
@@ -72,6 +77,7 @@ impl ScheduleFile {
         let mut technique = None;
         let mut scenario = None;
         let mut mutation = Mutation::None;
+        let mut vcpus = 1u32;
         let mut property = None;
         let mut steps = Vec::new();
         let err = |line: usize, message: String| ParseError { line, message };
@@ -117,6 +123,11 @@ impl ScheduleFile {
                             err(lineno, format!("unknown mutation {value:?}"))
                         })?;
                     }
+                    "vcpus" => {
+                        vcpus = value.parse::<u32>().ok().filter(|&n| n >= 1).ok_or_else(
+                            || err(lineno, format!("bad vcpu count {value:?}")),
+                        )?;
+                    }
                     "property" => property = Some(value.to_string()),
                     other => {
                         return Err(err(lineno, format!("unknown header key {other:?}")));
@@ -135,6 +146,7 @@ impl ScheduleFile {
                 technique,
                 scenario,
                 mutation,
+                vcpus,
             },
             property,
             steps,
@@ -153,6 +165,7 @@ mod tests {
                 technique: Technique::Epml,
                 scenario: Scenario::NearFull,
                 mutation: Mutation::DropIpi,
+                vcpus: 1,
             },
             property: Some("lost dirty page 0x7f00000001ff".to_string()),
             steps: vec![
@@ -168,6 +181,23 @@ mod tests {
     fn serialize_parse_round_trip() {
         let f = sample();
         assert_eq!(ScheduleFile::parse(&f.serialize()).unwrap(), f);
+        // Single-vCPU files never carry the header (corpus byte-stability).
+        assert!(!f.serialize().contains("vcpus"));
+    }
+
+    #[test]
+    fn vcpus_header_round_trips_and_defaults_to_one() {
+        let mut f = sample();
+        f.model.vcpus = 4;
+        let text = f.serialize();
+        assert!(text.contains("vcpus = 4"));
+        assert_eq!(ScheduleFile::parse(&text).unwrap(), f);
+
+        let parsed = ScheduleFile::parse("technique = spml\nscenario = small\n").unwrap();
+        assert_eq!(parsed.model.vcpus, 1);
+        let e = ScheduleFile::parse("technique = spml\nscenario = small\nvcpus = 0\n")
+            .unwrap_err();
+        assert!(e.message.contains("bad vcpu count"));
     }
 
     #[test]

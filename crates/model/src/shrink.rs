@@ -70,6 +70,7 @@ mod tests {
             technique: Technique::Epml,
             scenario: Scenario::Small,
             mutation: Mutation::ClearBeforeDrain,
+            vcpus: 1,
         };
         let cx = explore(&ExploreConfig { model, depth: 3 })
             .unwrap()
@@ -91,6 +92,7 @@ mod tests {
             technique: Technique::Epml,
             scenario: Scenario::Small,
             mutation: Mutation::None,
+            vcpus: 1,
         };
         let r = shrink(&model, &[Step::WriteTracked(0), Step::FetchDirty]).unwrap();
         assert!(matches!(r, ShrinkOutcome::VanishedViolation));

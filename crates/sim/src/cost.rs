@@ -92,6 +92,12 @@ pub struct CostModel {
     pub tlb_flush_ns: u64,
     /// Single-page invalidation: ~0.2 µs.
     pub tlb_invlpg_ns: u64,
+    /// One cross-vCPU TLB shootdown IPI: send + remote ack + remote
+    /// invalidation, ~1.2 µs per remote core (Amit, arXiv:1701.07517,
+    /// report 2–4 µs end-to-end for small shootdowns split across the
+    /// sender's wait and the remote handler; we charge the per-remote half
+    /// to the initiating kernel lane).
+    pub tlb_shootdown_ipi_ns: u64,
     /// UFFDIO_REGISTER ioctl.
     pub ufd_register_ns: u64,
     /// M2 unit: one page write-(un)protected via UFFDIO_WRITEPROTECT.
@@ -150,6 +156,7 @@ impl CostModel {
             pagemap_chunk_ns: 500_000,
             tlb_flush_ns: 2_000,
             tlb_invlpg_ns: 200,
+            tlb_shootdown_ipi_ns: 1_200,
             ufd_register_ns: 2_500,
             ufd_wp_page_ns: 110,
             ufd_event_ns: 1_100,
@@ -194,6 +201,7 @@ impl CostModel {
             pagemap_chunk_ns: 0,
             tlb_flush_ns: 0,
             tlb_invlpg_ns: 0,
+            tlb_shootdown_ipi_ns: 0,
             ufd_register_ns: 0,
             ufd_wp_page_ns: 0,
             ufd_event_ns: 0,
@@ -242,6 +250,7 @@ impl CostModel {
             Event::PagemapReadChunk => self.pagemap_chunk_ns,
             Event::TlbFlush => self.tlb_flush_ns,
             Event::TlbInvlpg => self.tlb_invlpg_ns,
+            Event::TlbShootdownIpi => self.tlb_shootdown_ipi_ns,
             Event::UfdRegister => self.ufd_register_ns,
             Event::UfdWriteProtectPage => self.ufd_wp_page_ns,
             Event::UfdWriteUnprotectPage => self.ufd_wp_page_ns,

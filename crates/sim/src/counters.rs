@@ -103,6 +103,10 @@ events! {
         TlbFlush,
         /// Single-page TLB shootdown (invlpg-equivalent).
         TlbInvlpg,
+        /// Cross-vCPU TLB shootdown IPI: one remote vCPU told to invalidate
+        /// a translation on a PTE teardown (munmap, drain dirty-clear,
+        /// clear_refs). Charged once per remote vCPU per teardown batch.
+        TlbShootdownIpi,
 
         // --- userfaultfd machinery ------------------------------------------
         /// `UFFDIO_REGISTER` ioctl.

@@ -615,6 +615,9 @@ pub fn scan_source(
     if crate_name == "hypervisor" {
         cost_model_rule(&ctx, &mut raw_hits);
     }
+    if crate_name == "guest" {
+        shootdown_cost_rule(&ctx, &mut raw_hits);
+    }
     feature_gate_rule(&ctx, &mut raw_hits);
 
     let mut allowed = 0usize;
@@ -888,6 +891,59 @@ fn hypercall_arms_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>, bstart: usiz
             });
         }
         i = aend.max(i + 1);
+    }
+}
+
+/// Guest-crate companion to [`cost_model_rule`]: every `fn shootdown*` body
+/// in `ooh-guest` must mention `charge` — a cross-vCPU TLB shootdown that
+/// costs nothing would make SMP invalidation look free, when the calibrated
+/// IPI round trip (send, remote handler, wait-for-ack) is exactly what the
+/// Kernel lane pays per remote core.
+fn shootdown_cost_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let hc = &ctx.masked_chars;
+
+    for off in find_tokens(hc, "fn") {
+        if ctx.in_test[off] {
+            continue;
+        }
+        let mut j = off + 2;
+        while j < hc.len() && hc[j].is_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < hc.len() && is_ident_char(hc[j]) {
+            j += 1;
+        }
+        let name: String = hc[start..j].iter().collect();
+        if !name.starts_with("shootdown") {
+            continue;
+        }
+        let mut k = j;
+        let mut body = None;
+        while k < hc.len() {
+            match hc[k] {
+                '{' => {
+                    body = balanced_region(hc, k);
+                    break;
+                }
+                ';' => break,
+                _ => k += 1,
+            }
+        }
+        let Some((bstart, bend)) = body else { continue };
+        let body_text: String = hc[bstart..bend].iter().collect();
+        if !body_text.contains("charge") {
+            let line = line_of(hc, off);
+            out.push(Violation {
+                rule: "arch-cost",
+                path: ctx.rel_path.to_string(),
+                line,
+                excerpt: raw_line(ctx.raw, line),
+                message: format!(
+                    "shootdown path `{name}` never charges the cost model; cross-vCPU invalidation must pay the Kernel lane's IPI cost per remote core"
+                ),
+            });
+        }
     }
 }
 
@@ -1167,6 +1223,21 @@ mod tests {
         assert_eq!(vs[0].rule, "arch-cost");
         let src = "impl H {\n    pub fn handle_pml_full(&mut self) -> R { self.ctx.charge(l, e); self.drain() }\n}\n";
         assert!(scan("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn shootdown_without_charge_is_flagged() {
+        let src = "impl K {\n    pub fn shootdown_all(&self, hv: &mut Hypervisor) { self.flush(hv) }\n}\n";
+        let vs = scan("guest", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "arch-cost");
+        assert!(vs[0].message.contains("shootdown_all"));
+        let src = "impl K {\n    pub fn shootdown_page(&self, hv: &mut Hypervisor) { ctx.charge(l, Event::TlbShootdownIpi); }\n}\n";
+        assert!(scan("guest", src).is_empty());
+        // The rule is guest-side only: other crates may name helpers
+        // `shootdown_*` without being the charging site.
+        let src = "fn shootdown_flush_all(&mut self) { self.flush() }";
+        assert!(scan("machine", src).is_empty());
     }
 
     #[test]

@@ -62,10 +62,11 @@ impl<'a> WorkEnv<'a> {
         self.kernel.read_bytes(self.hv, self.pid, gva, b, Lane::Tracked)
     }
 
-    /// Deliver a timer tick: preempt + resume the current process (drives
-    /// the OoH scheduling hooks, the paper's N).
+    /// Deliver a timer tick: preempt + resume the process current on the
+    /// next vCPU in the kernel's deterministic rotation (drives the OoH
+    /// scheduling hooks, the paper's N, on every core under SMP).
     pub fn timer_tick(&mut self) -> Result<(), GuestError> {
-        self.kernel.preemption_round_trip(self.hv)
+        self.kernel.timer_tick(self.hv)
     }
 }
 

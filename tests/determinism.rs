@@ -66,6 +66,34 @@ fn seeded_phoenix_run_is_byte_identical_across_runs() {
     );
 }
 
+/// A 4-vCPU stack must replay byte-identically too: vCPU placement, the
+/// tick → vCPU rotation, cross-vCPU shootdown IPI charging and the
+/// per-vCPU PML/EPML drains are all deterministic state machines.
+#[test]
+fn smp_scenario_is_byte_identical_across_runs() {
+    use ooh::bench::{run_tracked_on, Stack};
+
+    let run = |technique: Technique| {
+        let mut stack = Stack::boot_with_vcpus(1024, 4);
+        for _ in 1..4 {
+            stack.kernel.spawn(&mut stack.hv).expect("background spawn");
+        }
+        let mut w = micro(1, 2);
+        let steps_per_pass = w.num_pages.div_ceil(256) as u32;
+        let r = run_tracked_on(&mut stack, technique, &mut w, steps_per_pass)
+            .expect("tracked SMP run");
+        canonical(&r)
+    };
+    for technique in Technique::ALL {
+        assert_eq!(
+            run(technique),
+            run(technique),
+            "technique {} diverged between identical 4-vCPU runs",
+            technique.name()
+        );
+    }
+}
+
 /// The untracked baseline path is deterministic too (its virtual duration
 /// feeds every slowdown figure in the paper's tables).
 #[test]

@@ -132,6 +132,138 @@ proptest! {
     }
 }
 
+/// splitmix64 stream with a literal seed (the schedule is part of the test).
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+const SCRATCH_PAGES: u64 = 4;
+
+/// SMP + unmap churn: run `rounds` of region-A writes on a `vcpus`-core
+/// guest while a scratch mapping is dirtied, torn down, and remapped
+/// *mid-round* — the remap recycles the freed frames, exercising the
+/// reverse-map, shadow-PML, and TLB-shootdown invalidation paths. Returns
+/// the per-round absolute dirty page sets and the final virtual clock.
+fn run_smp_schedule(
+    technique: Technique,
+    vcpus: u32,
+    rounds: &[Vec<u64>],
+) -> (Vec<BTreeSet<u64>>, Vec<BTreeSet<u64>>, u64) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(256 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, vcpus).expect("vm");
+    let mut kernel = GuestKernel::with_vcpus(vm, vcpus);
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+    // One background process per extra vCPU (round-robin placement puts
+    // them on vCPUs 1..n), each with a small working set, so the shootdown
+    // broadcasts hit cores that are actually scheduling.
+    let others: Vec<(Pid, GvaRange)> = (1..vcpus)
+        .map(|_| {
+            let opid = kernel.spawn(&mut hv).expect("spawn");
+            let r = kernel.mmap(opid, 2, true, VmaKind::Anon).expect("mmap");
+            (opid, r)
+        })
+        .collect();
+    let ctx = hv.ctx.clone();
+
+    let region = kernel.mmap(pid, REGION_PAGES, true, VmaKind::Anon).unwrap();
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+    }
+    let mut scratch = kernel.mmap(pid, SCRATCH_PAGES, true, VmaKind::Anon).unwrap();
+
+    let mut session = OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+    let mut reported = Vec::new();
+    let mut expected = Vec::new();
+    for writes in rounds {
+        let mut want = BTreeSet::new();
+        let (first, second) = writes.split_at(writes.len() / 2);
+        for &p in first {
+            let gva = region.start.add((p % REGION_PAGES) * PAGE_SIZE);
+            kernel.write_u64(&mut hv, pid, gva, p, Lane::Tracked).unwrap();
+            want.insert(gva.page());
+        }
+        // Dirty the scratch mapping, then tear it down mid-round: its pages
+        // must vanish from every technique's report, and its frames go back
+        // on the allocator's free list.
+        for g in scratch.iter_pages().collect::<Vec<_>>() {
+            kernel
+                .write_u64(&mut hv, pid, g, 0xdead, Lane::Tracked)
+                .unwrap();
+        }
+        kernel.munmap(&mut hv, pid, scratch).unwrap();
+        // Remap (untouched: the next round's first scratch writes demand-
+        // fault onto the recycled frames) and keep dirtying region A.
+        scratch = kernel.mmap(pid, SCRATCH_PAGES, true, VmaKind::Anon).unwrap();
+        for &p in second {
+            let gva = region.start.add((p % REGION_PAGES) * PAGE_SIZE);
+            kernel.write_u64(&mut hv, pid, gva, p, Lane::Tracked).unwrap();
+            want.insert(gva.page());
+        }
+        // Cross-core noise: untracked writes on the other vCPUs, plus a
+        // timer tick rotating the per-core schedulers.
+        for &(opid, r) in &others {
+            kernel
+                .write_u64(&mut hv, opid, r.start, 1, Lane::Tracked)
+                .unwrap();
+        }
+        kernel.timer_tick(&mut hv).unwrap();
+
+        let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+        reported.push(dirty.pages().collect::<BTreeSet<u64>>());
+        expected.push(want);
+    }
+    session.stop(&mut hv, &mut kernel).unwrap();
+    (reported, expected, ctx.now_ns())
+}
+
+/// The four techniques must agree with the write oracle — and with each
+/// other — under mid-round munmap/remap churn at 1, 2, and 4 vCPUs, and
+/// every seeded run must be byte-identical when repeated.
+#[test]
+fn smp_unmap_churn_is_technique_invariant() {
+    let mut next = splitmix(0xD1F7_0000_5EED_0001);
+    let rounds: Vec<Vec<u64>> = (0..4)
+        .map(|_| (0..(next() % 20 + 4)).map(|_| next() % REGION_PAGES).collect())
+        .collect();
+
+    for vcpus in [1u32, 2, 4] {
+        let mut per_technique = Vec::new();
+        for &technique in &Technique::ALL {
+            let (reported, expected, final_ns) =
+                run_smp_schedule(technique, vcpus, &rounds);
+            assert_eq!(
+                reported,
+                expected,
+                "{} at {vcpus} vCPUs diverged from the write oracle",
+                technique.name()
+            );
+            // Determinism: the rerun must reproduce both the dirty sets and
+            // the virtual clock, byte for byte.
+            let rerun = run_smp_schedule(technique, vcpus, &rounds);
+            assert_eq!(
+                (&reported, final_ns),
+                (&rerun.0, rerun.2),
+                "{} at {vcpus} vCPUs is not deterministic",
+                technique.name()
+            );
+            per_technique.push(reported);
+        }
+        for w in per_technique.windows(2) {
+            assert_eq!(w[0], w[1], "techniques diverged at {vcpus} vCPUs");
+        }
+    }
+}
+
 /// Standalone seeded differential run (literal seed, no proptest): a long
 /// splitmix64-generated schedule with duplicate writes and empty rounds,
 /// replayed through all four trackers.
