@@ -1,0 +1,404 @@
+//! Wall-clock benchmarks of the dirty-page data path (host time, not
+//! simulated time): the drain → collect → diff pipeline that every tracking
+//! technique funnels through, measured on the word-packed [`DirtyBitmap`]
+//! against the `BTreeSet<u64>` representation it replaced.
+//!
+//! The virtual-clock cost model is untouched by the bitmap refactor — these
+//! benches exist to quantify the *simulator's own* speed, which is what lets
+//! the fleet driver and the figure benches sweep multi-GiB working sets.
+//!
+//! Working sets span 256 MiB to 16 GiB (as page-number ranges; nothing here
+//! allocates guest memory — the pipeline cost depends only on how many dirty
+//! page numbers flow through it). Three dirty patterns per size:
+//!
+//! * `sparse`    — 0.1% density, isolated random pages (worst case for the
+//!   chunked bitmap: ~1 bit per 512-byte chunk);
+//! * `clustered` — 1% density in 64-page runs (checkpoint-interval locality,
+//!   the shape the acceptance bar is measured on);
+//! * `dense`     — 12.5% density in 8 large extents (GC heap sweeps).
+//!
+//! Drain streams model what a PML ring actually records: writes in program
+//! order. A tracked workload sweeps its working set, so the stream is
+//! [`DUP_FACTOR`] passes over the round's dirty pages in ascending sweep
+//! order with local jitter (out-of-order retirement), each pass starting at
+//! a rotated offset — duplicates and near-misses included, a global shuffle
+//! excluded (no real ring looks like one).
+//!
+//! The pipeline is the tracker's real multi-round loop ([`ROUNDS`] rounds):
+//! every round drains its stream, retains within the registered VMAs, diffs
+//! against the previous round (CRIU's incremental dump) and merges into the
+//! accumulated union (migration's dirty superset). The baseline reproduces
+//! the pre-bitmap code exactly: `sort_unstable` + `dedup` on the raw log,
+//! `BTreeSet` membership, an O(pages × ranges) retain, tree-walk difference
+//! and per-page `extend` merge.
+//!
+//! Besides the per-stage criterion benches, `main` prints explicit
+//! `speedup ...` lines (best-of-5 wall clock, btree/bitmap ratio) — those
+//! lines are the numbers committed to `bench_results/dirty_path.txt` and
+//! the ≥5× acceptance check at 4 GiB / ≥1% density reads them directly.
+//!
+//! Knobs: `OOH_BENCH_QUICK=1` caps the sweep at 256 MiB (CI smoke);
+//! `OOH_BENCH_FULL=1` adds the 16 GiB working set.
+
+#![allow(clippy::print_stdout)] // bench binaries print their results
+
+use criterion::{criterion_group, Criterion};
+use ooh_machine::{DirtyBitmap, Gva, GvaRange};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// 4 KiB pages per MiB of working set.
+const PAGES_PER_MIB: u64 = 256;
+/// How many times each dirty page appears in one round's raw drain stream.
+const DUP_FACTOR: usize = 4;
+/// Tracking rounds per pipeline run (checkpoint intervals).
+const ROUNDS: usize = 4;
+/// First page of the simulated VMA (an arbitrary non-zero GVA page, so the
+/// bitmap's sparse chunk keying is exercised, not index-0 luck).
+const BASE_PAGE: u64 = 0x0010_0000;
+
+// ---------------------------------------------------------------------------
+// Deterministic input generation (seeded splitmix64, no OS randomness)
+// ---------------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy)]
+enum Pattern {
+    Sparse,
+    Clustered,
+    Dense,
+}
+
+impl Pattern {
+    const ALL: [Pattern; 3] = [Pattern::Sparse, Pattern::Clustered, Pattern::Dense];
+
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::Sparse => "sparse",
+            Pattern::Clustered => "clustered",
+            Pattern::Dense => "dense",
+        }
+    }
+
+    /// Dirty density in 1/1000ths of the working set.
+    fn permille(self) -> u64 {
+        match self {
+            Pattern::Sparse => 1,
+            Pattern::Clustered => 10,
+            Pattern::Dense => 125,
+        }
+    }
+
+    /// Distinct dirty pages for this pattern over `ws_pages`, ascending
+    /// (sweep order), duplicate-free.
+    fn dirty_pages(self, ws_pages: u64, seed: u64) -> Vec<u64> {
+        let mut rng = seed;
+        let target = (ws_pages * self.permille() / 1000).max(1);
+        let mut seen = BTreeSet::new();
+        let run_len: u64 = match self {
+            Pattern::Sparse => 1,
+            Pattern::Clustered => 64,
+            Pattern::Dense => (target / 8).max(1),
+        };
+        while (seen.len() as u64) < target {
+            let start = BASE_PAGE + splitmix64(&mut rng) % ws_pages;
+            for p in start..(start + run_len).min(BASE_PAGE + ws_pages) {
+                if seen.len() as u64 >= target {
+                    break;
+                }
+                seen.insert(p);
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// One round's raw drain stream: [`DUP_FACTOR`] sweeps over the round's
+/// dirty pages in ascending program order, each sweep starting at a rotated
+/// offset, with ~1/8 of adjacent entries swapped (store-buffer jitter).
+fn drain_stream(dirty: &[u64], seed: u64) -> Vec<u64> {
+    let n = dirty.len();
+    let mut stream = Vec::with_capacity(n * DUP_FACTOR);
+    let mut rng = seed ^ 0xDEAD_BEEF;
+    for pass in 0..DUP_FACTOR {
+        let rot = pass * n / DUP_FACTOR;
+        let start = stream.len();
+        stream.extend(dirty[rot..].iter().chain(dirty[..rot].iter()).copied());
+        let pass_slice = &mut stream[start..];
+        let mut i = 0;
+        while i + 1 < pass_slice.len() {
+            if splitmix64(&mut rng).is_multiple_of(8) {
+                pass_slice.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    stream
+}
+
+/// One size+pattern scenario: per-round drain streams over rotating subsets
+/// of the dirty pages (~5/8 of the master set each round, so round-over-round
+/// diffs and the accumulated union are all nontrivial), plus the registered
+/// VMA ranges the tracker retains within.
+struct Scenario {
+    ws_mib: u64,
+    pattern: Pattern,
+    /// Distinct dirty pages across all rounds.
+    dirty_total: usize,
+    rounds: Vec<Vec<u64>>,
+    /// Ranges as (first_page, one-past-last_page) for the baseline retain.
+    ranges_raw: Vec<(u64, u64)>,
+    ranges: Vec<GvaRange>,
+}
+
+impl Scenario {
+    fn build(ws_mib: u64, pattern: Pattern) -> Scenario {
+        let ws_pages = ws_mib * PAGES_PER_MIB;
+        let seed = 0x00D1_57E5 ^ (ws_mib << 8) ^ pattern.permille();
+        let dirty = pattern.dirty_pages(ws_pages, seed);
+        let n = dirty.len();
+        let window = (n * 5 / 8).max(1);
+        let rounds: Vec<Vec<u64>> = (0..ROUNDS)
+            .map(|r| {
+                let lo = r * n / ROUNDS;
+                let mut round_pages: Vec<u64> = (lo..lo + window).map(|i| dirty[i % n]).collect();
+                round_pages.sort_unstable();
+                drain_stream(&round_pages, seed ^ (r as u64) << 32)
+            })
+            .collect();
+        // Three registered VMAs covering ~3/4 of the working set, so the
+        // retain step has real work (pages outside any range are dropped).
+        let q = ws_pages / 4;
+        let ranges_raw = vec![
+            (BASE_PAGE, BASE_PAGE + q),
+            (BASE_PAGE + q + q / 2, BASE_PAGE + 2 * q + q / 2),
+            (BASE_PAGE + 3 * q, BASE_PAGE + ws_pages),
+        ];
+        let ranges = ranges_raw
+            .iter()
+            .map(|&(lo, hi)| GvaRange::new(Gva::from_page(lo), hi - lo))
+            .collect();
+        Scenario {
+            ws_mib,
+            pattern,
+            dirty_total: n,
+            rounds,
+            ranges_raw,
+            ranges,
+        }
+    }
+
+    fn label(&self) -> String {
+        let mib = self.ws_mib;
+        let ws = if mib >= 1024 {
+            format!("{}GiB", mib / 1024)
+        } else {
+            format!("{mib}MiB")
+        };
+        format!("{ws}/{}", self.pattern.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The two pipelines under test
+// ---------------------------------------------------------------------------
+
+/// Pre-refactor data path, all [`ROUNDS`] rounds: sort+dedup each raw log,
+/// tree-set membership, per-page × per-range retain, tree-walk difference
+/// against the previous round, per-page extend into the union. Returns
+/// (union size, last round's newly-dirty count) as the black-box payload.
+fn btree_pipeline(sc: &Scenario) -> (usize, usize) {
+    let mut prev: BTreeSet<u64> = BTreeSet::new();
+    let mut union: BTreeSet<u64> = BTreeSet::new();
+    let mut last_newly = 0usize;
+    for stream in &sc.rounds {
+        let mut raw = stream.clone();
+        raw.sort_unstable();
+        raw.dedup();
+        let mut set: BTreeSet<u64> = raw.into_iter().collect();
+        set.retain(|p| sc.ranges_raw.iter().any(|&(lo, hi)| (lo..hi).contains(p)));
+        let newly: BTreeSet<u64> = set.difference(&prev).copied().collect();
+        last_newly = newly.len();
+        union.extend(set.iter().copied());
+        prev = set;
+    }
+    (union.len(), last_newly)
+}
+
+/// Word-packed data path, same rounds: bulk bit-set insert dedups for free,
+/// wordwise retain/ANDNOT/OR for the set algebra.
+fn bitmap_pipeline(sc: &Scenario) -> (usize, usize) {
+    let mut prev = DirtyBitmap::new();
+    let mut union = DirtyBitmap::new();
+    let mut last_newly = 0usize;
+    for stream in &sc.rounds {
+        let mut set: DirtyBitmap = stream.iter().copied().collect();
+        set.retain_within(&sc.ranges);
+        let newly = set.difference(&prev);
+        last_newly = newly.len();
+        union.merge(&set);
+        prev = set;
+    }
+    (union.len(), last_newly)
+}
+
+// ---------------------------------------------------------------------------
+// Criterion benches: per-stage at the acceptance point, end-to-end per cell
+// ---------------------------------------------------------------------------
+
+fn sizes_mib() -> Vec<u64> {
+    if std::env::var_os("OOH_BENCH_QUICK").is_some() {
+        return vec![256];
+    }
+    let mut v = vec![256, 1024, 4096];
+    if std::env::var_os("OOH_BENCH_FULL").is_some() {
+        v.push(16 * 1024);
+    }
+    v
+}
+
+/// Stage-by-stage timings at the acceptance point: 4 GiB working set,
+/// clustered 1% density (256 MiB under `OOH_BENCH_QUICK`).
+fn bench_stages(c: &mut Criterion) {
+    let mib = if std::env::var_os("OOH_BENCH_QUICK").is_some() {
+        256
+    } else {
+        4096
+    };
+    let sc = Scenario::build(mib, Pattern::Clustered);
+    let stream = &sc.rounds[0];
+    let prev_stream = &sc.rounds[1];
+    let prev_bt: BTreeSet<u64> = prev_stream.iter().copied().collect();
+    let prev_bm: DirtyBitmap = prev_stream.iter().copied().collect();
+    let full_bt: BTreeSet<u64> = stream.iter().copied().collect();
+    let full_bm: DirtyBitmap = stream.iter().copied().collect();
+
+    let mut group = c.benchmark_group(&format!("stages/{}", sc.label()));
+
+    group.bench_function("drain/btree", |b| {
+        b.iter(|| {
+            let mut raw = stream.clone();
+            raw.sort_unstable();
+            raw.dedup();
+            black_box(raw.into_iter().collect::<BTreeSet<u64>>())
+        })
+    });
+    group.bench_function("drain/bitmap", |b| {
+        b.iter(|| black_box(stream.iter().copied().collect::<DirtyBitmap>()))
+    });
+
+    group.bench_function("collect_retain/btree", |b| {
+        b.iter(|| {
+            let mut set = full_bt.clone();
+            set.retain(|p| sc.ranges_raw.iter().any(|&(lo, hi)| (lo..hi).contains(p)));
+            black_box(set)
+        })
+    });
+    group.bench_function("collect_retain/bitmap", |b| {
+        b.iter(|| {
+            let mut bm = full_bm.clone();
+            bm.retain_within(&sc.ranges);
+            black_box(bm)
+        })
+    });
+
+    group.bench_function("merge/btree", |b| {
+        b.iter(|| {
+            let mut acc = prev_bt.clone();
+            acc.extend(full_bt.iter().copied());
+            black_box(acc)
+        })
+    });
+    group.bench_function("merge/bitmap", |b| {
+        b.iter(|| {
+            let mut acc = prev_bm.clone();
+            acc.merge(&full_bm);
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("diff/btree", |b| {
+        b.iter(|| black_box(full_bt.difference(&prev_bt).copied().collect::<BTreeSet<u64>>()))
+    });
+    group.bench_function("diff/bitmap", |b| {
+        b.iter(|| black_box(full_bm.difference(&prev_bm)))
+    });
+
+    group.finish();
+}
+
+/// End-to-end pipeline across the size × pattern grid.
+fn bench_pipeline(c: &mut Criterion) {
+    for mib in sizes_mib() {
+        for pattern in Pattern::ALL {
+            let sc = Scenario::build(mib, pattern);
+            let mut group = c.benchmark_group(&format!("pipeline/{}", sc.label()));
+            group.bench_function("btree", |b| b.iter(|| black_box(btree_pipeline(&sc))));
+            group.bench_function("bitmap", |b| b.iter(|| black_box(bitmap_pipeline(&sc))));
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_stages, bench_pipeline);
+
+// ---------------------------------------------------------------------------
+// Explicit speedup report (what bench_results/dirty_path.txt records)
+// ---------------------------------------------------------------------------
+
+fn best_of<F: FnMut() -> (usize, usize)>(reps: u32, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn speedup_report() {
+    println!(
+        "speedup report: btree vs bitmap, {ROUNDS}-round drain->collect->diff->merge (best of 5)"
+    );
+    for mib in sizes_mib() {
+        for pattern in Pattern::ALL {
+            let sc = Scenario::build(mib, pattern);
+            // Sanity: both pipelines agree on union size and last diff.
+            assert_eq!(
+                btree_pipeline(&sc),
+                bitmap_pipeline(&sc),
+                "pipelines diverged on {}",
+                sc.label()
+            );
+            let t_bt = best_of(5, || btree_pipeline(&sc));
+            let t_bm = best_of(5, || bitmap_pipeline(&sc));
+            let ratio = t_bt.as_secs_f64() / t_bm.as_secs_f64().max(1e-12);
+            println!(
+                "speedup {} density={}permille dirty_pages={} btree={:?} bitmap={:?} ratio={:.1}x",
+                sc.label(),
+                sc.pattern.permille(),
+                sc.dirty_total,
+                t_bt,
+                t_bm,
+                ratio,
+            );
+        }
+    }
+}
+
+// A custom `main` instead of `criterion_main!`: run the criterion groups,
+// then append the explicit speedup lines the acceptance check reads.
+fn main() {
+    benches();
+    speedup_report();
+}

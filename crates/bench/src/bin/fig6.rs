@@ -12,7 +12,7 @@ use ooh_bench::report;
 use ooh_core::Technique;
 use ooh_sim::{overhead_pct, TextTable};
 use ooh_workloads::SizeClass;
-use rayon::prelude::*;
+use rayon::par_map_ordered;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -42,17 +42,14 @@ fn main() {
         .iter()
         .flat_map(|&a| [SizeClass::Medium, SizeClass::Large].map(|s| (a, s)))
         .collect();
-    let results: Vec<_> = grid
-        .par_iter()
-        .map(|&(app, size)| {
-            let base = run_phoenix_gc(app, size, None).expect("baseline");
-            let runs: Vec<_> = [Technique::Proc, Technique::Spml, Technique::Epml]
-                .into_iter()
-                .map(|t| (t, run_phoenix_gc(app, size, Some(t)).expect("tracked")))
-                .collect();
-            (app, size, base, runs)
-        })
-        .collect();
+    let results = par_map_ordered(&grid, rayon::default_threads(), |&(app, size)| {
+        let base = run_phoenix_gc(app, size, None).expect("baseline");
+        let runs: Vec<_> = [Technique::Proc, Technique::Spml, Technique::Epml]
+            .into_iter()
+            .map(|t| (t, run_phoenix_gc(app, size, Some(t)).expect("tracked")))
+            .collect();
+        (app, size, base, runs)
+    });
     for (app, size, base, runs) in results {
         let mut cells = vec![app.to_string(), size.name().to_string()];
         for (t, run) in runs {

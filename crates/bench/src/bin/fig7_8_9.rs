@@ -17,7 +17,7 @@ use ooh_bench::report;
 use ooh_core::Technique;
 use ooh_sim::{overhead_pct, TextTable};
 use ooh_workloads::SizeClass;
-use rayon::prelude::*;
+use rayon::par_map_ordered;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -46,17 +46,14 @@ fn main() {
     let mut t9 = TextTable::new(["app", "/proc ovh", "SPML ovh", "EPML ovh"]);
 
     // Independent simulations: sweep the app grid in parallel.
-    let results: Vec<_> = App::ALL
-        .par_iter()
-        .map(|&app| {
-            let baseline = criu_baseline(app, size).expect("baseline");
-            let runs: Vec<_> = techniques
-                .iter()
-                .map(|&t| run_criu(app, size, t).expect("criu run"))
-                .collect();
-            (app, baseline, runs)
-        })
-        .collect();
+    let results = par_map_ordered(&App::ALL, rayon::default_threads(), |&app| {
+        let baseline = criu_baseline(app, size).expect("baseline");
+        let runs: Vec<_> = techniques
+            .iter()
+            .map(|&t| run_criu(app, size, t).expect("criu run"))
+            .collect();
+        (app, baseline, runs)
+    });
     for (app, baseline, runs) in results {
         let mut r7 = vec![app.name()];
         let mut r8 = vec![app.name()];

@@ -1,0 +1,104 @@
+//! Fleet driver — N independent VM simulations in parallel.
+//!
+//! The first real throughput story for ROADMAP's fleet scenario: every VM
+//! is a fully independent stack (own `SimCtx`, own hypervisor, own guest),
+//! so the grid fans out across cores with `rayon::par_map_ordered` and the
+//! per-VM results merge back **in VM-index order**. The output is therefore
+//! byte-identical at 1 thread and N threads — CI diffs exactly that.
+//!
+//! Knobs (all env, all deterministic):
+//! * `OOH_FLEET_VMS`     — number of VMs to simulate (default 8);
+//! * `OOH_FLEET_THREADS` — worker threads (default: available cores).
+//!
+//! Each VM's scenario is derived from its index alone: technique cycles
+//! through all four, the working set cycles through 1/2/4/8 MiB, and the
+//! write schedule is the seeded micro array parser. Nothing reads the host
+//! clock or thread identity, so a fleet of N is exactly N reproducible
+//! single-VM simulations plus an ordered reduce.
+
+#![allow(clippy::print_stdout)] // bench/example binaries print their results
+
+use ooh_bench::scenario::{run_tracked, TrackedRun};
+use ooh_bench::report;
+use ooh_core::Technique;
+use ooh_sim::TextTable;
+use ooh_workloads::micro;
+use rayon::par_map_ordered;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct VmRow {
+    vm: usize,
+    technique: String,
+    size_mib: u64,
+    init_ns: u64,
+    tracked_done_ns: u64,
+    tracker_done_ns: u64,
+    union_dirty_pages: u64,
+    context_switches: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+const SIZES_MIB: [u64; 4] = [1, 2, 4, 8];
+
+/// One VM's whole simulation: boot, run the seeded workload under the
+/// index-derived technique, return the tracked run. Pure function of `vm`.
+fn simulate_vm(vm: usize) -> (usize, Technique, u64, TrackedRun) {
+    let technique = Technique::ALL[vm % Technique::ALL.len()];
+    let size_mib = SIZES_MIB[(vm / Technique::ALL.len()) % SIZES_MIB.len()];
+    let mut w = micro(size_mib, 2);
+    let steps_per_pass = w.num_pages.div_ceil(256) as u32;
+    let run = run_tracked(technique, &mut w, steps_per_pass).expect("fleet vm run");
+    (vm, technique, size_mib, run)
+}
+
+fn main() {
+    let n_vms = env_usize("OOH_FLEET_VMS", 8);
+    let threads = env_usize("OOH_FLEET_THREADS", rayon::default_threads());
+    report::header(
+        "fleet",
+        "N independent tracked VMs, parallel fan-out with ordered merge",
+    );
+    println!("vms={n_vms}");
+
+    let ids: Vec<usize> = (0..n_vms).collect();
+    let results = par_map_ordered(&ids, threads, |&vm| simulate_vm(vm));
+
+    // Ordered reduce: fold in VM-index order (the merge rule DESIGN.md §11
+    // requires), so the summary is thread-count-independent too.
+    let mut tbl = TextTable::new(["vm", "technique", "mib", "tracker(ms)", "dirty pages"]);
+    let mut total_dirty = 0u64;
+    let mut total_tracker_ns = 0u64;
+    for (vm, technique, size_mib, run) in &results {
+        total_dirty += run.union_dirty_pages;
+        total_tracker_ns += run.tracker_done_ns;
+        tbl.row([
+            vm.to_string(),
+            technique.name().to_string(),
+            size_mib.to_string(),
+            format!("{:.3}", report::ms(run.tracker_done_ns)),
+            run.union_dirty_pages.to_string(),
+        ]);
+        report::json_row(&VmRow {
+            vm: *vm,
+            technique: technique.name().to_string(),
+            size_mib: *size_mib,
+            init_ns: run.init_ns,
+            tracked_done_ns: run.tracked_done_ns,
+            tracker_done_ns: run.tracker_done_ns,
+            union_dirty_pages: run.union_dirty_pages,
+            context_switches: run.context_switches,
+        });
+    }
+    println!("{tbl}");
+    println!(
+        "fleet: vms={n_vms} union_dirty_pages={total_dirty} tracker_ns_sum={total_tracker_ns}"
+    );
+}

@@ -1,12 +1,19 @@
 //! Dirty-page sets: what every tracking technique ultimately produces.
+//!
+//! Backed by the word-packed [`DirtyBitmap`] from `ooh-machine` rather than
+//! a `BTreeSet<u64>`: inserts set one bit, merge/difference are wordwise
+//! OR/ANDNOT, and `retain_within` clips bitmap words to range bounds —
+//! O(words) instead of O(pages × ranges). Iteration order (ascending page
+//! number) and the public API are unchanged, so every virtual-clock
+//! observable downstream stays byte-identical; only the simulator's own
+//! wall-clock speed changes.
 
-use ooh_machine::{Gva, GvaRange};
-use std::collections::BTreeSet;
+use ooh_machine::{DirtyBitmap, Gva, GvaRange};
 
 /// A set of dirty guest-virtual pages (stored as page numbers, ordered).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DirtySet {
-    pages: BTreeSet<u64>,
+    pages: DirtyBitmap,
 }
 
 impl DirtySet {
@@ -24,7 +31,7 @@ impl DirtySet {
     }
 
     pub fn contains(&self, gva: Gva) -> bool {
-        self.pages.contains(&gva.page())
+        self.pages.contains(gva.page())
     }
 
     pub fn len(&self) -> usize {
@@ -37,30 +44,40 @@ impl DirtySet {
 
     /// Page-base GVAs, ascending.
     pub fn iter(&self) -> impl Iterator<Item = Gva> + '_ {
-        self.pages.iter().map(|&p| Gva::from_page(p))
+        self.pages.pages().map(Gva::from_page)
     }
 
     /// Raw page numbers, ascending.
     pub fn pages(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pages.iter().copied()
+        self.pages.pages()
     }
 
-    /// Union with another set.
+    /// Union with another set — O(words of `other`).
     pub fn merge(&mut self, other: &DirtySet) {
-        self.pages.extend(other.pages.iter().copied());
+        self.pages.merge(&other.pages);
     }
 
-    /// Keep only pages inside `ranges` (the tracker's registered region).
+    /// Keep only pages inside `ranges` (the tracker's registered region) —
+    /// O(bitmap words overlapping the ranges).
     pub fn retain_within(&mut self, ranges: &[GvaRange]) {
-        self.pages
-            .retain(|&p| ranges.iter().any(|r| r.contains(Gva::from_page(p))));
+        self.pages.retain_within(ranges);
     }
 
-    /// Set difference: pages in self but not in `other`.
+    /// Set difference: pages in self but not in `other` — O(words of self).
     pub fn difference(&self, other: &DirtySet) -> DirtySet {
         DirtySet {
-            pages: self.pages.difference(&other.pages).copied().collect(),
+            pages: self.pages.difference(&other.pages),
         }
+    }
+
+    /// The underlying word-packed bitmap.
+    pub fn bitmap(&self) -> &DirtyBitmap {
+        &self.pages
+    }
+
+    /// Consume into the underlying bitmap.
+    pub fn into_bitmap(self) -> DirtyBitmap {
+        self.pages
     }
 }
 
@@ -71,6 +88,12 @@ impl FromIterator<Gva> for DirtySet {
             s.insert(g);
         }
         s
+    }
+}
+
+impl From<DirtyBitmap> for DirtySet {
+    fn from(pages: DirtyBitmap) -> Self {
+        DirtySet { pages }
     }
 }
 
@@ -145,6 +168,24 @@ mod tests {
             da.retain_within(&window);
             ra.retain(|&p| p >= keep_lo && p < keep_lo + keep_pages);
             proptest::prop_assert_eq!(da.pages().collect::<Vec<_>>(), ra.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    proptest::proptest! {
+        /// Sparse and wide page numbers (full 52-bit space): the chunked
+        /// bitmap must handle far-apart pages without memory blowup.
+        #[test]
+        fn sparse_wide_pages(
+            pages in proptest::collection::vec(0u64..(1 << 40), 0..40),
+        ) {
+            use std::collections::BTreeSet;
+            let ds: DirtySet = pages.iter().map(|&p| Gva::from_page(p)).collect();
+            let rf: BTreeSet<u64> = pages.iter().copied().collect();
+            proptest::prop_assert_eq!(ds.len(), rf.len());
+            proptest::prop_assert_eq!(
+                ds.pages().collect::<Vec<_>>(),
+                rf.iter().copied().collect::<Vec<_>>()
+            );
         }
     }
 

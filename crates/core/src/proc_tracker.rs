@@ -45,7 +45,7 @@ impl DirtyPageTracker for ProcTracker {
         let dirty = env
             .kernel
             .soft_dirty_pages(env.hv, env.pid, Lane::Tracker)?;
-        Ok(dirty.into_iter().collect())
+        Ok(dirty.into())
     }
 
     fn finish(&mut self, _env: &mut TrackEnv<'_>) -> Result<(), GuestError> {

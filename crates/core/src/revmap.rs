@@ -8,9 +8,10 @@
 //! collection time, Figure 3). We perform the lookup mechanically against
 //! the kernel's resident map and charge the calibrated cost per logged GPA.
 
+use crate::dirtyset::DirtySet;
 use ooh_guest::{GuestError, GuestKernel, Pid};
 use ooh_hypervisor::Hypervisor;
-use ooh_machine::{Gpa, Gva};
+use ooh_machine::DirtyBitmap;
 use ooh_sim::{Event, Lane, ScopeKind};
 
 /// A GPA→GVA cache, used by Boehm's integration: the paper's footnote 2
@@ -50,20 +51,21 @@ impl RevMapCache {
 /// Cost of a cache hit (one hash probe in the library).
 const CACHE_HIT_NS: u64 = 50;
 
-/// Reverse-map a batch of logged GPAs to GVAs for `pid`.
+/// Reverse-map a batch of logged GPA pages (a deduplicated word-packed
+/// bitmap, iterated ascending) to GVAs for `pid`.
 ///
-/// Returns the successfully mapped GVAs; GPAs with no userspace mapping
-/// (page-table pages the hardware logged, pages freed since logging) are
-/// dropped — each still pays the scan cost, as the real library's failed
-/// pagemap scans do.
+/// Returns the successfully mapped GVA pages as a [`DirtySet`]; GPAs with
+/// no userspace mapping (page-table pages the hardware logged, pages freed
+/// since logging) are dropped — each still pays the scan cost, as the real
+/// library's failed pagemap scans do.
 pub fn reverse_map_batch(
     hv: &mut Hypervisor,
     kernel: &GuestKernel,
     pid: Pid,
-    gpas: &[Gpa],
-) -> Result<Vec<Gva>, GuestError> {
+    gpa_pages: &DirtyBitmap,
+) -> Result<DirtySet, GuestError> {
     let ctx = hv.ctx.clone();
-    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpas.len() as u64);
+    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpa_pages.len() as u64);
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
 
@@ -72,12 +74,12 @@ pub fn reverse_map_batch(
     // simulated lookup is O(log n) *wall* time — but we still charge the
     // modeled per-lookup scan cost, so the virtual clock behaves like the
     // paper's measurements (guarded by the determinism tests).
-    let mut out = Vec::with_capacity(gpas.len());
-    for gpa in gpas {
+    let mut out = DirtySet::new();
+    for page in gpa_pages.pages() {
         let cost = ctx.cost().reverse_map_lookup_ns(resident_pages);
         ctx.charge_ns(Lane::Tracker, Event::ReverseMapLookup, cost);
-        if let Some(gva_page) = proc.gva_for_gpa_page(gpa.page()) {
-            out.push(Gva::from_page(gva_page));
+        if let Some(gva_page) = proc.gva_for_gpa_page(page) {
+            out.insert_page(gva_page);
         }
     }
     Ok(out)
@@ -89,11 +91,11 @@ pub fn reverse_map_batch_cached(
     hv: &mut Hypervisor,
     kernel: &GuestKernel,
     pid: Pid,
-    gpas: &[Gpa],
+    gpa_pages: &DirtyBitmap,
     cache: &mut RevMapCache,
-) -> Result<Vec<Gva>, GuestError> {
+) -> Result<DirtySet, GuestError> {
     let ctx = hv.ctx.clone();
-    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpas.len() as u64);
+    let _span = ctx.span(ScopeKind::Op, "reverse_map", gpa_pages.len() as u64);
 
     // Invalidate before trusting anything: if the process mapped or
     // unmapped pages since the cache was built, frames may have been
@@ -107,9 +109,8 @@ pub fn reverse_map_batch_cached(
     let proc = kernel.process(pid)?;
     let resident_pages = proc.resident_pages();
 
-    let mut out = Vec::with_capacity(gpas.len());
-    for gpa in gpas {
-        let page = gpa.page();
+    let mut out = DirtySet::new();
+    for page in gpa_pages.pages() {
         let hit = cache.entries.get(&page).copied();
         let resolved = match hit {
             Some(cached) => {
@@ -125,7 +126,7 @@ pub fn reverse_map_batch_cached(
             }
         };
         if let Some(gva_page) = resolved {
-            out.push(Gva::from_page(gva_page));
+            out.insert_page(gva_page);
         }
     }
     Ok(out)
@@ -136,7 +137,7 @@ mod tests {
     use super::*;
     use crate::revmap::{reverse_map_batch_cached, RevMapCache};
     use ooh_guest::VmaKind;
-    use ooh_machine::{MachineConfig, PAGE_SIZE};
+    use ooh_machine::{Gpa, Gva, MachineConfig, PAGE_SIZE};
     use ooh_sim::SimCtx;
 
     #[test]
@@ -153,11 +154,11 @@ mod tests {
         }
         let proc = kernel.process(pid).unwrap();
         let gva0 = range.start;
-        let gpa0 = Gpa::from_page(proc.resident[&gva0.page()]);
+        let gpa_pages: DirtyBitmap =
+            [proc.resident[&gva0.page()], Gpa(0xdead000).page()].into_iter().collect();
 
-        let mapped =
-            reverse_map_batch(&mut hv, &kernel, pid, &[gpa0, Gpa(0xdead000)]).unwrap();
-        assert_eq!(mapped, vec![gva0]);
+        let mapped = reverse_map_batch(&mut hv, &kernel, pid, &gpa_pages).unwrap();
+        assert_eq!(mapped.iter().collect::<Vec<_>>(), vec![gva0]);
         // Both lookups were charged.
         assert_eq!(hv.ctx.counters().get(Event::ReverseMapLookup), 2);
     }
@@ -173,9 +174,9 @@ mod tests {
             kernel.write_u64(&mut hv, pid, g, 1, Lane::Tracked).unwrap();
         }
         let proc = kernel.process(pid).unwrap();
-        let gpas: Vec<Gpa> = range
+        let gpas: DirtyBitmap = range
             .iter_pages()
-            .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+            .map(|g| proc.resident[&g.page()])
             .collect();
 
         let mut cache = RevMapCache::new();
@@ -193,13 +194,14 @@ mod tests {
             "warm pass ({warm_ns}ns) must be <10% of cold ({cold_ns}ns)"
         );
         // Negative results are cached too.
+        let unknown: DirtyBitmap = [Gpa(0xABC000).page()].into_iter().collect();
         let t2 = hv.ctx.now_ns();
         let miss1 =
-            reverse_map_batch_cached(&mut hv, &kernel, pid, &[Gpa(0xABC000)], &mut cache).unwrap();
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &unknown, &mut cache).unwrap();
         let cold_miss = hv.ctx.now_ns() - t2;
         let t3 = hv.ctx.now_ns();
         let miss2 =
-            reverse_map_batch_cached(&mut hv, &kernel, pid, &[Gpa(0xABC000)], &mut cache).unwrap();
+            reverse_map_batch_cached(&mut hv, &kernel, pid, &unknown, &mut cache).unwrap();
         let warm_miss = hv.ctx.now_ns() - t3;
         assert!(miss1.is_empty() && miss2.is_empty());
         assert!(warm_miss < cold_miss);
@@ -221,10 +223,10 @@ mod tests {
         for g in a.iter_pages().collect::<Vec<_>>() {
             kernel.write_u64(&mut hv, pid, g, 1, Lane::Tracked).unwrap();
         }
-        let gpas_a: Vec<Gpa> = {
+        let gpas_a: DirtyBitmap = {
             let proc = kernel.process(pid).unwrap();
             a.iter_pages()
-                .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+                .map(|g| proc.resident[&g.page()])
                 .collect()
         };
         let mut cache = RevMapCache::new();
@@ -238,23 +240,23 @@ mod tests {
         for g in b.iter_pages().collect::<Vec<_>>() {
             kernel.write_u64(&mut hv, pid, g, 2, Lane::Tracked).unwrap();
         }
-        let gpas_b: Vec<Gpa> = {
+        let gpas_b: DirtyBitmap = {
             let proc = kernel.process(pid).unwrap();
             b.iter_pages()
-                .map(|g| Gpa::from_page(proc.resident[&g.page()]))
+                .map(|g| proc.resident[&g.page()])
                 .collect()
         };
         assert!(
-            gpas_b.iter().any(|g| gpas_a.contains(g)),
+            gpas_b.pages().any(|p| gpas_a.contains(p)),
             "test premise: at least one of A's frames must back B now"
         );
 
-        let mut mapped =
+        let mapped =
             reverse_map_batch_cached(&mut hv, &kernel, pid, &gpas_b, &mut cache).unwrap();
-        mapped.sort_unstable();
         let expected: Vec<Gva> = b.iter_pages().map(|g| g.page_base()).collect();
         assert_eq!(
-            mapped, expected,
+            mapped.iter().collect::<Vec<_>>(),
+            expected,
             "recycled frames must resolve to B's GVAs, not A's cached ones"
         );
     }

@@ -9,7 +9,7 @@ use crate::dirtyset::DirtySet;
 use crate::revmap::{reverse_map_batch, reverse_map_batch_cached, RevMapCache};
 use crate::tracker::{DirtyPageTracker, TrackEnv, Technique};
 use ooh_guest::{GuestError, OohMode, OohModule};
-use ooh_machine::{Gpa, GvaRange};
+use ooh_machine::{DirtyBitmap, Gpa, GvaRange};
 
 #[derive(Debug, Default)]
 pub struct SpmlTracker {
@@ -186,18 +186,17 @@ impl DirtyPageTracker for SpmlTracker {
             }
         }
 
-        // Dedupe GPAs (a page re-logs once per scheduling quantum), then
-        // reverse-map — the expensive part.
-        let mut gpas: Vec<Gpa> = raw.into_iter().map(Gpa).collect();
-        gpas.sort_unstable();
-        gpas.dedup();
-        let gvas = match self.cache.as_mut() {
+        // Dedupe GPAs (a page re-logs once per scheduling quantum) by
+        // packing them into a word bitmap — one bit set per logged page,
+        // iterated ascending and unique, exactly the order the old
+        // sort+dedup produced — then reverse-map, the expensive part.
+        let gpa_pages: DirtyBitmap = raw.into_iter().map(|r| Gpa(r).page()).collect();
+        let mut set = match self.cache.as_mut() {
             Some(cache) => {
-                reverse_map_batch_cached(env.hv, env.kernel, env.pid, &gpas, cache)?
+                reverse_map_batch_cached(env.hv, env.kernel, env.pid, &gpa_pages, cache)?
             }
-            None => reverse_map_batch(env.hv, env.kernel, env.pid, &gpas)?,
+            None => reverse_map_batch(env.hv, env.kernel, env.pid, &gpa_pages)?,
         };
-        let mut set: DirtySet = gvas.into_iter().collect();
         set.retain_within(&self.registered);
         Ok(set)
     }

@@ -16,7 +16,6 @@ use crate::image::{CheckpointImage, VmaRecord};
 use ooh_core::{DirtySet, OohSession, Technique};
 use ooh_guest::{GuestError, GuestKernel, Pid};
 use ooh_hypervisor::Hypervisor;
-use ooh_machine::Gva;
 use ooh_sim::{Event, Lane};
 use serde::Serialize;
 
@@ -210,12 +209,10 @@ impl Criu {
     ) -> Result<(CheckpointImage, DumpStats), GuestError> {
         let mut img = CheckpointImage::new(false);
         img.vmas = Self::vma_records(kernel, pid)?;
-        let all: DirtySet = kernel
-            .process(pid)?
-            .resident
-            .keys()
-            .map(|&p| Gva::from_page(p))
-            .collect();
+        let mut all = DirtySet::new();
+        for &p in kernel.process(pid)?.resident.keys() {
+            all.insert_page(p);
+        }
         let t0 = hv.ctx.now_ns();
         let written = self.write_pages(hv, kernel, pid, &all, &mut img)?;
         let t1 = hv.ctx.now_ns();

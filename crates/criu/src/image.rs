@@ -6,7 +6,7 @@
 //! overlay an earlier one's at restore.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ooh_machine::{Gva, GvaRange, PAGE_SIZE};
+use ooh_machine::{DirtyBitmap, Gva, GvaRange, PAGE_SIZE};
 use std::collections::BTreeMap;
 
 const MAGIC: u32 = 0x4F4F_4843; // "OOHC"
@@ -36,8 +36,9 @@ pub struct CheckpointImage {
     pub pages: BTreeMap<u64, Box<[u8]>>,
     /// Pages that were resident but entirely zero: recorded by number only
     /// (CRIU's zero-page deduplication; restore recreates them by demand
-    /// paging, which hands out zeroed frames).
-    pub zero_pages: std::collections::BTreeSet<u64>,
+    /// paging, which hands out zeroed frames). Word-packed: one bit per
+    /// page, iterated ascending — the wire format is unchanged.
+    pub zero_pages: DirtyBitmap,
     /// Is this an incremental (pre-dump) image?
     pub incremental: bool,
 }
@@ -80,7 +81,7 @@ impl CheckpointImage {
             self.pages.remove(&gva_page);
             self.zero_pages.insert(gva_page);
         } else {
-            self.zero_pages.remove(&gva_page);
+            self.zero_pages.remove(gva_page);
             self.pages.insert(gva_page, data.into());
         }
     }
@@ -100,10 +101,10 @@ impl CheckpointImage {
     /// Overlay `newer` on top of this image (pre-copy chains).
     pub fn apply(&mut self, newer: &CheckpointImage) {
         for (page, data) in &newer.pages {
-            self.zero_pages.remove(page);
+            self.zero_pages.remove(*page);
             self.pages.insert(*page, data.clone());
         }
-        for &page in &newer.zero_pages {
+        for page in newer.zero_pages.pages() {
             self.pages.remove(&page);
             self.zero_pages.insert(page);
         }
@@ -132,7 +133,7 @@ impl CheckpointImage {
             buf.put_u64(*page);
             buf.put_slice(data);
         }
-        for &page in &self.zero_pages {
+        for page in self.zero_pages.pages() {
             buf.put_u64(page);
         }
         buf.freeze()
@@ -276,7 +277,7 @@ mod tests {
         delta.put_page(1, &page_of(0)); // content -> zero
         delta.put_page(2, &page_of(0x22)); // zero -> content
         base.apply(&delta);
-        assert!(base.zero_pages.contains(&1));
+        assert!(base.zero_pages.contains(1));
         assert_eq!(base.pages[&2][0], 0x22);
         assert_eq!(base.page_count(), 2);
     }

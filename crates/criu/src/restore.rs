@@ -27,7 +27,7 @@ pub fn restore(
     }
     // Zero pages: demand-fault them in (the kernel hands out zeroed
     // frames), restoring residency without shipping 4 KiB of zeros.
-    for &page in &image.zero_pages {
+    for page in image.zero_pages.pages() {
         kernel.read_u64(hv, pid, Gva::from_page(page), Lane::Tracker)?;
     }
     for (&page, data) in &image.pages {
@@ -67,7 +67,7 @@ pub fn verify(
 ) -> Result<u64, GuestError> {
     let mut checked = 0;
     // Deduplicated zero pages must read back as zeros.
-    for &page in &image.zero_pages {
+    for page in image.zero_pages.pages() {
         let gva = Gva::from_page(page);
         let mut buf = vec![0u8; ooh_machine::PAGE_SIZE as usize];
         kernel.read_bytes(hv, pid, gva, &mut buf, Lane::Tracker)?;

@@ -133,7 +133,10 @@ mod tests {
             "re-protected page must fault once"
         );
         let dirty = kernel.soft_dirty_pages(&mut hv, pid, Lane::Tracker).unwrap();
-        assert_eq!(dirty, vec![range.start.add(2 * PAGE_SIZE)]);
+        assert_eq!(
+            dirty.pages().collect::<Vec<_>>(),
+            vec![range.start.add(2 * PAGE_SIZE).page()]
+        );
 
         // Second write to the same page: no extra fault.
         kernel

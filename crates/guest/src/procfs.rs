@@ -11,7 +11,7 @@
 use crate::kernel::{GuestError, GuestKernel};
 use crate::process::Pid;
 use ooh_hypervisor::Hypervisor;
-use ooh_machine::{Gva, GvaRange, Pte};
+use ooh_machine::{DirtyBitmap, Gva, GvaRange, Pte};
 use ooh_sim::{Event, Lane, PAGEMAP_CHUNK_ENTRIES};
 
 /// One 64-bit pagemap entry, decoded.
@@ -126,19 +126,20 @@ impl GuestKernel {
     }
 
     /// Convenience: the soft-dirty pages of `pid` across all its VMAs
-    /// (what a /proc-based tracker collects each round).
+    /// (what a /proc-based tracker collects each round), packed into a
+    /// word bitmap — one bit per dirty page, iterated ascending.
     pub fn soft_dirty_pages(
         &mut self,
         hv: &mut Hypervisor,
         pid: Pid,
         lane: Lane,
-    ) -> Result<Vec<Gva>, GuestError> {
+    ) -> Result<DirtyBitmap, GuestError> {
         let vmas = self.vmas(pid)?;
-        let mut dirty = Vec::new();
+        let mut dirty = DirtyBitmap::new();
         for vma in &vmas {
             for e in self.read_pagemap(hv, pid, vma.range, lane)? {
                 if e.present && e.soft_dirty {
-                    dirty.push(e.gva);
+                    dirty.insert(e.gva.page());
                 }
             }
         }

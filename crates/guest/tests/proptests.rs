@@ -3,7 +3,7 @@
 
 use ooh_guest::{GuestKernel, Pid, UfdMode, VmaKind};
 use ooh_hypervisor::Hypervisor;
-use ooh_machine::{Gva, MachineConfig, PAGE_SIZE};
+use ooh_machine::{MachineConfig, PAGE_SIZE};
 use ooh_sim::{Lane, SimCtx};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -73,8 +73,8 @@ proptest! {
             let got: BTreeSet<u64> = kernel
                 .soft_dirty_pages(&mut hv, pid, Lane::Tracker)
                 .unwrap()
-                .into_iter()
-                .map(|g: Gva| g.page() - region.start.page())
+                .pages()
+                .map(|p| p - region.start.page())
                 .collect();
             prop_assert_eq!(got, expected);
         }

@@ -5,8 +5,8 @@
 use crate::hypercall::{Hypercall, HypercallResult};
 use crate::vm::{SpmlState, Vm, VmId};
 use ooh_machine::{
-    AccessOk, Fault, Field, Gpa, Gva, Hpa, Machine, MachineConfig, MachineError, Mmu, PmlEvent,
-    RingView, StateHasher, VmxMode, EPML_SELF_IPI_VECTOR, PML_ENTRIES,
+    AccessOk, DirtyBitmap, Fault, Field, Gpa, Gva, Hpa, Machine, MachineConfig, MachineError, Mmu,
+    PmlEvent, RingView, StateHasher, VmxMode, EPML_SELF_IPI_VECTOR, PML_ENTRIES,
 };
 use ooh_sim::{Event, Lane, SimCtx};
 
@@ -96,7 +96,7 @@ impl Hypervisor {
         &mut self,
         vm: VmId,
         vcpu: u32,
-    ) -> (Mmu<'_>, &mut SpmlState, &mut std::collections::BTreeSet<u64>) {
+    ) -> (Mmu<'_>, &mut SpmlState, &mut DirtyBitmap) {
         let epml_hw = self.machine.config.epml;
         let vm = &mut self.vms[vm.0 as usize];
         let vcpu = &mut vm.vcpus[vcpu as usize];

@@ -102,13 +102,11 @@ impl PreCopyMigration {
         for v in 0..n_vcpus {
             hv.drain_hyp_pml(self.vm, v)?;
         }
-        let dirty: Vec<u64> = {
+        let pages = {
             let vmref = hv.vm_mut(self.vm);
-            let d = vmref.hyp_dirty.iter().copied().collect();
-            vmref.hyp_dirty.clear();
-            d
+            let dirty = vmref.hyp_dirty.take();
+            dirty.len() as u64
         };
-        let pages = dirty.len() as u64;
         self.record_round(hv, pages);
         Ok(pages)
     }

@@ -1,8 +1,8 @@
 //! Per-VM state: EPT, vCPUs, guest frame allocation, SPML coordination flags.
 
 use ooh_machine::{
-    exec_controls, Ept, Field, Gpa, Hpa, HostPhys, MachineError, RingView, SppTable, Vcpu,
-    VmxMode, PAGE_SIZE,
+    exec_controls, DirtyBitmap, Ept, Field, Gpa, Hpa, HostPhys, MachineError, RingView, SppTable,
+    Vcpu, VmxMode, PAGE_SIZE,
 };
 
 /// VM identifier.
@@ -35,12 +35,13 @@ pub struct Vm {
     /// Sub-page write permissions for this VM's guest-physical pages
     /// (the OoH-SPP service of §III-D).
     pub spp_table: SppTable,
-    /// Dirty GPA pages collected for the hypervisor's own use (migration).
-    pub hyp_dirty: std::collections::BTreeSet<u64>,
+    /// Dirty GPA pages collected for the hypervisor's own use (migration),
+    /// word-packed (one bit per guest-physical page).
+    pub hyp_dirty: DirtyBitmap,
     /// Working-set estimation (PML-R) state: distinct pages accessed and
-    /// written during the current sampling interval.
-    pub wss_accessed: std::collections::BTreeSet<u64>,
-    pub wss_dirty: std::collections::BTreeSet<u64>,
+    /// written during the current sampling interval, word-packed.
+    pub wss_accessed: DirtyBitmap,
+    pub wss_dirty: DirtyBitmap,
     pub wss_active: bool,
     /// Next guest-physical page to hand out.
     next_gpa_page: u64,
@@ -67,9 +68,9 @@ impl Vm {
             vcpus,
             spml: SpmlState::default(),
             spp_table: SppTable::new(),
-            hyp_dirty: std::collections::BTreeSet::new(),
-            wss_accessed: std::collections::BTreeSet::new(),
-            wss_dirty: std::collections::BTreeSet::new(),
+            hyp_dirty: DirtyBitmap::new(),
+            wss_accessed: DirtyBitmap::new(),
+            wss_dirty: DirtyBitmap::new(),
             wss_active: false,
             // GPA 0 is reserved (null) — hand out pages from 1.
             next_gpa_page: 1,

@@ -26,6 +26,7 @@
 
 pub mod addr;
 pub mod digest;
+pub mod dirty;
 pub mod ept;
 pub mod error;
 pub mod machine;
@@ -41,6 +42,7 @@ pub mod walker;
 
 pub use addr::{Gpa, Gva, GvaRange, Hpa, PAGE_SHIFT, PAGE_SIZE, PT_ENTRIES};
 pub use digest::StateHasher;
+pub use dirty::DirtyBitmap;
 pub use ept::Ept;
 pub use error::{Fault, MachineError};
 pub use machine::{Machine, MachineConfig};

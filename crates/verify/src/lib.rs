@@ -78,6 +78,10 @@ pub const RULES: &[(&str, &str)] = &[
         "simulator crates must not use HashMap/HashSet (iteration order is nondeterministic); use BTreeMap/BTreeSet",
     ),
     (
+        "det-par",
+        "parallel maps in simulator/bench crates must merge deterministically (par_map_ordered); unordered par_iter-style reductions are banned",
+    ),
+    (
         "arch-phys",
         "guest-side crates must not touch HostPhys; physical memory is reached via the hypervisor API",
     ),
@@ -604,6 +608,16 @@ pub fn scan_source(
         token_rule(&ctx, &mut raw_hits, "det-rand", "rand::random", "OS-seeded RNG; use the scenario's seeded PRNG");
         token_rule(&ctx, &mut raw_hits, "det-hash", "HashMap", "iteration order varies per process; use BTreeMap");
         token_rule(&ctx, &mut raw_hits, "det-hash", "HashSet", "iteration order varies per process; use BTreeSet");
+    }
+    // Deterministic parallelism: the fan-out drivers (bench binaries) and
+    // every simulation crate may only parallelize through an ordered merge
+    // (`rayon::par_map_ordered`). The rayon-style unordered iterator tokens
+    // all imply a merge order that depends on thread timing — exactly what
+    // the byte-identical-output tests cannot tolerate.
+    if SIM_CRATES.contains(&crate_name) || crate_name == "bench" {
+        token_rule(&ctx, &mut raw_hits, "det-par", "par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
+        token_rule(&ctx, &mut raw_hits, "det-par", "into_par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
+        token_rule(&ctx, &mut raw_hits, "det-par", "par_bridge", "unordered parallel bridge; use rayon::par_map_ordered (deterministic ordered merge)");
     }
     if GUEST_SIDE_CRATES.contains(&crate_name) {
         token_rule(&ctx, &mut raw_hits, "arch-phys", "HostPhys", "guest-side code must go through the hypervisor API, not raw host-physical memory");
@@ -1193,6 +1207,28 @@ mod tests {
     fn token_boundaries_respected() {
         // GuestHashMap is a workload engine name, not std's HashMap.
         let vs = scan("guest", "fn f(x: GuestHashMap) -> MyHashSetLike { x }");
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn flags_unordered_par_iter_in_sim_and_bench_crates() {
+        // par_iter / into_par_iter / par_bridge are nondeterministic-merge
+        // tokens; the ordered helper is the one blessed spelling.
+        let vs = scan("sim", "fn f(v: &[u64]) { v.par_iter().for_each(|x| work(x)); }");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "det-par");
+        let vs = scan("bench", "fn f(v: Vec<u64>) { v.into_par_iter().sum::<u64>(); }");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "det-par");
+        let vs = scan("bench", "fn f(it: I) { it.par_bridge().count(); }");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        // The deterministic helper passes; `par_iter` inside a longer
+        // identifier is not a hit.
+        let vs = scan("bench", "fn f(v: &[u64]) { par_map_ordered(v, 8, |&x| x); }");
+        assert!(vs.is_empty(), "{vs:?}");
+        // Crates outside the simulation/bench set (e.g. the verifier
+        // itself) are not covered by the rule.
+        let vs = scan("verify", "fn f(v: &[u64]) { v.par_iter().count(); }");
         assert!(vs.is_empty(), "{vs:?}");
     }
 

@@ -1,18 +1,109 @@
-//! Offline stand-in for `rayon`. `par_iter()` degrades to a plain sequential
-//! slice iterator — same item order as rayon's indexed collect, so results
-//! are bit-identical to the parallel version, just slower. The bench bins
-//! that fan grids out across cores keep compiling and produce identical
-//! output.
+//! Offline stand-in for `rayon`, upgraded from a sequential fake to a real
+//! (but deliberately small) data-parallel runtime built on
+//! `std::thread::scope` — no unsafe, no work stealing, no dependencies.
+//!
+//! The one primitive exported is [`par_map_ordered`]: map a function over a
+//! slice on up to `threads` OS threads and return the results **in input
+//! order**, regardless of which thread finished first. The input is split
+//! into contiguous chunks, one scoped thread per chunk, and the per-chunk
+//! result vectors are concatenated in chunk order — so the output is
+//! byte-identical at 1 thread and N threads, which is what lets the
+//! simulator's determinism tests cover the parallel drivers at all.
+//!
+//! There is intentionally *no* `par_iter()`-style unordered reduction here:
+//! ooh-verify's `det-par` rule flags those tokens in simulation crates,
+//! because a merge order that depends on thread timing is exactly the
+//! nondeterminism the virtual-clock model cannot tolerate.
 
-pub mod prelude {
-    /// Sequential fallback for `rayon::prelude::IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'a, T: 'a> {
-        fn par_iter(&'a self) -> std::slice::Iter<'a, T>;
+#![forbid(unsafe_code)]
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` scoped OS threads, returning the
+/// results in input order (deterministic ordered merge).
+///
+/// `threads <= 1` (or a short input) degrades to a plain sequential map on
+/// the calling thread — same output, same order. A panic in any worker is
+/// resumed on the caller.
+pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        // Spawn first, join in chunk order: the joins establish the merge
+        // order, the spawns establish the parallelism.
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.extend(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = par_map_ordered(&items, 1, |&x| x * 3 + 1);
+        for threads in [2, 3, 7, 64] {
+            let par = par_map_ordered(&items, threads, |&x| x * 3 + 1);
+            assert_eq!(par, seq, "order diverged at {threads} threads");
+        }
     }
 
-    impl<'a, T: 'a, S: AsRef<[T]> + ?Sized> IntoParallelRefIterator<'a, T> for S {
-        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
-            self.as_ref().iter()
-        }
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map_ordered(&items, 100, |&x| x + 1), vec![2, 3, 4]);
+        let none: [u32; 0] = [];
+        assert!(par_map_ordered(&none, 8, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn slow_early_chunks_do_not_reorder() {
+        // Make the first chunk slowest; results must still come out 0..N.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_ordered(&items, 8, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map_ordered(&items, 4, |&x| {
+                assert!(x != 9, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
     }
 }
