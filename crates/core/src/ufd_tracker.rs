@@ -24,7 +24,10 @@ impl UfdTracker {
         Self::default()
     }
 
-    fn drain_into_current(&mut self, env: &mut TrackEnv<'_>) {
+    // The drain is a plain buffer take: the tracker's `read(2)` round trip
+    // was already charged at fault-delivery time (ufd.rs charges the full
+    // M6 cost synchronously), so there is nothing left to account here.
+    fn drain_into_current(&mut self, env: &mut TrackEnv<'_>) { // ooh-verify: allow(cost-coverage)
         if let Some(id) = self.ufd {
             for ev in env.kernel.ufd_read_events(id) {
                 self.current.insert(ev.gva);

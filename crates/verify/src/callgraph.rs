@@ -1,0 +1,257 @@
+//! Workspace-wide, name-based call graph over the [`crate::ast`] items.
+//!
+//! Resolution is *syntactic*: a call site `foo(..)` / `.foo(..)` edges to
+//! every non-test workspace function named `foo`. That over-approximates
+//! real dispatch (trait impls, shadowed helpers) — which is the right bias
+//! for reachability queries of the form "does this handler eventually
+//! charge the cost model": false *negatives* (a missed edge hiding a real
+//! charge) would produce noise findings, while the occasional false edge
+//! merely makes the lint a little more forgiving. The rules that need the
+//! opposite bias (shootdown-completeness) query against a closed set of
+//! blessed callee names, where the same over-approximation is harmless
+//! because the names are unique in the workspace.
+//!
+//! Calls to names with no workspace definition (std, shims) are treated as
+//! leaves: they satisfy a reachability query only if the *name itself*
+//! matches the query predicate (so `ctx.charge(..)` reaches "charge" even
+//! though `SimCtx::charge` lives behind a method the parser attributes to
+//! another crate's file that is also scanned — and `ring.drain(..)` still
+//! edges into every workspace `drain`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{CallSite, ParsedFile};
+
+/// Node id: index into [`CallGraph::nodes`].
+pub type NodeId = usize;
+
+#[derive(Debug)]
+pub struct Node {
+    pub file: usize,
+    /// Index into `files[file].fns`.
+    pub fn_idx: usize,
+    pub name: String,
+    /// Distinct callee names referenced from the body (calls, methods, and
+    /// macros; macro names keep no `!`).
+    pub callees: BTreeSet<String>,
+}
+
+/// Registered analysis entry points, as `(crate, name-pattern)` pairs. A
+/// trailing `*` in the pattern is a prefix wildcard. These are the places
+/// control enters the simulator's accounted region: the vmexit dispatch
+/// and hypercall table in the hypervisor, the tracker `collect`/`drain`
+/// surface in core, and the guest kernel's shootdown broadcast helpers.
+pub const ENTRY_POINTS: &[(&str, &str)] = &[
+    ("hypervisor", "hypercall"),
+    ("hypervisor", "handle_*"),
+    ("guest", "handle_*"),
+    ("guest", "shootdown_page"),
+    ("guest", "shootdown_all"),
+    ("core", "collect"),
+    ("core", "drain_*"),
+];
+
+/// True when `name` matches `pattern` (exact, or prefix when the pattern
+/// ends in `*`).
+pub fn pattern_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
+    }
+}
+
+#[derive(Debug)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    by_name: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every non-test fn with a body.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let Some((lo, hi)) = file.body_inner(f) else {
+                    continue;
+                };
+                let callees: BTreeSet<String> = file
+                    .calls_in(lo, hi)
+                    .iter()
+                    .map(|c: &CallSite| file.toks[c.tok].text.clone())
+                    .collect();
+                let id = nodes.len();
+                nodes.push(Node {
+                    file: fi,
+                    fn_idx: gi,
+                    name: f.name.clone(),
+                    callees,
+                });
+                by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        CallGraph { nodes, by_name }
+    }
+
+    pub fn nodes_named(&self, name: &str) -> &[NodeId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when `from` can reach a call whose *name* satisfies `target`,
+    /// walking through workspace definitions breadth-first. The start
+    /// node's own callee names are tested too, so a direct `charge(..)`
+    /// call satisfies `|n| n == "charge"` without needing a definition.
+    pub fn reaches(&self, from: NodeId, target: &dyn Fn(&str) -> bool) -> bool {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut work = vec![from];
+        seen.insert(from);
+        while let Some(id) = work.pop() {
+            for callee in &self.nodes[id].callees {
+                if target(callee) {
+                    return true;
+                }
+                for &next in self.nodes_named(callee) {
+                    if seen.insert(next) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The set of function *names* that transitively reach a call named
+    /// `leaf` — computed as a reverse fixpoint so rules can test call sites
+    /// in O(log n). The name `leaf` itself is a member.
+    pub fn names_reaching(&self, leaf: &str, files: &[ParsedFile]) -> BTreeSet<String> {
+        // Seed: every fn whose body directly mentions a call named `leaf`.
+        let mut member: BTreeSet<String> = BTreeSet::new();
+        member.insert(leaf.to_string());
+        // Fixpoint over nodes: a fn joins when any callee name is a member.
+        // Iterate until no change; the graph is small (a few hundred fns).
+        let _ = files;
+        loop {
+            let mut changed = false;
+            for node in &self.nodes {
+                if member.contains(&node.name) {
+                    continue;
+                }
+                if node.callees.iter().any(|c| member.contains(c)) {
+                    member.insert(node.name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        member
+    }
+
+    /// Node ids reachable from the registered [`ENTRY_POINTS`] (the entry
+    /// nodes themselves included).
+    pub fn reachable_from_entries(&self, files: &[ParsedFile]) -> BTreeSet<NodeId> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut work: Vec<NodeId> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let crate_name = &files[node.file].crate_name;
+            if ENTRY_POINTS
+                .iter()
+                .any(|(c, p)| c == crate_name && pattern_matches(p, &node.name))
+                && seen.insert(i)
+            {
+                work.push(i);
+            }
+        }
+        while let Some(id) = work.pop() {
+            let callees: Vec<String> = self.nodes[id].callees.iter().cloned().collect();
+            for callee in callees {
+                for &next in self.nodes_named(&callee) {
+                    if seen.insert(next) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ParsedFile;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, (c, s))| ParsedFile::parse(c, &format!("crates/{c}/src/f{i}.rs"), s))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn transitive_reachability_by_name() {
+        let (_, g) = graph(&[(
+            "hypervisor",
+            "fn handle_x(&mut self) { self.helper(); }\n\
+             fn helper(&mut self) { self.ctx.charge(1, 2); }\n\
+             fn idle(&self) { nothing(); }\n",
+        )]);
+        let h = g.nodes_named("handle_x")[0];
+        assert!(g.reaches(h, &|n| n == "charge"));
+        let idle = g.nodes_named("idle")[0];
+        assert!(!g.reaches(idle, &|n| n == "charge"));
+    }
+
+    #[test]
+    fn cross_file_edges() {
+        let (_, g) = graph(&[
+            ("guest", "fn teardown(&mut self) { self.broadcast(); }"),
+            ("guest", "fn broadcast(&self) { shootdown_all(); }"),
+        ]);
+        let t = g.nodes_named("teardown")[0];
+        assert!(g.reaches(t, &|n| n == "shootdown_all"));
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let (_, g) = graph(&[(
+            "core",
+            "#[cfg(test)]\nmod t { fn collect() { charge(); } }\nfn live() {}\n",
+        )]);
+        assert!(g.nodes_named("collect").is_empty());
+        assert_eq!(g.nodes_named("live").len(), 1);
+    }
+
+    #[test]
+    fn names_reaching_fixpoint() {
+        let (files, g) = graph(&[(
+            "guest",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { ctx.charge(); }\nfn d() { puts(); }\n",
+        )]);
+        let set = g.names_reaching("charge", &files);
+        for n in ["charge", "a", "b", "c"] {
+            assert!(set.contains(n), "{n} missing: {set:?}");
+        }
+        assert!(!set.contains("d"));
+    }
+
+    #[test]
+    fn entry_reachability_uses_patterns() {
+        let (files, g) = graph(&[
+            ("hypervisor", "fn handle_pml(&mut self) { self.drain_buf(); }\nfn drain_buf(&mut self) {}\nfn unrelated() {}"),
+        ]);
+        let reach = g.reachable_from_entries(&files);
+        let names: Vec<&str> = reach.iter().map(|&i| g.nodes[i].name.as_str()).collect();
+        assert!(names.contains(&"handle_pml"));
+        assert!(names.contains(&"drain_buf"));
+        assert!(!names.contains(&"unrelated"));
+    }
+}

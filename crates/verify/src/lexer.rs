@@ -1,0 +1,560 @@
+//! A dependency-free Rust lexer: the single source of truth for "what is
+//! code, what is comment, what is literal" in `ooh-verify`.
+//!
+//! The v1 scanner stripped comments and strings with an ad-hoc state machine
+//! that had known blind spots — plain byte strings were treated as raw (so
+//! `b"\""` ended one character early and flipped the string state for the
+//! rest of the file), and every rule re-derived token boundaries by hand.
+//! This module replaces it: one pass produces both a *masked* copy of the
+//! source (comment and literal contents blanked, newlines and layout
+//! preserved, lifetimes kept) and a token stream with char-offset spans that
+//! the item parser ([`crate::ast`]) and the flow rules build on.
+//!
+//! Handled precisely:
+//! - line comments and *nested* block comments (`/* a /* b */ c */`)
+//! - cooked strings and byte strings with escapes (`"\""`, `b"\""`)
+//! - raw (byte) strings with any hash depth (`r#".."#`, `br##".."##`)
+//! - char and byte-char literals incl. escapes (`'\''`, `'\u{1F600}'`, `b'\n'`)
+//! - lifetimes vs char literals (`'static` survives masking, `'s'` does not)
+//! - raw identifiers (`r#match`)
+//!
+//! Offsets are *char* offsets (not bytes): every consumer in this crate
+//! indexes `Vec<char>` views of the source, and line/column numbers for
+//! diagnostics are char-based too.
+
+/// Token kind. Literal contents are blanked in [`Lexed::masked`]; the token
+/// itself records only that a literal occupied the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix kept).
+    Ident,
+    /// A lifetime (`'a`, `'static`), quote included in the span.
+    Lifetime,
+    /// String/char/byte/numeric literal.
+    Literal,
+    /// One punctuation char (`.`, `:`, `;`, `=`, `>`, `!`, ...).
+    Punct,
+    /// `{`, `(`, or `[`.
+    Open,
+    /// `}`, `)`, or `]`.
+    Close,
+}
+
+/// One token with its char-offset span and position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Ident text, punct/delimiter char, or `""` for literals.
+    pub text: String,
+    /// Char offset of the first char in the source.
+    pub pos: usize,
+    /// Char length of the token.
+    pub len: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based char column.
+    pub col: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+    pub fn is_open(&self, c: char) -> bool {
+        self.kind == TokKind::Open && self.text.starts_with(c)
+    }
+    pub fn is_close(&self, c: char) -> bool {
+        self.kind == TokKind::Close && self.text.starts_with(c)
+    }
+}
+
+/// Lexer output: the token stream plus the masked source (same char count
+/// and newlines as the input; comment and literal contents are spaces).
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub masked: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Never fails: malformed input (unterminated literals or
+/// comments) masks through end-of-file, which is the useful behavior for a
+/// linter that must keep scanning the rest of the workspace.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Vec<char>,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::with_capacity(src.len()),
+            toks: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one char, blanked in the masked output (newlines survive so
+    /// line numbers keep mapping).
+    fn eat_blank(&mut self) {
+        let c = self.chars[self.i];
+        self.out.push(if c == '\n' { '\n' } else { ' ' });
+        self.advance_pos(c);
+    }
+
+    /// Consume one char, kept verbatim in the masked output.
+    fn eat_keep(&mut self) {
+        let c = self.chars[self.i];
+        self.out.push(c);
+        self.advance_pos(c);
+    }
+
+    fn advance_pos(&mut self, c: char) {
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(),
+                'b' | 'r' if self.literal_prefix() => {}
+                '\'' => self.quote(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                '{' | '(' | '[' => self.delim(TokKind::Open),
+                '}' | ')' | ']' => self.delim(TokKind::Close),
+                _ if c.is_whitespace() => self.eat_keep(),
+                _ => self.punct(),
+            }
+        }
+        Lexed {
+            toks: self.toks,
+            masked: self.out.iter().collect(),
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.eat_blank();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.eat_blank();
+                self.eat_blank();
+            } else if self.chars[self.i] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.eat_blank();
+                self.eat_blank();
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.eat_blank();
+            }
+        }
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, pos: usize, line: usize, col: usize) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            pos,
+            len: self.i - pos,
+            line,
+            col,
+        });
+    }
+
+    /// Cooked (escaped) string body, opening quote at `self.i`.
+    fn cooked_string(&mut self) {
+        let (pos, line, col) = (self.i, self.line, self.col);
+        self.eat_blank(); // opening "
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => {
+                    self.eat_blank();
+                    if self.i < self.chars.len() {
+                        self.eat_blank();
+                    }
+                }
+                '"' => {
+                    self.eat_blank();
+                    break;
+                }
+                _ => self.eat_blank(),
+            }
+        }
+        self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+    }
+
+    /// Dispatch for `b`/`r` prefixes: byte strings (`b".."`, cooked, WITH
+    /// escapes — the v1 blind spot), raw strings (`r".."`, `r#".."#`,
+    /// `br#".."#`), byte chars (`b'x'`), and raw identifiers (`r#ident`).
+    /// Returns true if a literal was consumed; false means "plain ident
+    /// starting with b/r" and the caller lexes it as an ident.
+    fn literal_prefix(&mut self) -> bool {
+        let c = self.chars[self.i];
+        // b'x' byte char.
+        if c == 'b' && self.peek(1) == Some('\'') {
+            let (pos, line, col) = (self.i, self.line, self.col);
+            self.eat_blank(); // b
+            self.char_body();
+            self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+            return true;
+        }
+        // b"..": cooked byte string.
+        if c == 'b' && self.peek(1) == Some('"') {
+            let (pos, line, col) = (self.i, self.line, self.col);
+            self.eat_blank(); // b
+            self.cooked_string_body_into(pos, line, col);
+            return true;
+        }
+        // r".." / r#".."# / br".." / br#".."#: raw strings, no escapes.
+        let after_r = match (c, self.peek(1)) {
+            ('r', _) => 1,
+            ('b', Some('r')) => 2,
+            _ => return false,
+        };
+        let mut j = after_r;
+        let mut hashes = 0usize;
+        while self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.peek(j) != Some('"') {
+            // r#ident raw identifier: consume prefix + ident as one Ident
+            // token so `r#match` does not read as a raw string.
+            if c == 'r' && hashes == 1 && self.peek(j).is_some_and(is_ident_start) {
+                let (pos, line, col) = (self.i, self.line, self.col);
+                let mut text = String::new();
+                text.push(self.chars[self.i]);
+                self.eat_keep(); // r
+                text.push(self.chars[self.i]);
+                self.eat_keep(); // #
+                while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+                    text.push(self.chars[self.i]);
+                    self.eat_keep();
+                }
+                self.push_tok(TokKind::Ident, text, pos, line, col);
+                return true;
+            }
+            return false;
+        }
+        let (pos, line, col) = (self.i, self.line, self.col);
+        for _ in 0..j {
+            self.eat_blank(); // prefix + hashes
+        }
+        self.eat_blank(); // opening "
+        'body: while self.i < self.chars.len() {
+            if self.chars[self.i] == '"' {
+                let mut k = 0;
+                while k < hashes && self.peek(1 + k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..=hashes {
+                        self.eat_blank();
+                    }
+                    break 'body;
+                }
+            }
+            self.eat_blank();
+        }
+        self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+        true
+    }
+
+    /// Cooked string body starting at the opening quote, recording the token
+    /// from `pos` (used for `b"` where the prefix is already consumed).
+    fn cooked_string_body_into(&mut self, pos: usize, line: usize, col: usize) {
+        self.eat_blank(); // opening "
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => {
+                    self.eat_blank();
+                    if self.i < self.chars.len() {
+                        self.eat_blank();
+                    }
+                }
+                '"' => {
+                    self.eat_blank();
+                    break;
+                }
+                _ => self.eat_blank(),
+            }
+        }
+        self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+    }
+
+    /// `'` dispatch: char literal (escape or single-char) vs lifetime.
+    fn quote(&mut self) {
+        // Escape: definitely a char literal.
+        if self.peek(1) == Some('\\') {
+            let (pos, line, col) = (self.i, self.line, self.col);
+            self.char_body();
+            self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+            return;
+        }
+        // 'x' with a closing quote right after one char: char literal.
+        if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            let (pos, line, col) = (self.i, self.line, self.col);
+            self.eat_blank();
+            self.eat_blank();
+            self.eat_blank();
+            self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+            return;
+        }
+        // Lifetime: quote + ident chars, kept in the masked output (it IS
+        // code — `&'static str` must survive for token rules).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let (pos, line, col) = (self.i, self.line, self.col);
+            let mut text = String::from("'");
+            self.eat_keep();
+            while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+                text.push(self.chars[self.i]);
+                self.eat_keep();
+            }
+            self.push_tok(TokKind::Lifetime, text, pos, line, col);
+            return;
+        }
+        // Stray quote: keep as punct.
+        self.punct();
+    }
+
+    /// Body of a char/byte-char literal with the opening `'` at `self.i`:
+    /// consumes through the closing quote, handling `'\''`, `'\\'`, and
+    /// multi-char escapes like `'\u{1F600}'`.
+    fn char_body(&mut self) {
+        self.eat_blank(); // opening '
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => {
+                    self.eat_blank();
+                    if self.i < self.chars.len() {
+                        self.eat_blank();
+                    }
+                }
+                '\'' => {
+                    self.eat_blank();
+                    return;
+                }
+                _ => self.eat_blank(),
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let (pos, line, col) = (self.i, self.line, self.col);
+        let mut text = String::new();
+        while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+            text.push(self.chars[self.i]);
+            self.eat_keep();
+        }
+        self.push_tok(TokKind::Ident, text, pos, line, col);
+    }
+
+    /// Numeric literal: digits, `_`, radix/suffix letters, `.` only when
+    /// followed by a digit (so `0..n` stays two tokens and `x.0` field
+    /// access never reaches here), exponent sign after e/E in decimal-ish
+    /// bodies. Numbers are kept in the masked output — they cannot collide
+    /// with token rules and blanking them would hurt excerpt readability.
+    fn number(&mut self) {
+        let (pos, line, col) = (self.i, self.line, self.col);
+        let mut prev = '\0';
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            let take = is_ident_char(c)
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+            if !take {
+                break;
+            }
+            prev = c;
+            self.eat_keep();
+        }
+        self.push_tok(TokKind::Literal, String::new(), pos, line, col);
+    }
+
+    fn delim(&mut self, kind: TokKind) {
+        let (pos, line, col) = (self.i, self.line, self.col);
+        let text = self.chars[self.i].to_string();
+        self.eat_keep();
+        self.push_tok(kind, text, pos, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (pos, line, col) = (self.i, self.line, self.col);
+        let text = self.chars[self.i].to_string();
+        self.eat_keep();
+        self.push_tok(TokKind::Punct, text, pos, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        lex(src).masked
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = masked("let x = 1; // HashMap\n/* HashSet */ let y = 2;");
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("HashSet"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_mask_to_the_matching_close() {
+        let m = masked("/* a /* HashSet */ b */ fn f() {}");
+        assert!(!m.contains("HashSet"));
+        assert!(!m.contains(" b "), "inner close must not end the comment");
+        assert!(m.contains("fn f() {}"));
+        // Unterminated nesting masks to EOF instead of panicking.
+        let m = masked("/*/* Instant */ fn g() {}");
+        assert!(!m.contains("Instant"));
+        assert!(!m.contains("fn g"));
+    }
+
+    #[test]
+    fn raw_strings_mask_through_the_right_hash_depth() {
+        let m = masked(r####"let s = r#"Instant "quoted" inside"#; let t = 1;"####);
+        assert!(!m.contains("Instant"));
+        assert!(!m.contains("quoted"));
+        assert!(m.contains("let t = 1;"));
+        // A "# inside a ##-delimited raw string does not close it.
+        let m = masked(r####"let s = r##"a "# HashMap b"##; done();"####);
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("done();"));
+        // Raw byte strings too.
+        let m = masked(r####"let s = br#"SystemTime"#; ok();"####);
+        assert!(!m.contains("SystemTime"));
+        assert!(m.contains("ok();"));
+    }
+
+    #[test]
+    fn byte_strings_honor_escapes() {
+        // v1 blind spot: b"\"" was treated as raw, ending at the escaped
+        // quote and swallowing the rest of the line as "code".
+        let m = masked(r#"let s = b"\"Instant\""; let u = 7;"#);
+        assert!(!m.contains("Instant"), "{m}");
+        assert!(m.contains("let u = 7;"), "{m}");
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let m = masked(r"let a = '\''; let b = '\\'; let c = '\u{1F600}'; next();");
+        assert!(m.contains("next();"), "{m}");
+        let m = masked(r"let d = b'\n'; let e = '\x7f'; go();");
+        assert!(m.contains("go();"), "{m}");
+        // A char literal holding a quote or brace must not derail state.
+        let m = masked("let q = '\"'; let r = '{'; still_code();");
+        assert!(m.contains("still_code();"), "{m}");
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let m = masked("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(m.contains("'a"));
+        assert!(m.contains("'static"));
+        let toks = lex("&'static str");
+        assert!(toks.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ids = idents("let r#type = r#match; use r#fn;");
+        assert!(ids.contains(&"r#type".to_string()), "{ids:?}");
+        assert!(ids.contains(&"r#match".to_string()));
+        // And a raw string right after still masks.
+        let m = masked(r####"let r#type = r#"Instant"#; fine();"####);
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("fine();"));
+    }
+
+    #[test]
+    fn masked_output_preserves_length_and_newlines() {
+        let src = "let a = \"x\ny\"; // c\n/* d\ne */ let b = '\\n';\n";
+        let m = masked(src);
+        assert_eq!(m.chars().count(), src.chars().count());
+        assert_eq!(
+            m.chars().filter(|&c| c == '\n').count(),
+            src.chars().filter(|&c| c == '\n').count()
+        );
+    }
+
+    #[test]
+    fn token_spans_and_positions() {
+        let l = lex("fn foo() {\n    bar();\n}");
+        let foo = l.toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col, foo.len), (1, 4, 3));
+        let bar = l.toks.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert_eq!((bar.line, bar.col), (2, 5));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_fields() {
+        let l = lex("for i in 0..n { x.0 += 1.5e-3; }");
+        let texts: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(texts.contains(&"n"));
+        assert!(texts.contains(&"x"));
+        // `..` survived as two puncts.
+        assert!(l.toks.windows(2).any(|w| w[0].is_punct('.') && w[1].is_punct('.')));
+    }
+}

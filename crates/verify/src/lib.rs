@@ -10,11 +10,27 @@
 //! run inside `cargo test -q` (see `tests/verify_lint.rs` at the workspace
 //! root) and as a standalone binary (`cargo run -p ooh-verify`).
 //!
-//! The scanner is deliberately dependency-free: comments and string literals
-//! are stripped with a small state machine, `#[cfg(test)]` regions are
-//! excluded by brace tracking, and the rules are plain token searches. It is
-//! not a parser and does not try to be one — the goal is catching honest
-//! regressions, not adversarial obfuscation.
+//! The scanner is deliberately dependency-free, built in layers (all in
+//! this crate):
+//!
+//! - [`lexer`] — a real Rust lexer producing a token stream with spans and
+//!   a masked copy of the source (comments/literals blanked, layout
+//!   preserved) in one pass; it understands raw strings, byte strings with
+//!   escapes, nested block comments, and char-literal/lifetime ambiguity;
+//! - [`ast`] — a lightweight item parser: `fn` items with body token
+//!   ranges, balanced-delimiter matching, call/method/macro sites;
+//! - [`callgraph`] — a workspace-wide name-based call graph with
+//!   reachability from the registered entry points (vmexit dispatch,
+//!   hypercall table, tracker collect/drain, shootdown broadcasts);
+//! - [`rules`] — the flow rules (`cost-coverage`, `shootdown-complete`,
+//!   `ordered-iter`) on top of the graph, plus the ported token rules
+//!   below;
+//! - [`sarif`] — JSON and SARIF 2.1.0 emitters for the report (the text
+//!   form is [`Violation`]'s `Display`).
+//!
+//! It is still not rustc — the goal is catching honest regressions, not
+//! adversarial obfuscation — but findings now carry file/line/column
+//! spans, rule documentation, and fix hints.
 //!
 //! False positives are suppressed two ways:
 //! - an entry in `verify.allow` at the workspace root
@@ -31,6 +47,15 @@
 //! the shadow accounting.
 
 #![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod callgraph;
+pub mod lexer;
+pub mod rules;
+pub mod sarif;
+
+use ast::ParsedFile;
+use callgraph::CallGraph;
 
 use std::cell::Cell;
 use std::collections::BTreeSet;
@@ -62,46 +87,85 @@ pub const GUEST_SIDE_CRATES: &[&str] = &["guest", "core", "criu", "gc", "secheap
 /// Crates whose non-test code must not panic on recoverable errors.
 pub const NO_PANIC_CRATES: &[&str] = &["core", "machine", "hypervisor"];
 
-/// Every lint rule, with its identifier (used in `verify.allow` and inline
-/// markers) and a one-line description for reports.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "det-time",
-        "simulator crates must not read wall-clock time (std::time::Instant/SystemTime)",
-    ),
-    (
-        "det-rand",
-        "simulator crates must not use OS randomness (thread_rng / rand::random)",
-    ),
-    (
-        "det-hash",
-        "simulator crates must not use HashMap/HashSet (iteration order is nondeterministic); use BTreeMap/BTreeSet",
-    ),
-    (
-        "det-par",
-        "parallel maps in simulator/bench crates must merge deterministically (par_map_ordered); unordered par_iter-style reductions are banned",
-    ),
-    (
-        "arch-phys",
-        "guest-side crates must not touch HostPhys; physical memory is reached via the hypervisor API",
-    ),
-    (
-        "arch-cost",
-        "every vmexit/hypercall handler in ooh-hypervisor must charge the cost model",
-    ),
-    (
-        "arch-panic",
-        "core/machine/hypervisor non-test code must not unwrap()/expect(); return errors instead",
-    ),
-    (
-        "stale-allow",
-        "every verify.allow entry and inline allow marker must still match a violation; prune dead exemptions",
-    ),
-    (
-        "feature-gate",
-        "debug-invariants hook bodies must stay behind cfg!(feature = \"debug-invariants\")",
-    ),
+/// One lint rule: its identifier (used in `verify.allow` and inline
+/// markers), a one-line summary for reports, and a fix hint attached to
+/// every finding the rule produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub help: &'static str,
+}
+
+/// Every lint rule. `cost-coverage`, `shootdown-complete`, and
+/// `ordered-iter` are the call-graph flow rules (see [`rules`]);
+/// `cost-coverage` replaces v1's token-level `arch-cost`.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "det-time",
+        summary: "simulator crates must not read wall-clock time (std::time::Instant/SystemTime)",
+        help: "thread the scenario's simulated clock through instead of reading host time",
+    },
+    RuleInfo {
+        id: "det-rand",
+        summary: "simulator crates must not use OS randomness (thread_rng / rand::random)",
+        help: "use the scenario's seeded PRNG so runs replay byte-identically",
+    },
+    RuleInfo {
+        id: "det-hash",
+        summary: "simulator crates must not use HashMap/HashSet (iteration order is nondeterministic); use BTreeMap/BTreeSet",
+        help: "switch the container to BTreeMap/BTreeSet, or justify a lookup-only map in verify.allow",
+    },
+    RuleInfo {
+        id: "det-par",
+        summary: "parallel maps in simulator/bench crates must merge deterministically (par_map_ordered); unordered par_iter-style reductions are banned",
+        help: "route the fan-out through rayon::par_map_ordered so merge order is input order",
+    },
+    RuleInfo {
+        id: "arch-phys",
+        summary: "guest-side crates must not touch HostPhys; physical memory is reached via the hypervisor API",
+        help: "go through the hypervisor/machine API surface; only vmx-root code may hold HostPhys",
+    },
+    RuleInfo {
+        id: "cost-coverage",
+        summary: "every handler reachable from the vmexit/hypercall/tracker entry points must charge the cost model on all success paths",
+        help: "charge the cost model (ctx.charge(lane, event)) on the uncovered path, or call a helper that does",
+    },
+    RuleInfo {
+        id: "shootdown-complete",
+        summary: "every PTE permission-downgrade/teardown site must reach a TLB shootdown, and D-bit destruction must notify the PML shadow",
+        help: "call shootdown_page/shootdown_all after the PTE write, and a note_*_dirty_cleared hook before clearing D bits",
+    },
+    RuleInfo {
+        id: "arch-panic",
+        summary: "core/machine/hypervisor non-test code must not unwrap()/expect(); return errors instead",
+        help: "propagate with `?` or map the error; panics in the simulation core abort whole experiment sweeps",
+    },
+    RuleInfo {
+        id: "ordered-iter",
+        summary: "iteration over unordered containers must not flow into output, counters, or trace emission",
+        help: "sort the keys first, rebuild through a BTreeMap/BTreeSet, or use par_map_ordered",
+    },
+    RuleInfo {
+        id: "stale-allow",
+        summary: "every verify.allow entry and inline allow marker must still match a violation; prune dead exemptions",
+        help: "remove the dead suppression, or run `cargo run -p ooh-verify -- --prune-stale`",
+    },
+    RuleInfo {
+        id: "feature-gate",
+        summary: "debug-invariants hook bodies must stay behind cfg!(feature = \"debug-invariants\")",
+        help: "wrap the hook body in `if cfg!(feature = \"debug-invariants\") { .. }` so release builds compile it out",
+    },
 ];
+
+/// The [`RuleInfo`] for `id` (`stale-allow`'s entry when unknown, which
+/// cannot happen for violations produced by this crate).
+pub fn rule_info(id: &str) -> &'static RuleInfo {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or(&RULES[RULES.len() - 2])
+}
 
 /// Debug-invariants hook sites: functions whose whole body is shadow
 /// accounting or invariant checking. Each must gate on
@@ -124,16 +188,20 @@ pub const GATED_HOOKS: &[&str] = &[
 /// One lint hit, after allowlist filtering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier, one of the first elements of [`RULES`].
+    /// Rule identifier, one of the [`RuleInfo::id`]s in [`RULES`].
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
     /// The offending source line, trimmed.
     pub excerpt: String,
     /// What went wrong.
     pub message: String,
+    /// How to fix it (rule-level default, sharpened by flow rules).
+    pub hint: String,
 }
 
 impl fmt::Display for Violation {
@@ -296,171 +364,12 @@ pub fn prune_stale(allow_text: &str, stale_lines: &BTreeSet<usize>) -> String {
 /// Returns a copy of `src` (same char count, same newlines) where the
 /// contents of comments, string literals, and char literals are replaced by
 /// spaces. Token searches on the result cannot hit documentation or message
-/// text. Handles line/nested-block comments, escapes, raw strings
-/// (`r#".."#`), byte strings, and distinguishes char literals from
-/// lifetimes.
+/// text. This is the [`lexer`]'s masked output: line/nested-block comments,
+/// escapes (including in byte strings — a v1 blind spot), raw (byte)
+/// strings with any hash depth, and char-literal/lifetime disambiguation
+/// all come from the real lexer rather than a parallel state machine.
 pub fn mask_source(src: &str) -> String {
-    let chars: Vec<char> = src.chars().collect();
-    let mut out: Vec<char> = Vec::with_capacity(chars.len());
-    let n = chars.len();
-    let mut i = 0;
-
-    // Push `c` masked: newlines survive (line numbers must map), everything
-    // else becomes a space.
-    fn blank(out: &mut Vec<char>, c: char) {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    }
-
-    while i < n {
-        let c = chars[i];
-        match c {
-            '/' if i + 1 < n && chars[i + 1] == '/' => {
-                while i < n && chars[i] != '\n' {
-                    blank(&mut out, chars[i]);
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < n && chars[i + 1] == '*' => {
-                let mut depth = 0usize;
-                while i < n {
-                    if i + 1 < n && chars[i] == '/' && chars[i + 1] == '*' {
-                        depth += 1;
-                        blank(&mut out, chars[i]);
-                        blank(&mut out, chars[i + 1]);
-                        i += 2;
-                    } else if i + 1 < n && chars[i] == '*' && chars[i + 1] == '/' {
-                        depth -= 1;
-                        blank(&mut out, chars[i]);
-                        blank(&mut out, chars[i + 1]);
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        blank(&mut out, chars[i]);
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                blank(&mut out, c);
-                i += 1;
-                while i < n {
-                    if chars[i] == '\\' && i + 1 < n {
-                        blank(&mut out, chars[i]);
-                        blank(&mut out, chars[i + 1]);
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        blank(&mut out, chars[i]);
-                        i += 1;
-                        break;
-                    } else {
-                        blank(&mut out, chars[i]);
-                        i += 1;
-                    }
-                }
-            }
-            'r' | 'b' if !prev_is_ident(&chars, i) && raw_string_hashes(&chars, i).is_some() => {
-                // r"..", r#".."#, br".." etc. — skip prefix + hashes + body.
-                let (start, hashes) = raw_string_hashes(&chars, i).unwrap();
-                for &ch in &chars[i..start] {
-                    blank(&mut out, ch);
-                }
-                i = start; // now at the opening quote
-                blank(&mut out, chars[i]);
-                i += 1;
-                'raw: while i < n {
-                    if chars[i] == '"' {
-                        let mut k = 0;
-                        while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            for _ in 0..=hashes {
-                                blank(&mut out, chars[i]);
-                                i += 1;
-                            }
-                            break 'raw;
-                        }
-                    }
-                    blank(&mut out, chars[i]);
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime. A char literal is '\x', 'c', or a
-                // multi-char escape; a lifetime is 'ident with no closing
-                // quote right after one char.
-                if i + 1 < n && chars[i + 1] == '\\' {
-                    blank(&mut out, c);
-                    i += 1;
-                    while i < n {
-                        if chars[i] == '\\' && i + 1 < n {
-                            blank(&mut out, chars[i]);
-                            blank(&mut out, chars[i + 1]);
-                            i += 2;
-                        } else if chars[i] == '\'' {
-                            blank(&mut out, chars[i]);
-                            i += 1;
-                            break;
-                        } else {
-                            blank(&mut out, chars[i]);
-                            i += 1;
-                        }
-                    }
-                } else if i + 2 < n && chars[i + 2] == '\'' {
-                    blank(&mut out, chars[i]);
-                    blank(&mut out, chars[i + 1]);
-                    blank(&mut out, chars[i + 2]);
-                    i += 3;
-                } else {
-                    // Lifetime (or stray quote): keep it, it's code.
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out.into_iter().collect()
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// If `chars[i..]` starts a raw (byte) string prefix (`r`, `br`, `rb` is not
-/// legal, `b` alone needs a quote), returns `(index_of_opening_quote,
-/// hash_count)`.
-fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
-    let n = chars.len();
-    let mut j = i;
-    if chars[j] == 'b' {
-        j += 1;
-        if j < n && chars[j] == 'r' {
-            j += 1;
-        } else {
-            // b"..": plain byte string, no hashes.
-            return if j < n && chars[j] == '"' { Some((j, 0)) } else { None };
-        }
-    } else if chars[j] == 'r' {
-        j += 1;
-    } else {
-        return None;
-    }
-    let mut hashes = 0;
-    while j < n && chars[j] == '#' {
-        hashes += 1;
-        j += 1;
-    }
-    if j < n && chars[j] == '"' {
-        Some((j, hashes))
-    } else {
-        None
-    }
+    lexer::lex(src).masked
 }
 
 // ---------------------------------------------------------------------------
@@ -562,52 +471,134 @@ fn line_of(chars: &[char], offset: usize) -> usize {
     1 + chars[..offset].iter().filter(|&&c| c == '\n').count()
 }
 
-fn raw_line(src: &str, line: usize) -> String {
-    src.lines().nth(line - 1).unwrap_or("").trim().to_string()
+/// 1-based char column of `offset` within its line.
+fn col_of(chars: &[char], offset: usize) -> usize {
+    let line_start = chars[..offset]
+        .iter()
+        .rposition(|&c| c == '\n')
+        .map_or(0, |p| p + 1);
+    offset - line_start + 1
 }
 
 // ---------------------------------------------------------------------------
 // Per-file scan
 // ---------------------------------------------------------------------------
 
-struct FileCtx<'a> {
-    crate_name: &'a str,
-    rel_path: &'a str,
-    raw: &'a str,
-    masked_chars: Vec<char>,
-    in_test: Vec<bool>,
-}
-
-/// Scans one source file. `crate_name` is the directory under `crates/`
-/// (`"machine"`, `"sim"`, ...; the workspace-root package scans as `"ooh"`),
-/// `rel_path` is workspace-relative with forward slashes. Returns the
-/// violations after allowlist filtering, plus the count of suppressed hits.
+/// Scans one source file in isolation. `crate_name` is the directory under
+/// `crates/` (`"machine"`, `"sim"`, ...; the workspace-root package scans
+/// as `"ooh"`), `rel_path` is workspace-relative with forward slashes.
+/// Returns the violations after allowlist filtering, plus the count of
+/// suppressed hits. The call graph for the flow rules covers only this one
+/// file — helpers defined elsewhere look like leaves — so whole-workspace
+/// scans go through [`scan_files`]/[`run`] instead.
 pub fn scan_source(
     crate_name: &str,
     rel_path: &str,
     source: &str,
     allow: &Allowlist,
 ) -> (Vec<Violation>, usize) {
-    let masked = mask_source(source);
-    let masked_chars: Vec<char> = masked.chars().collect();
-    let in_test = test_regions(&masked);
-    let ctx = FileCtx {
-        crate_name,
-        rel_path,
-        raw: source,
-        masked_chars,
-        in_test,
-    };
+    let report = scan_files(
+        &[(
+            crate_name.to_string(),
+            rel_path.to_string(),
+            source.to_string(),
+        )],
+        allow,
+    );
+    (report.violations, report.allowed)
+}
+
+/// The scan pipeline over a set of `(crate_name, rel_path, source)` files:
+///
+/// 1. lex + parse every file ([`ast::ParsedFile`]);
+/// 2. run the token rules per file on the masked source;
+/// 3. build the workspace [`CallGraph`] and run the flow rules
+///    (`cost-coverage`, `shootdown-complete`, `ordered-iter`) across all
+///    files at once — cross-file helper calls resolve here;
+/// 4. deduplicate by `(rule, path, line, col)`, filter through the allowlist and
+///    inline markers, report stale markers, and sort by
+///    `(path, line, rule, col)`.
+pub fn scan_files(inputs: &[(String, String, String)], allow: &Allowlist) -> Report {
+    let parsed: Vec<ParsedFile> = inputs
+        .iter()
+        .map(|(crate_name, rel_path, source)| ParsedFile::parse(crate_name, rel_path, source))
+        .collect();
 
     let mut raw_hits: Vec<Violation> = Vec::new();
+    for file in &parsed {
+        token_rules(file, &mut raw_hits);
+    }
+    let graph = CallGraph::build(&parsed);
+    raw_hits.extend(rules::cost::check(&parsed, &graph));
+    raw_hits.extend(rules::shootdown::check(&parsed, &graph));
+    raw_hits.extend(rules::order::check(&parsed, &graph));
 
+    raw_hits.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
+    raw_hits.dedup_by(|a, b| {
+        a.rule == b.rule && a.path == b.path && a.line == b.line && a.col == b.col
+    });
+
+    let mut report = Report {
+        files_scanned: parsed.len(),
+        ..Report::default()
+    };
+    // (path, line, rule) triples whose hit an inline marker suppressed —
+    // consulted below to decide which markers are stale.
+    let mut inline_used: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    for v in raw_hits {
+        let line_text = parsed
+            .iter()
+            .find(|f| f.rel_path == v.path)
+            .and_then(|f| f.source.lines().nth(v.line - 1))
+            .unwrap_or("");
+        match allow.permit(v.rule, &v.path, line_text) {
+            Permit::Inline => {
+                inline_used.insert((v.path.clone(), v.line, v.rule));
+                report.allowed += 1;
+            }
+            Permit::Entry => report.allowed += 1,
+            Permit::No => report.violations.push(v),
+        }
+    }
+    for file in &parsed {
+        for (line, tok) in inline_markers(&file.source, &file.in_test) {
+            let used = inline_used
+                .iter()
+                .any(|(p, l, r)| p == &file.rel_path && *l == line && (tok == "all" || tok == *r));
+            if !used {
+                report.violations.push(Violation {
+                    rule: "stale-allow",
+                    path: file.rel_path.clone(),
+                    line,
+                    col: 1,
+                    excerpt: file.raw_line(line),
+                    message: format!(
+                        "inline marker `allow({tok})` suppresses nothing on this line; remove it"
+                    ),
+                    hint: rule_info("stale-allow").help.to_string(),
+                });
+            }
+        }
+    }
+    report.violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
+    report
+}
+
+/// The per-file token rules (everything that doesn't need the call graph),
+/// pushed as raw hits for [`scan_files`] to filter.
+fn token_rules(file: &ParsedFile, out: &mut Vec<Violation>) {
+    let crate_name = file.crate_name.as_str();
     if SIM_CRATES.contains(&crate_name) {
-        token_rule(&ctx, &mut raw_hits, "det-time", "Instant", "wall-clock time via std::time::Instant breaks replayability");
-        token_rule(&ctx, &mut raw_hits, "det-time", "SystemTime", "wall-clock time via SystemTime breaks replayability");
-        token_rule(&ctx, &mut raw_hits, "det-rand", "thread_rng", "OS-seeded RNG; use the scenario's seeded PRNG");
-        token_rule(&ctx, &mut raw_hits, "det-rand", "rand::random", "OS-seeded RNG; use the scenario's seeded PRNG");
-        token_rule(&ctx, &mut raw_hits, "det-hash", "HashMap", "iteration order varies per process; use BTreeMap");
-        token_rule(&ctx, &mut raw_hits, "det-hash", "HashSet", "iteration order varies per process; use BTreeSet");
+        token_rule(file, out, "det-time", "Instant", "wall-clock time via std::time::Instant breaks replayability");
+        token_rule(file, out, "det-time", "SystemTime", "wall-clock time via SystemTime breaks replayability");
+        token_rule(file, out, "det-rand", "thread_rng", "OS-seeded RNG; use the scenario's seeded PRNG");
+        token_rule(file, out, "det-rand", "rand::random", "OS-seeded RNG; use the scenario's seeded PRNG");
+        token_rule(file, out, "det-hash", "HashMap", "iteration order varies per process; use BTreeMap");
+        token_rule(file, out, "det-hash", "HashSet", "iteration order varies per process; use BTreeSet");
     }
     // Deterministic parallelism: the fan-out drivers (bench binaries) and
     // every simulation crate may only parallelize through an ordered merge
@@ -615,59 +606,18 @@ pub fn scan_source(
     // all imply a merge order that depends on thread timing — exactly what
     // the byte-identical-output tests cannot tolerate.
     if SIM_CRATES.contains(&crate_name) || crate_name == "bench" {
-        token_rule(&ctx, &mut raw_hits, "det-par", "par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
-        token_rule(&ctx, &mut raw_hits, "det-par", "into_par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
-        token_rule(&ctx, &mut raw_hits, "det-par", "par_bridge", "unordered parallel bridge; use rayon::par_map_ordered (deterministic ordered merge)");
+        token_rule(file, out, "det-par", "par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
+        token_rule(file, out, "det-par", "into_par_iter", "unordered parallel iteration; use rayon::par_map_ordered (deterministic ordered merge)");
+        token_rule(file, out, "det-par", "par_bridge", "unordered parallel bridge; use rayon::par_map_ordered (deterministic ordered merge)");
     }
     if GUEST_SIDE_CRATES.contains(&crate_name) {
-        token_rule(&ctx, &mut raw_hits, "arch-phys", "HostPhys", "guest-side code must go through the hypervisor API, not raw host-physical memory");
+        token_rule(file, out, "arch-phys", "HostPhys", "guest-side code must go through the hypervisor API, not raw host-physical memory");
     }
     if NO_PANIC_CRATES.contains(&crate_name) {
-        substr_rule(&ctx, &mut raw_hits, "arch-panic", ".unwrap()", "propagate the error instead of panicking");
-        substr_rule(&ctx, &mut raw_hits, "arch-panic", ".expect(", "propagate the error instead of panicking");
+        substr_rule(file, out, "arch-panic", ".unwrap()", "propagate the error instead of panicking");
+        substr_rule(file, out, "arch-panic", ".expect(", "propagate the error instead of panicking");
     }
-    if crate_name == "hypervisor" {
-        cost_model_rule(&ctx, &mut raw_hits);
-    }
-    if crate_name == "guest" {
-        shootdown_cost_rule(&ctx, &mut raw_hits);
-    }
-    feature_gate_rule(&ctx, &mut raw_hits);
-
-    let mut allowed = 0usize;
-    let mut violations = Vec::new();
-    // (line, rule) pairs whose hit an inline marker suppressed — consulted
-    // below to decide which markers are stale.
-    let mut inline_used: BTreeSet<(usize, &'static str)> = BTreeSet::new();
-    for v in raw_hits {
-        let line_text = source.lines().nth(v.line - 1).unwrap_or("");
-        match allow.permit(v.rule, rel_path, line_text) {
-            Permit::Inline => {
-                inline_used.insert((v.line, v.rule));
-                allowed += 1;
-            }
-            Permit::Entry => allowed += 1,
-            Permit::No => violations.push(v),
-        }
-    }
-    for (line, tok) in inline_markers(source, &ctx.in_test) {
-        let used = inline_used
-            .iter()
-            .any(|&(l, r)| l == line && (tok == "all" || tok == r));
-        if !used {
-            violations.push(Violation {
-                rule: "stale-allow",
-                path: rel_path.to_string(),
-                line,
-                excerpt: raw_line(source, line),
-                message: format!(
-                    "inline marker `allow({tok})` suppresses nothing on this line; remove it"
-                ),
-            });
-        }
-    }
-    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    (violations, allowed)
+    feature_gate_rule(file, out);
 }
 
 /// Finds inline `// ooh-verify: allow(<rule>)` markers in non-test code, as
@@ -695,7 +645,7 @@ fn inline_markers(raw: &str, in_test: &[bool]) -> Vec<(usize, String)> {
         let tok: String = chars[tok_start..j].iter().collect();
         let valid = j < chars.len()
             && chars[j] == ')'
-            && (tok == "all" || RULES.iter().any(|(r, _)| *r == tok));
+            && (tok == "all" || RULES.iter().any(|r| r.id == tok));
         let line_start = chars[..start]
             .iter()
             .rposition(|&c| c == '\n')
@@ -710,23 +660,25 @@ fn inline_markers(raw: &str, in_test: &[bool]) -> Vec<(usize, String)> {
 }
 
 fn token_rule(
-    ctx: &FileCtx<'_>,
+    file: &ParsedFile,
     out: &mut Vec<Violation>,
     rule: &'static str,
     needle: &str,
     message: &str,
 ) {
-    for off in find_tokens(&ctx.masked_chars, needle) {
-        if ctx.in_test[off] {
+    for off in find_tokens(&file.masked_chars, needle) {
+        if file.in_test[off] {
             continue;
         }
-        let line = line_of(&ctx.masked_chars, off);
+        let line = line_of(&file.masked_chars, off);
         out.push(Violation {
             rule,
-            path: ctx.rel_path.to_string(),
+            path: file.rel_path.clone(),
             line,
-            excerpt: raw_line(ctx.raw, line),
-            message: format!("`{needle}` in crate `{}`: {message}", ctx.crate_name),
+            col: col_of(&file.masked_chars, off),
+            excerpt: file.raw_line(line),
+            message: format!("`{needle}` in crate `{}`: {message}", file.crate_name),
+            hint: rule_info(rule).help.to_string(),
         });
     }
 }
@@ -734,228 +686,28 @@ fn token_rule(
 /// Like [`token_rule`] but for needles that start/end with punctuation
 /// (`.unwrap()`), where token boundaries don't apply.
 fn substr_rule(
-    ctx: &FileCtx<'_>,
+    file: &ParsedFile,
     out: &mut Vec<Violation>,
     rule: &'static str,
     needle: &str,
     message: &str,
 ) {
     let nd: Vec<char> = needle.chars().collect();
-    let hc = &ctx.masked_chars;
+    let hc = &file.masked_chars;
     if hc.len() < nd.len() {
         return;
     }
     for i in 0..=hc.len() - nd.len() {
-        if hc[i..i + nd.len()] == nd[..] && !ctx.in_test[i] {
+        if hc[i..i + nd.len()] == nd[..] && !file.in_test[i] {
             let line = line_of(hc, i);
             out.push(Violation {
                 rule,
-                path: ctx.rel_path.to_string(),
+                path: file.rel_path.clone(),
                 line,
-                excerpt: raw_line(ctx.raw, line),
-                message: format!("`{needle})` in crate `{}`: {message}", ctx.crate_name),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// arch-cost: handlers must charge the cost model
-// ---------------------------------------------------------------------------
-
-/// Two checks on `ooh-hypervisor` sources:
-/// 1. every `fn handle_*` / `fn hypercall` body must mention `charge`;
-/// 2. every `Hypercall::Variant => ...` match arm must mention `charge`
-///    (a hypercall that costs nothing would make a technique look free).
-fn cost_model_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
-    let hc = &ctx.masked_chars;
-
-    for off in find_tokens(hc, "fn") {
-        if ctx.in_test[off] {
-            continue;
-        }
-        // Identifier after `fn`.
-        let mut j = off + 2;
-        while j < hc.len() && hc[j].is_whitespace() {
-            j += 1;
-        }
-        let start = j;
-        while j < hc.len() && is_ident_char(hc[j]) {
-            j += 1;
-        }
-        let name: String = hc[start..j].iter().collect();
-        if !(name.starts_with("handle_") || name == "hypercall") {
-            continue;
-        }
-        // Find the body: first `{` before a `;` (a `;` first means a trait
-        // method declaration with no body — nothing to check).
-        let mut k = j;
-        let mut body = None;
-        while k < hc.len() {
-            match hc[k] {
-                '{' => {
-                    body = balanced_region(hc, k);
-                    break;
-                }
-                ';' => break,
-                _ => k += 1,
-            }
-        }
-        let Some((bstart, bend)) = body else { continue };
-        let body_text: String = hc[bstart..bend].iter().collect();
-        if !body_text.contains("charge") {
-            let line = line_of(hc, off);
-            out.push(Violation {
-                rule: "arch-cost",
-                path: ctx.rel_path.to_string(),
-                line,
-                excerpt: raw_line(ctx.raw, line),
-                message: format!(
-                    "handler `{name}` never charges the cost model; every vmexit/hypercall path must account its cycles"
-                ),
-            });
-        }
-        if name == "hypercall" {
-            hypercall_arms_rule(ctx, out, bstart, bend);
-        }
-    }
-}
-
-/// Checks each `Hypercall::X ... => arm` inside the hypercall dispatcher.
-fn hypercall_arms_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>, bstart: usize, bend: usize) {
-    let hc = &ctx.masked_chars;
-    let needle: Vec<char> = "Hypercall::".chars().collect();
-    let mut i = bstart;
-    while i + needle.len() <= bend {
-        if hc[i..i + needle.len()] != needle[..] {
-            i += 1;
-            continue;
-        }
-        let pat_start = i;
-        let mut j = i + needle.len();
-        // Skip over the rest of the pattern: idents, whitespace, `::`, `|`,
-        // `&`, and balanced groups (destructuring like `{ dst, len }` or
-        // `(x)`). If the next meaningful token is `=>`, this is a match arm.
-        loop {
-            if j >= bend {
-                break;
-            }
-            let c = hc[j];
-            if c.is_whitespace() || is_ident_char(c) || c == ':' || c == '|' || c == '&' {
-                j += 1;
-            } else if c == '{' || c == '(' || c == '[' {
-                match balanced_region(hc, j) {
-                    Some((_, end)) => j = end,
-                    None => break,
-                }
-            } else {
-                break;
-            }
-        }
-        let is_arm = j + 1 < bend && hc[j] == '=' && hc[j + 1] == '>';
-        if !is_arm {
-            i = j.max(i + 1);
-            continue;
-        }
-        // Arm body: a block, or an expression up to a depth-0 comma / the
-        // closing brace of the match.
-        let mut k = j + 2;
-        while k < bend && hc[k].is_whitespace() {
-            k += 1;
-        }
-        let (astart, aend) = if k < bend && hc[k] == '{' {
-            balanced_region(hc, k).unwrap_or((k, bend))
-        } else {
-            let mut depth = 0i32;
-            let mut e = k;
-            while e < bend {
-                match hc[e] {
-                    '{' | '(' | '[' => depth += 1,
-                    '}' | ')' | ']' => {
-                        if depth == 0 {
-                            break;
-                        }
-                        depth -= 1;
-                    }
-                    ',' if depth == 0 => break,
-                    _ => {}
-                }
-                e += 1;
-            }
-            (k, e)
-        };
-        let arm_text: String = hc[astart..aend].iter().collect();
-        if !arm_text.contains("charge") && !ctx.in_test[pat_start] {
-            let line = line_of(hc, pat_start);
-            let variant: String = {
-                let mut v = String::from("Hypercall::");
-                let mut p = pat_start + needle.len();
-                while p < bend && is_ident_char(hc[p]) {
-                    v.push(hc[p]);
-                    p += 1;
-                }
-                v
-            };
-            out.push(Violation {
-                rule: "arch-cost",
-                path: ctx.rel_path.to_string(),
-                line,
-                excerpt: raw_line(ctx.raw, line),
-                message: format!("match arm for `{variant}` never charges the cost model"),
-            });
-        }
-        i = aend.max(i + 1);
-    }
-}
-
-/// Guest-crate companion to [`cost_model_rule`]: every `fn shootdown*` body
-/// in `ooh-guest` must mention `charge` — a cross-vCPU TLB shootdown that
-/// costs nothing would make SMP invalidation look free, when the calibrated
-/// IPI round trip (send, remote handler, wait-for-ack) is exactly what the
-/// Kernel lane pays per remote core.
-fn shootdown_cost_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
-    let hc = &ctx.masked_chars;
-
-    for off in find_tokens(hc, "fn") {
-        if ctx.in_test[off] {
-            continue;
-        }
-        let mut j = off + 2;
-        while j < hc.len() && hc[j].is_whitespace() {
-            j += 1;
-        }
-        let start = j;
-        while j < hc.len() && is_ident_char(hc[j]) {
-            j += 1;
-        }
-        let name: String = hc[start..j].iter().collect();
-        if !name.starts_with("shootdown") {
-            continue;
-        }
-        let mut k = j;
-        let mut body = None;
-        while k < hc.len() {
-            match hc[k] {
-                '{' => {
-                    body = balanced_region(hc, k);
-                    break;
-                }
-                ';' => break,
-                _ => k += 1,
-            }
-        }
-        let Some((bstart, bend)) = body else { continue };
-        let body_text: String = hc[bstart..bend].iter().collect();
-        if !body_text.contains("charge") {
-            let line = line_of(hc, off);
-            out.push(Violation {
-                rule: "arch-cost",
-                path: ctx.rel_path.to_string(),
-                line,
-                excerpt: raw_line(ctx.raw, line),
-                message: format!(
-                    "shootdown path `{name}` never charges the cost model; cross-vCPU invalidation must pay the Kernel lane's IPI cost per remote core"
-                ),
+                col: col_of(hc, i),
+                excerpt: file.raw_line(line),
+                message: format!("`{needle})` in crate `{}`: {message}", file.crate_name),
+                hint: rule_info(rule).help.to_string(),
             });
         }
     }
@@ -967,81 +719,36 @@ fn shootdown_cost_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
 
 /// Every function named in [`GATED_HOOKS`] must keep its body behind
 /// `cfg!(feature = "debug-invariants")`. The check is two-part because
-/// masking blanks string literals: the masked body must contain a `cfg!`
-/// token (the gate exists) and the *raw* body must contain the
+/// masking blanks string literals: the body must contain a `cfg!` macro
+/// token (the gate exists) and the *raw* body text must contain the
 /// `debug-invariants` feature name (it gates on the right feature).
-fn feature_gate_rule(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
-    let hc = &ctx.masked_chars;
-    let raw_chars: Vec<char> = ctx.raw.chars().collect();
-
-    for off in find_tokens(hc, "fn") {
-        if ctx.in_test[off] {
+fn feature_gate_rule(file: &ParsedFile, out: &mut Vec<Violation>) {
+    for f in &file.fns {
+        if f.in_test || !GATED_HOOKS.contains(&f.name.as_str()) {
             continue;
         }
-        let mut j = off + 2;
-        while j < hc.len() && hc[j].is_whitespace() {
-            j += 1;
-        }
-        let start = j;
-        while j < hc.len() && is_ident_char(hc[j]) {
-            j += 1;
-        }
-        let name: String = hc[start..j].iter().collect();
-        if !GATED_HOOKS.contains(&name.as_str()) {
-            continue;
-        }
-        let mut k = j;
-        let mut body = None;
-        while k < hc.len() {
-            match hc[k] {
-                '{' => {
-                    body = balanced_region(hc, k);
-                    break;
-                }
-                ';' => break,
-                _ => k += 1,
-            }
-        }
-        let Some((bstart, bend)) = body else { continue };
-        let masked_body: String = hc[bstart..bend].iter().collect();
-        let raw_body: String = raw_chars[bstart..bend].iter().collect();
-        if !(masked_body.contains("cfg!") && raw_body.contains("debug-invariants")) {
-            let line = line_of(hc, off);
+        let Some((open, close)) = f.body else { continue };
+        let has_cfg = file.calls_in(open + 1, close).iter().any(|c| {
+            c.kind == ast::CallKind::Macro && file.toks[c.tok].text == "cfg"
+        });
+        let lo = file.toks[open].pos;
+        let hi = file.toks[close].pos + 1;
+        let raw_body: String = file.source.chars().skip(lo).take(hi - lo).collect();
+        if !(has_cfg && raw_body.contains("debug-invariants")) {
             out.push(Violation {
                 rule: "feature-gate",
-                path: ctx.rel_path.to_string(),
-                line,
-                excerpt: raw_line(ctx.raw, line),
+                path: file.rel_path.clone(),
+                line: f.line,
+                col: f.col,
+                excerpt: file.raw_line(f.line),
                 message: format!(
-                    "debug hook `{name}` must gate its body behind cfg!(feature = \"debug-invariants\")"
+                    "debug hook `{}` must gate its body behind cfg!(feature = \"debug-invariants\")",
+                    f.name
                 ),
+                hint: rule_info("feature-gate").help.to_string(),
             });
         }
     }
-}
-
-/// Given `chars[open]` in `{ ( [`, returns `(open, one_past_matching_close)`.
-fn balanced_region(chars: &[char], open: usize) -> Option<(usize, usize)> {
-    let (o, c) = match chars[open] {
-        '{' => ('{', '}'),
-        '(' => ('(', ')'),
-        '[' => ('[', ']'),
-        _ => return None,
-    };
-    let mut depth = 0usize;
-    let mut i = open;
-    while i < chars.len() {
-        if chars[i] == o {
-            depth += 1;
-        } else if chars[i] == c {
-            depth -= 1;
-            if depth == 0 {
-                return Some((open, i + 1));
-            }
-        }
-        i += 1;
-    }
-    None
 }
 
 // ---------------------------------------------------------------------------
@@ -1053,7 +760,6 @@ fn balanced_region(chars: &[char], open: usize) -> Option<(usize, usize)> {
 /// directories are integration-test/bench code and exempt by construction.
 pub fn run(root: &Path) -> io::Result<Report> {
     let allow = Allowlist::load(&root.join("verify.allow"));
-    let mut report = Report::default();
 
     let mut targets: Vec<(String, PathBuf)> = vec![("ooh".to_string(), root.join("src"))];
     let crates_dir = root.join("crates");
@@ -1072,6 +778,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
         }
     }
 
+    let mut inputs: Vec<(String, String, String)> = Vec::new();
     for (crate_name, dir) in targets {
         let mut files = Vec::new();
         collect_rs_files(&dir, &mut files)?;
@@ -1083,12 +790,10 @@ pub fn run(root: &Path) -> io::Result<Report> {
                 .to_string_lossy()
                 .replace('\\', "/");
             let source = fs::read_to_string(&path)?;
-            let (mut vs, allowed) = scan_source(&crate_name, &rel, &source, &allow);
-            report.files_scanned += 1;
-            report.allowed += allowed;
-            report.violations.append(&mut vs);
+            inputs.push((crate_name.clone(), rel, source));
         }
     }
+    let mut report = scan_files(&inputs, &allow);
     // An allow entry that matched nothing across the whole walk is dead
     // weight: it either outlived the code it exempted or never matched at
     // all (typo'd suffix/substring), and in both cases it could silently
@@ -1098,13 +803,15 @@ pub fn run(root: &Path) -> io::Result<Report> {
             rule: "stale-allow",
             path: "verify.allow".to_string(),
             line,
+            col: 1,
             excerpt: text.clone(),
             message: format!("allow entry matches no current violation: `{text}`"),
+            hint: rule_info("stale-allow").help.to_string(),
         });
     }
-    report
-        .violations
-        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+    report.violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
     Ok(report)
 }
 
@@ -1256,7 +963,7 @@ mod tests {
         let src = "impl H {\n    pub fn handle_pml_full(&mut self) -> R { self.drain() }\n}\n";
         let vs = scan("hypervisor", src);
         assert_eq!(vs.len(), 1, "{vs:?}");
-        assert_eq!(vs[0].rule, "arch-cost");
+        assert_eq!(vs[0].rule, "cost-coverage");
         let src = "impl H {\n    pub fn handle_pml_full(&mut self) -> R { self.ctx.charge(l, e); self.drain() }\n}\n";
         assert!(scan("hypervisor", src).is_empty());
     }
@@ -1266,12 +973,13 @@ mod tests {
         let src = "impl K {\n    pub fn shootdown_all(&self, hv: &mut Hypervisor) { self.flush(hv) }\n}\n";
         let vs = scan("guest", src);
         assert_eq!(vs.len(), 1, "{vs:?}");
-        assert_eq!(vs[0].rule, "arch-cost");
+        assert_eq!(vs[0].rule, "cost-coverage");
         assert!(vs[0].message.contains("shootdown_all"));
         let src = "impl K {\n    pub fn shootdown_page(&self, hv: &mut Hypervisor) { ctx.charge(l, Event::TlbShootdownIpi); }\n}\n";
         assert!(scan("guest", src).is_empty());
-        // The rule is guest-side only: other crates may name helpers
-        // `shootdown_*` without being the charging site.
+        // The strict tier is guest `shootdown_page`/`shootdown_all` only:
+        // other crates may name helpers `shootdown_*` without being the
+        // charging site.
         let src = "fn shootdown_flush_all(&mut self) { self.flush() }";
         assert!(scan("machine", src).is_empty());
     }

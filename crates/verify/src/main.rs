@@ -1,22 +1,56 @@
-//! CLI entry point: `cargo run -p ooh-verify [--prune-stale] [workspace-root]`.
+//! CLI entry point:
+//! `cargo run -p ooh-verify [--prune-stale] [--format text|json|sarif] [--output FILE] [workspace-root]`.
 //!
-//! Prints every violation and exits 1 if any are found, 0 on a clean tree —
-//! suitable for CI and pre-commit hooks. Printing to stdout is this tool's
-//! output contract. `--prune-stale` rewrites `verify.allow` without the
-//! entries the `stale-allow` rule flagged, then re-scans and reports on the
-//! pruned tree.
+//! The default (text) mode prints every violation and exits 1 if any are
+//! found, 0 on a clean tree — suitable for CI and pre-commit hooks, and
+//! byte-compatible with v1 output. `--format json` / `--format sarif` emit
+//! the structured report instead (to stdout, or to `--output FILE`); the
+//! exit code contract is the same in every format. `--prune-stale` rewrites
+//! `verify.allow` without the entries the `stale-allow` rule flagged, then
+//! re-scans and reports on the pruned tree.
 #![allow(clippy::print_stdout)]
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut prune = false;
-    for arg in std::env::args().skip(1) {
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--prune-stale" => prune = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "ooh-verify: --format takes text|json|sarif, got {:?}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--output" => {
+                let Some(path) = args.next() else {
+                    eprintln!("ooh-verify: --output takes a file path");
+                    return ExitCode::from(2);
+                };
+                output = Some(PathBuf::from(path));
+            }
             other => root = Some(PathBuf::from(other)),
         }
     }
@@ -80,23 +114,61 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    for v in &report.violations {
-        println!("{v}");
+    match format {
+        Format::Text => {
+            let mut text = String::new();
+            for v in &report.violations {
+                text.push_str(&format!("{v}\n"));
+            }
+            text.push_str(&format!(
+                "ooh-verify: {} files scanned, {} violation(s), {} allowlisted\n",
+                report.files_scanned,
+                report.violations.len(),
+                report.allowed
+            ));
+            if !report.is_clean() {
+                text.push_str("rules:\n");
+                for rule in ooh_verify::RULES {
+                    text.push_str(&format!("  {:<18} {}\n", rule.id, rule.summary));
+                }
+                text.push_str("suppress with verify.allow or `// ooh-verify: allow(<rule>)` — see crates/verify/src/lib.rs\n");
+            }
+            if !emit(&text, output.as_deref()) {
+                return ExitCode::from(2);
+            }
+        }
+        Format::Json => {
+            if !emit(&ooh_verify::sarif::to_json(&report), output.as_deref()) {
+                return ExitCode::from(2);
+            }
+        }
+        Format::Sarif => {
+            if !emit(&ooh_verify::sarif::to_sarif(&report), output.as_deref()) {
+                return ExitCode::from(2);
+            }
+        }
     }
-    println!(
-        "ooh-verify: {} files scanned, {} violation(s), {} allowlisted",
-        report.files_scanned,
-        report.violations.len(),
-        report.allowed
-    );
+
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        println!("rules:");
-        for (rule, desc) in ooh_verify::RULES {
-            println!("  {rule:<10} {desc}");
-        }
-        println!("suppress with verify.allow or `// ooh-verify: allow(<rule>)` — see crates/verify/src/lib.rs");
         ExitCode::FAILURE
+    }
+}
+
+/// Writes `text` to `path` (or stdout). Returns false on an I/O error.
+fn emit(text: &str, path: Option<&std::path::Path>) -> bool {
+    match path {
+        Some(p) => match std::fs::write(p, text) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("ooh-verify: writing {}: {e}", p.display());
+                false
+            }
+        },
+        None => {
+            print!("{text}");
+            true
+        }
     }
 }

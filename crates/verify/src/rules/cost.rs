@@ -1,0 +1,410 @@
+//! `cost-coverage`: every handler reachable from the registered entry
+//! points must charge the cost model — the call-graph upgrade of v1's
+//! token-level `arch-cost`.
+//!
+//! Two tiers, chosen per entry shape:
+//!
+//! - **Strict (all success paths)** for the hypervisor's `handle_*` /
+//!   `hypercall` bodies and the guest's `shootdown_page`/`shootdown_all`
+//!   broadcast helpers: a branch-sensitive walk over the segment tree
+//!   checks that every path that returns *successfully* includes a call
+//!   that (transitively, via the call graph) reaches `charge`. Error-shaped
+//!   exits — `?`, `return Err(..)`, `None`, and `HypercallResult::Invalid`
+//!   guard rejections — are exempt: the simulator charges for work done,
+//!   and a rejected hypercall's cost is the vmexit round trip its caller
+//!   already accounted. Each `Hypercall::X => ..` arm of the dispatcher is
+//!   additionally checked on its own, so "added a variant, forgot the
+//!   charge" is caught at the arm, not smeared over the whole function.
+//! - **Weak (reaches a charge at all)** for the guest fault/IPI handlers
+//!   and the tracker `collect`/`drain_*` surface in core, where charging
+//!   legitimately lives several calls down (pagemap walks, ring drains)
+//!   and per-path precision would only manufacture noise.
+//!
+//! The charging set is the call-graph fixpoint of "mentions a call named
+//! `charge`", so helpers like `invlpg` (which charges inside) satisfy the
+//! strict walk at their call sites.
+
+use std::collections::BTreeSet;
+
+use crate::ast::ParsedFile;
+use crate::callgraph::CallGraph;
+use crate::rules::{match_arms, split_block, violation_at, Seg};
+use crate::lexer::TokKind;
+use crate::{Violation, SIM_CRATES};
+
+pub const RULE: &str = "cost-coverage";
+const HINT: &str = "charge the cost model (ctx.charge(lane, event)) on this path, or call a helper that does; suppress with verify.allow if the path is genuinely free";
+
+pub fn check(files: &[ParsedFile], graph: &CallGraph) -> Vec<Violation> {
+    let charging = graph.names_reaching("charge", files);
+    let reachable = graph.reachable_from_entries(files);
+    let mut out = Vec::new();
+
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let file = &files[node.file];
+        let crate_name = file.crate_name.as_str();
+        let name = node.name.as_str();
+        let strict = (crate_name == "hypervisor"
+            && (name == "hypercall" || name.starts_with("handle_")))
+            || (crate_name == "guest" && (name == "shootdown_page" || name == "shootdown_all"));
+        let weak = (crate_name == "guest" && name.starts_with("handle_"))
+            || (crate_name == "core" && (name == "collect" || name.starts_with("drain_")))
+            || (name.starts_with("handle_")
+                && SIM_CRATES.contains(&crate_name)
+                && reachable.contains(&id));
+        if !strict && !weak {
+            continue;
+        }
+        let f = &file.fns[node.fn_idx];
+        let Some((lo, hi)) = file.body_inner(f) else {
+            continue;
+        };
+        let charges_at_all = node.callees.iter().any(|c| charging.contains(c));
+        if !charges_at_all {
+            out.push(violation_at(
+                file,
+                f.fn_tok,
+                RULE,
+                format!(
+                    "handler `{name}` never charges the cost model, directly or through any callee — every entry-point path must account its cycles"
+                ),
+                HINT,
+            ));
+            continue;
+        }
+        if !strict {
+            continue;
+        }
+        let mut st = PathState {
+            file,
+            charging: &charging,
+            gaps: Vec::new(),
+        };
+        let definite = analyze_block(&mut st, lo, hi, false);
+        for (tok, desc) in &st.gaps {
+            out.push(violation_at(
+                file,
+                *tok,
+                RULE,
+                format!("{desc} in handler `{name}`"),
+                HINT,
+            ));
+        }
+        if name == "hypercall" && crate_name == "hypervisor" {
+            check_hypercall_arms(file, lo, hi, &charging, &mut out);
+        } else if !definite && st.gaps.is_empty() && !tail_err_shaped(&mut st, lo, hi) {
+            out.push(violation_at(
+                file,
+                f.fn_tok,
+                RULE,
+                format!(
+                    "some success path through handler `{name}` returns without charging the cost model"
+                ),
+                HINT,
+            ));
+        }
+    }
+    out
+}
+
+struct PathState<'a> {
+    file: &'a ParsedFile,
+    charging: &'a BTreeSet<String>,
+    /// `(return token, description)` per uncovered success return.
+    gaps: Vec<(usize, String)>,
+}
+
+/// Branch-sensitive coverage walk. Returns true when every fall-through
+/// path of `lo..hi` definitely includes a charging call; records a gap for
+/// every unconditional success `return` not covered by then.
+fn analyze_block(st: &mut PathState<'_>, lo: usize, hi: usize, prefix_charged: bool) -> bool {
+    let segs = split_block(&st.file.toks, &st.file.matching, lo, hi);
+    let mut charged = prefix_charged;
+    for seg in &segs {
+        if charged {
+            return true;
+        }
+        match seg {
+            Seg::Plain { lo, hi } => {
+                let charging_here = seg_charges(st, *lo, *hi);
+                if let Some(ret_tok) = top_level_return(st, *lo, *hi) {
+                    if !charging_here && !range_err_shaped(st, *lo, *hi) {
+                        st.gaps.push((
+                            ret_tok,
+                            "success return without a cost-model charge".to_string(),
+                        ));
+                    }
+                    // Control exits the function here; nothing falls through.
+                    return true;
+                }
+                if charging_here {
+                    charged = true;
+                }
+            }
+            Seg::Branch {
+                arms, exhaustive, ..
+            } => {
+                let mut all = *exhaustive;
+                for &(alo, ahi) in arms {
+                    let d = analyze_block(st, alo, ahi, charged);
+                    all = all && d;
+                }
+                if all {
+                    charged = true;
+                }
+            }
+            Seg::Loop { body, .. } => {
+                // The body may run zero times: analyze for gaps, never for
+                // coverage.
+                let _ = analyze_block(st, body.0, body.1, charged);
+            }
+        }
+    }
+    charged
+}
+
+/// Any call in `lo..hi` (any nesting) whose name is in the charging set.
+fn seg_charges(st: &PathState<'_>, lo: usize, hi: usize) -> bool {
+    st.file
+        .calls_in(lo, hi)
+        .iter()
+        .any(|c| st.charging.contains(&st.file.toks[c.tok].text))
+}
+
+/// A `return` token at the top nesting level of the segment (conditional
+/// returns inside `{..}` groups — let-else bodies, closures — don't count;
+/// their blocks are analyzed where they are branches).
+fn top_level_return(st: &PathState<'_>, lo: usize, hi: usize) -> Option<usize> {
+    let toks = &st.file.toks;
+    let mut i = lo;
+    while i < hi {
+        match toks[i].kind {
+            TokKind::Open => {
+                let m = st.file.matching[i];
+                if m == crate::ast::NO_MATCH || m >= hi {
+                    return None;
+                }
+                i = m + 1;
+            }
+            TokKind::Ident if toks[i].text == "return" => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Error-shaped range: mentions `Err`, `None`, or an `Invalid`-named
+/// variant anywhere (including inside groups — the payload of a `return`).
+fn range_err_shaped(st: &PathState<'_>, lo: usize, hi: usize) -> bool {
+    st.file.toks[lo..hi.min(st.file.toks.len())].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (t.text == "Err" || t.text == "None" || t.text.contains("Invalid"))
+    })
+}
+
+/// True when the final top-level segment of the block is error-shaped (an
+/// `Err(..)`-ish tail is an error exit, exempt like `return Err`).
+fn tail_err_shaped(st: &mut PathState<'_>, lo: usize, hi: usize) -> bool {
+    let segs = split_block(&st.file.toks, &st.file.matching, lo, hi);
+    match segs.last() {
+        Some(Seg::Plain { lo, hi }) => range_err_shaped(st, *lo, *hi),
+        _ => false,
+    }
+}
+
+/// Per-arm check of the hypercall dispatcher: every `Hypercall::X => ..`
+/// arm of the first top-level `match` must charge on all its paths.
+fn check_hypercall_arms(
+    file: &ParsedFile,
+    lo: usize,
+    hi: usize,
+    charging: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &file.toks;
+    // First `match` at the body's top level.
+    let mut i = lo;
+    let open = loop {
+        if i >= hi {
+            return;
+        }
+        match toks[i].kind {
+            TokKind::Open => {
+                let m = file.matching[i];
+                if m == crate::ast::NO_MATCH || m >= hi {
+                    return;
+                }
+                i = m + 1;
+            }
+            TokKind::Ident if toks[i].text == "match" => {
+                match crate::rules::find_block(toks, &file.matching, i + 1, hi) {
+                    Some((open, _)) => break open,
+                    None => return,
+                }
+            }
+            _ => i += 1,
+        }
+    };
+    for arm in match_arms(toks, &file.matching, open) {
+        let pat = &toks[arm.pat_lo..arm.pat_hi];
+        if !pat.iter().any(|t| t.is_ident("Hypercall")) {
+            continue;
+        }
+        let mut st = PathState {
+            file,
+            charging,
+            gaps: Vec::new(),
+        };
+        let definite = analyze_block(&mut st, arm.body_lo, arm.body_hi, false);
+        let variant: String = {
+            let mut v = String::from("Hypercall::");
+            let mut saw_sep = false;
+            for t in pat {
+                if t.is_punct(':') {
+                    saw_sep = true;
+                } else if saw_sep && t.kind == TokKind::Ident {
+                    v.push_str(&t.text);
+                    break;
+                }
+            }
+            v
+        };
+        for (tok, desc) in &st.gaps {
+            out.push(violation_at(
+                file,
+                *tok,
+                RULE,
+                format!("{desc} in match arm for `{variant}`"),
+                HINT,
+            ));
+        }
+        if !definite
+            && st.gaps.is_empty()
+            && !tail_err_shaped(&mut st, arm.body_lo, arm.body_hi)
+        {
+            out.push(violation_at(
+                file,
+                arm.pat_lo,
+                RULE,
+                format!("match arm for `{variant}` never charges the cost model on some path"),
+                HINT,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Violation> {
+        let files = vec![ParsedFile::parse(
+            crate_name,
+            &format!("crates/{crate_name}/src/lib.rs"),
+            src,
+        )];
+        let graph = CallGraph::build(&files);
+        check(&files, &graph)
+    }
+
+    #[test]
+    fn handler_charging_transitively_passes() {
+        let src = "impl H {\n    pub fn handle_pml_full(&mut self) -> R { self.pay(); self.drain() }\n    fn pay(&mut self) { self.ctx.charge(1, 2); }\n}\n";
+        assert!(run("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn handler_without_any_charge_is_flagged() {
+        let src = "impl H {\n    pub fn handle_pml_full(&mut self) -> R { self.drain() }\n    fn drain(&mut self) -> R { R }\n}\n";
+        let vs = run("hypervisor", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, RULE);
+        assert!(vs[0].message.contains("handle_pml_full"));
+    }
+
+    #[test]
+    fn uncharged_early_success_return_is_a_gap() {
+        let src = "impl H {\n    pub fn handle_x(&mut self) -> R {\n        if self.idle { return Ok(()); }\n        self.ctx.charge(1, 2);\n        Ok(())\n    }\n}\n";
+        let vs = run("hypervisor", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("success return"));
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn err_shaped_early_returns_are_exempt() {
+        let src = "impl H {\n    pub fn handle_x(&mut self) -> R {\n        if self.bad { return Err(Bug); }\n        if self.off { return Ok(HypercallResult::Invalid); }\n        self.ctx.charge(1, 2);\n        Ok(())\n    }\n}\n";
+        assert!(run("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn branchy_charging_must_cover_all_arms() {
+        // Charge only in the then-branch: the else path escapes.
+        let src = "impl H {\n    pub fn handle_x(&mut self) -> R {\n        if self.a { self.ctx.charge(1, 2); } else { self.noop(); }\n        Ok(())\n    }\n}\n";
+        // Both arms exist but only one charges -> not definite -> flagged.
+        let vs = run("hypervisor", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("some success path"));
+        // Charging in both arms passes.
+        let src = "impl H {\n    pub fn handle_x(&mut self) -> R {\n        if self.a { self.ctx.charge(1, 2); } else { self.ctx.charge(1, 3); }\n        Ok(())\n    }\n}\n";
+        assert!(run("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn hypercall_arm_without_charge_is_flagged_per_arm() {
+        let src = "impl H {\n    pub fn hypercall(&mut self, c: Hypercall) -> R {\n        self.ctx.charge(1, 0);\n        match c {\n            Hypercall::SpmlInit { gpa } => { self.ctx.charge(1, 2); self.init(gpa) }\n            Hypercall::SpmlDeactivate => self.deactivate(),\n        }\n    }\n}\n";
+        let vs = run("hypervisor", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("SpmlDeactivate"), "{vs:?}");
+    }
+
+    #[test]
+    fn hypercall_arm_guard_rejections_are_exempt() {
+        let src = "impl H {\n    pub fn hypercall(&mut self, c: Hypercall) -> R {\n        match c {\n            Hypercall::EpmlInit => {\n                if !self.cfg.epml { return Ok(HypercallResult::Invalid); }\n                self.ctx.charge(1, 2);\n                Ok(HypercallResult::Ok)\n            }\n        }\n    }\n}\n";
+        assert!(run("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn hypercall_construction_is_not_an_arm() {
+        let src = "impl H {\n    pub fn hypercall(&mut self, c: Hypercall) -> R {\n        let x = make(Hypercall::SpmlInit { gpa });\n        match c { Hypercall::SpmlInit { gpa } => self.ctx.charge(1, gpa), }\n    }\n}\n";
+        assert!(run("hypervisor", src).is_empty());
+    }
+
+    #[test]
+    fn guest_shootdowns_are_strict() {
+        let src = "impl K {\n    pub fn shootdown_all(&self, hv: &mut H) { self.flush(hv) }\n    fn flush(&self, hv: &mut H) { hv.x(); }\n}\n";
+        let vs = run("guest", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("shootdown_all"));
+        let src = "impl K {\n    pub fn shootdown_page(&self, hv: &mut H, gva: Gva) { self.invlpg(hv, gva); }\n    fn invlpg(&self, hv: &mut H, gva: Gva) { hv.ctx.charge(1, 2); }\n}\n";
+        assert!(run("guest", src).is_empty());
+    }
+
+    #[test]
+    fn guest_fault_handlers_use_the_weak_tier() {
+        // Charges only on one branch: weak tier passes (reaches a charge),
+        // strict would have flagged.
+        let src = "impl K {\n    pub fn handle_fault(&mut self) -> R {\n        if self.wp { self.ctx.charge(1, 2); return Ok(()); }\n        Ok(())\n    }\n}\n";
+        assert!(run("guest", src).is_empty());
+        // No charge anywhere: flagged even on the weak tier.
+        let src = "impl K {\n    pub fn handle_fault(&mut self) -> R { self.fix(); Ok(()) }\n    fn fix(&mut self) {}\n}\n";
+        let vs = run("guest", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn core_trackers_must_reach_charge() {
+        let src = "impl T {\n    fn collect(&mut self, env: &mut E) -> R { self.walk(env) }\n    fn walk(&mut self, env: &mut E) -> R { env.ctx.charge(1, 2); R }\n}\n";
+        assert!(run("core", src).is_empty());
+        let src = "impl T {\n    fn collect(&mut self, env: &mut E) -> R { self.walk(env) }\n    fn walk(&mut self, env: &mut E) -> R { R }\n}\n";
+        let vs = run("core", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn non_entry_crates_are_out_of_scope() {
+        let src = "fn handle_click() { draw(); }";
+        assert!(run("bench", src).is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! `shootdown-complete`: every PTE permission-downgrade or teardown site
+//! must reach a TLB shootdown before returning, and every D-bit
+//! destruction must additionally notify the PML shadow.
+//!
+//! A *downgrade site* is a function (in a sim crate) that physically
+//! writes a PTE (`*phys_write*` call) with a restricting value:
+//!
+//! - `Pte::empty()` — teardown (unmap);
+//! - `.without(..)` clearing `DIRTY`, `WRITABLE`, or `SOFT_DIRTY`;
+//! - `.with(..)` setting `UFFD_WP` — write-protection is a downgrade even
+//!   though it *adds* a bit.
+//!
+//! `.without(Pte::UFFD_WP)` is the *unprotect* direction — an upgrade —
+//! and is deliberately not matched: stale-permissive entries are handled
+//! by the runtime stale-allow discipline, not by mandatory flushes
+//! (paper §3: only restricting transitions require eager invalidation,
+//! the lazy direction may keep serving stale-but-safe translations).
+//!
+//! The shootdown requirement is call-graph reachability to
+//! `shootdown_page` / `shootdown_all`. The notify requirement — only for
+//! sites that destroy the architectural D bit (`Pte::empty`, or
+//! `.without(..)` naming exactly `DIRTY`; `SOFT_DIRTY` is software state
+//! with no PML shadow) — is reachability to one of the
+//! `note_*_dirty_cleared` hooks, so the PML-based trackers cannot silently
+//! lose a dirty transition that the page tables no longer remember.
+
+use crate::ast::{CallKind, ParsedFile, NO_MATCH};
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::rules::violation_at;
+use crate::{Violation, SIM_CRATES};
+
+pub const RULE: &str = "shootdown-complete";
+
+/// The PML-shadow notification hooks.
+const NOTIFY: &[&str] = &[
+    "note_guest_pte_dirty_cleared",
+    "note_guest_dirty_cleared",
+    "note_hyp_dirty_cleared",
+];
+
+const SHOOTDOWN_HINT: &str = "call shootdown_page(gva) or shootdown_all() after the PTE write (directly or via a helper), or allowlist with a comment explaining why no other core can hold this translation";
+const NOTIFY_HINT: &str = "call a note_*_dirty_cleared hook before destroying the D bit so PML-based trackers see the transition, or allowlist with rationale";
+
+pub fn check(files: &[ParsedFile], graph: &CallGraph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let file = &files[node.file];
+        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let f = &file.fns[node.fn_idx];
+        let Some((lo, hi)) = file.body_inner(f) else {
+            continue;
+        };
+        let calls = file.calls_in(lo, hi);
+        if !calls
+            .iter()
+            .any(|c| file.toks[c.tok].text.contains("phys_write"))
+        {
+            continue;
+        }
+        let sites = downgrade_sites(file, lo, hi);
+        if sites.is_empty() {
+            continue;
+        }
+        let reaches_shootdown =
+            graph.reaches(id, &|n| n == "shootdown_page" || n == "shootdown_all");
+        let reaches_notify = graph.reaches(id, &|n| NOTIFY.contains(&n));
+        let name = &node.name;
+        for site in &sites {
+            if !reaches_shootdown {
+                out.push(violation_at(
+                    file,
+                    site.tok,
+                    RULE,
+                    format!(
+                        "PTE {} in `{name}` never reaches a TLB shootdown — remote cores may keep using the old translation",
+                        site.what
+                    ),
+                    SHOOTDOWN_HINT,
+                ));
+            }
+            if site.clears_dirty && !reaches_notify {
+                out.push(violation_at(
+                    file,
+                    site.tok,
+                    RULE,
+                    format!(
+                        "PTE {} in `{name}` destroys the D bit without notifying the PML shadow (note_*_dirty_cleared)",
+                        site.what
+                    ),
+                    NOTIFY_HINT,
+                ));
+            }
+        }
+    }
+    out
+}
+
+struct Site {
+    tok: usize,
+    /// Human description of the downgrade expression.
+    what: &'static str,
+    /// True when the site destroys the architectural dirty bit.
+    clears_dirty: bool,
+}
+
+/// The downgrade expressions inside `lo..hi`.
+fn downgrade_sites(file: &ParsedFile, lo: usize, hi: usize) -> Vec<Site> {
+    let toks = &file.toks;
+    let mut sites = Vec::new();
+    let hi = hi.min(toks.len());
+    for i in lo..hi {
+        if toks[i].is_ident("Pte")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("empty"))
+        {
+            sites.push(Site {
+                tok: i,
+                what: "teardown (`Pte::empty()`)",
+                clears_dirty: true,
+            });
+        }
+    }
+    for c in file.calls_in(lo, hi) {
+        if c.kind != CallKind::Method {
+            continue;
+        }
+        let name = toks[c.tok].text.as_str();
+        if name != "without" && name != "with" {
+            continue;
+        }
+        let open = c.tok + 1;
+        let close = toks
+            .get(open)
+            .map_or(NO_MATCH, |_| file.matching[open]);
+        if close == NO_MATCH {
+            continue;
+        }
+        let arg_idents: Vec<&str> = toks[open + 1..close]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        if name == "without" {
+            if arg_idents
+                .iter()
+                .any(|&a| a == "DIRTY" || a == "WRITABLE" || a == "SOFT_DIRTY")
+            {
+                sites.push(Site {
+                    tok: c.tok,
+                    what: "permission downgrade (`.without(..)`)",
+                    clears_dirty: arg_idents.contains(&"DIRTY"),
+                });
+            }
+            // `.without(Pte::UFFD_WP)` alone is an unprotect — an upgrade.
+        } else if arg_idents.contains(&"UFFD_WP") {
+            sites.push(Site {
+                tok: c.tok,
+                what: "write-protection (`.with(Pte::UFFD_WP)`)",
+                clears_dirty: false,
+            });
+        }
+    }
+    sites.sort_by_key(|s| s.tok);
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let files = vec![ParsedFile::parse("guest", "crates/guest/src/kernel.rs", src)];
+        let graph = CallGraph::build(&files);
+        check(&files, &graph)
+    }
+
+    #[test]
+    fn teardown_with_notify_and_shootdown_passes() {
+        let src = "impl K {\n    fn munmap(&mut self, hv: &mut H) {\n        hv.note_guest_pte_dirty_cleared(gpa);\n        self.kernel_phys_write(pa, Pte::empty().0);\n        self.shootdown_all(hv);\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn teardown_without_shootdown_is_flagged() {
+        let src = "impl K {\n    fn munmap(&mut self, hv: &mut H) {\n        hv.note_guest_pte_dirty_cleared(gpa);\n        self.kernel_phys_write(pa, Pte::empty().0);\n    }\n}\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("TLB shootdown"), "{vs:?}");
+    }
+
+    #[test]
+    fn dirty_clear_without_notify_is_flagged() {
+        let src = "impl K {\n    fn sweep(&mut self, hv: &mut H) {\n        let v = pte.without(Pte::DIRTY);\n        self.kernel_phys_write(pa, v.0);\n        self.shootdown_all(hv);\n    }\n}\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("PML shadow"), "{vs:?}");
+    }
+
+    #[test]
+    fn soft_dirty_clear_needs_no_notify() {
+        let src = "impl K {\n    fn clear_refs(&mut self, hv: &mut H) {\n        let v = pte.without(Pte::SOFT_DIRTY | Pte::WRITABLE);\n        self.kernel_phys_write(pa, v.0);\n        self.shootdown_all(hv);\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn uffd_unprotect_is_an_upgrade() {
+        // `.without(Pte::UFFD_WP)` relaxes permissions; no shootdown needed.
+        let src = "impl K {\n    fn unprotect(&mut self, hv: &mut H) {\n        let v = pte.without(Pte::UFFD_WP);\n        self.kernel_phys_write(pa, v.0);\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn uffd_protect_requires_shootdown() {
+        let src = "impl K {\n    fn writeprotect(&mut self, hv: &mut H) {\n        let v = pte.with(Pte::UFFD_WP);\n        self.kernel_phys_write(pa, v.0);\n    }\n}\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("write-protection"), "{vs:?}");
+    }
+
+    #[test]
+    fn shootdown_via_helper_counts() {
+        let src = "impl K {\n    fn munmap(&mut self, hv: &mut H) {\n        hv.note_guest_pte_dirty_cleared(gpa);\n        self.kernel_phys_write(pa, Pte::empty().0);\n        self.broadcast(hv);\n    }\n    fn broadcast(&mut self, hv: &mut H) { self.shootdown_all(hv); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn downgrade_without_phys_write_is_not_a_site() {
+        // Computing a downgraded value without writing it is fine.
+        let src = "impl K {\n    fn preview(&self) -> Pte { pte.without(Pte::DIRTY) }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_are_out_of_scope() {
+        let src = "fn munmap() { kernel_phys_write(pa, Pte::empty().0); }";
+        let files = vec![ParsedFile::parse("bench", "crates/bench/src/x.rs", src)];
+        let graph = CallGraph::build(&files);
+        assert!(check(&files, &graph).is_empty());
+    }
+}

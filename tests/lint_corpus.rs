@@ -1,0 +1,130 @@
+//! Self-validation corpus for `ooh-verify`: every rule has a known-bad
+//! snippet under `tests/lint_corpus/` that the linter must flag, and a
+//! known-good twin that must scan clean. The bad cases are seeded
+//! mutations of real workspace patterns (e.g. `shootdown_bad.rs` is the
+//! guest munmap path with the `shootdown_page` call deleted), so a rule
+//! regression that stops catching its bug class fails tier-1 here rather
+//! than silently passing dirty diffs in CI.
+
+use std::path::PathBuf;
+
+/// Scans one corpus file as if it lived at `crates/<crate>/src/<file>`,
+/// with no allowlist, and returns the findings.
+fn scan(crate_name: &str, file: &str) -> Vec<ooh_verify::Violation> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(file);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading corpus file {}: {e}", path.display()));
+    let rel = format!("crates/{crate_name}/src/{file}");
+    let report = ooh_verify::scan_files(
+        &[(crate_name.to_string(), rel, source)],
+        &ooh_verify::Allowlist::parse(""),
+    );
+    report.violations
+}
+
+/// The bad snippet must produce at least one finding of `rule` (and no
+/// findings of any *other* rule — each corpus case isolates one bug class).
+fn assert_flags(crate_name: &str, file: &str, rule: &str) {
+    let vs = scan(crate_name, file);
+    assert!(
+        vs.iter().any(|v| v.rule == rule),
+        "{file}: expected a {rule} finding, got {vs:?}"
+    );
+    assert!(
+        vs.iter().all(|v| v.rule == rule),
+        "{file}: findings from other rules leaked in: {vs:?}"
+    );
+}
+
+/// The good twin must scan completely clean — under every rule, not just
+/// the one it twins, so the corpus never normalizes incidental violations.
+fn assert_clean(crate_name: &str, file: &str) {
+    let vs = scan(crate_name, file);
+    assert!(vs.is_empty(), "{file}: expected a clean scan, got {vs:?}");
+}
+
+// --- flow rules -----------------------------------------------------------
+
+#[test]
+fn cost_coverage_catches_uncharged_success_path() {
+    assert_flags("hypervisor", "cost_bad.rs", "cost-coverage");
+}
+
+#[test]
+fn cost_coverage_good_twin_is_clean() {
+    assert_clean("hypervisor", "cost_good.rs");
+}
+
+#[test]
+fn shootdown_complete_catches_deleted_shootdown_call() {
+    assert_flags("guest", "shootdown_bad.rs", "shootdown-complete");
+}
+
+#[test]
+fn shootdown_complete_good_twin_is_clean() {
+    assert_clean("guest", "shootdown_good.rs");
+}
+
+#[test]
+fn ordered_iter_catches_hash_iteration_into_output() {
+    assert_flags("bench", "order_bad.rs", "ordered-iter");
+}
+
+#[test]
+fn ordered_iter_good_twin_is_clean() {
+    assert_clean("bench", "order_good.rs");
+}
+
+// --- token rules ----------------------------------------------------------
+
+#[test]
+fn det_time_catches_wall_clock_reads() {
+    assert_flags("sim", "det_time_bad.rs", "det-time");
+}
+
+#[test]
+fn det_time_good_twin_is_clean() {
+    assert_clean("sim", "det_time_good.rs");
+}
+
+#[test]
+fn det_hash_catches_hash_containers() {
+    assert_flags("core", "det_hash_bad.rs", "det-hash");
+}
+
+#[test]
+fn det_hash_good_twin_is_clean() {
+    assert_clean("core", "det_hash_good.rs");
+}
+
+#[test]
+fn det_par_catches_unordered_parallelism() {
+    assert_flags("sim", "det_par_bad.rs", "det-par");
+}
+
+#[test]
+fn det_par_good_twin_is_clean() {
+    assert_clean("sim", "det_par_good.rs");
+}
+
+#[test]
+fn arch_panic_catches_unwrap() {
+    assert_flags("machine", "arch_panic_bad.rs", "arch-panic");
+}
+
+#[test]
+fn arch_panic_good_twin_is_clean() {
+    assert_clean("machine", "arch_panic_good.rs");
+}
+
+#[test]
+fn arch_phys_catches_guest_side_host_phys() {
+    assert_flags("guest", "arch_phys_bad.rs", "arch-phys");
+}
+
+#[test]
+fn arch_phys_good_twin_is_clean() {
+    assert_clean("guest", "arch_phys_good.rs");
+}

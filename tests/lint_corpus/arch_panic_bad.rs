@@ -1,0 +1,6 @@
+// Known-bad: panicking on a recoverable error in a no-panic crate. A
+// missing PTE is a normal condition the caller must handle, not a crash.
+// Scanned as crate `machine`.
+fn pte_of(&self, gva: u64) -> Pte {
+    self.walk(gva).unwrap()
+}

@@ -1,0 +1,5 @@
+// Known-good twin of arch_panic_bad.rs: the missing-translation case is
+// propagated for the caller to decide.
+fn pte_of(&self, gva: u64) -> Result<Pte, WalkError> {
+    self.walk(gva)
+}

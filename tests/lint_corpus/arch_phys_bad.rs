@@ -1,0 +1,7 @@
+// Known-bad: guest-side code holding a raw host-physical handle. Only
+// vmx-root code (the hypervisor) may touch HostPhys; guest-side crates go
+// through the hypervisor API so the simulation keeps the privilege
+// boundary honest. Scanned as crate `guest`.
+fn poke(&mut self, phys: &mut HostPhys, pa: u64, val: u64) {
+    phys.write(pa, val);
+}

@@ -1,0 +1,5 @@
+// Known-good twin of arch_phys_bad.rs: the write goes through the
+// hypervisor's guarded API, which charges and enforces the EPT view.
+fn poke(&mut self, hv: &mut Hypervisor, gpa: u64, val: u64) {
+    hv.guest_phys_write(gpa, val);
+}

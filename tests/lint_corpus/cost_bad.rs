@@ -1,0 +1,19 @@
+// Known-bad: a vmexit handler with an uncharged success path. The early
+// `return Ok(())` exits before any cost-model charge, so a guest that keeps
+// its PML buffer empty would run this handler for free — exactly the class
+// of accounting bug `cost-coverage` exists to catch. Scanned as crate
+// `hypervisor`, where `handle_*` functions are strict-tier entry points.
+impl Hypervisor {
+    pub fn handle_pml_full(&mut self, vcpu: VcpuId) -> Result<(), VmxError> {
+        if self.pml_index(vcpu) == PML_EMPTY {
+            return Ok(());
+        }
+        self.ctx.charge(Lane::Guest, Event::PmlFullExit);
+        self.flush_pml(vcpu)
+    }
+
+    fn flush_pml(&mut self, vcpu: VcpuId) -> Result<(), VmxError> {
+        self.ctx.charge(Lane::Guest, Event::PmlEntryWrite);
+        Ok(())
+    }
+}

@@ -1,0 +1,17 @@
+// Known-good twin of cost_bad.rs: the same handler, but the exit itself is
+// charged before any branching, so every success path — including the
+// empty-buffer early return — accounts the vmexit/vmentry round trip.
+impl Hypervisor {
+    pub fn handle_pml_full(&mut self, vcpu: VcpuId) -> Result<(), VmxError> {
+        self.ctx.charge(Lane::Guest, Event::PmlFullExit);
+        if self.pml_index(vcpu) == PML_EMPTY {
+            return Ok(());
+        }
+        self.flush_pml(vcpu)
+    }
+
+    fn flush_pml(&mut self, vcpu: VcpuId) -> Result<(), VmxError> {
+        self.ctx.charge(Lane::Guest, Event::PmlEntryWrite);
+        Ok(())
+    }
+}

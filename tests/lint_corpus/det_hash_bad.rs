@@ -1,0 +1,6 @@
+// Known-bad: a HashMap in a sim crate. Its iteration order varies run to
+// run, which silently leaks into anything that walks it. Scanned as crate
+// `core`.
+fn index_pages(pages: &[u64]) -> HashMap<u64, usize> {
+    pages.iter().enumerate().map(|(i, &p)| (p, i)).collect()
+}

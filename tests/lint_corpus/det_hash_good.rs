@@ -1,0 +1,5 @@
+// Known-good twin of det_hash_bad.rs: BTreeMap iterates in key order, so
+// every downstream walk is deterministic by construction.
+fn index_pages(pages: &[u64]) -> BTreeMap<u64, usize> {
+    pages.iter().enumerate().map(|(i, &p)| (p, i)).collect()
+}

@@ -1,0 +1,6 @@
+// Known-bad: unordered parallel iteration in a sim crate. Worker
+// interleaving decides result order, so the same scan yields different
+// sequences run to run. Scanned as crate `sim`.
+fn scan_all(&self, gfns: &[u64]) -> Vec<u64> {
+    gfns.par_iter().filter(|g| self.is_dirty(**g)).copied().collect()
+}

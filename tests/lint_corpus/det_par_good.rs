@@ -1,0 +1,8 @@
+// Known-good twin of det_par_bad.rs: par_map_ordered fans the work out but
+// merges results back in input order, so parallelism never changes bytes.
+fn scan_all(&self, gfns: &[u64]) -> Vec<u64> {
+    rayon::par_map_ordered(gfns, |g| self.is_dirty(*g).then_some(*g))
+        .into_iter()
+        .flatten()
+        .collect()
+}

@@ -1,0 +1,6 @@
+// Known-bad: simulator code reading the host wall clock. Simulated time
+// must come from the scenario's cost-model clock, or identical runs stop
+// replaying identically. Scanned as crate `sim`.
+fn round_started(&mut self) {
+    self.started_at = std::time::Instant::now();
+}

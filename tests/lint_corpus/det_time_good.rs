@@ -1,0 +1,5 @@
+// Known-good twin of det_time_bad.rs: the round stamp comes from the
+// simulated clock the scenario threads through, not the host.
+fn round_started(&mut self, ctx: &SimCtx) {
+    self.started_at = ctx.now_cycles();
+}

@@ -1,0 +1,10 @@
+// Known-bad: iterating a HashMap straight into report output. The row
+// order depends on the hasher's seed, so two runs of the same scenario
+// print different bytes — the nondeterministic-output bug class
+// `ordered-iter` exists to catch. Scanned as crate `bench` (outside the
+// sim crates, where `det-hash` would already ban the container itself).
+fn print_fault_counts(stats: &HashMap<u64, u64>) {
+    for (gfn, count) in stats.iter() {
+        println!("{gfn:#x}: {count}");
+    }
+}

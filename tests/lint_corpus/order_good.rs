@@ -1,0 +1,10 @@
+// Known-good twin of order_bad.rs: the rows are pulled out of the map and
+// sorted before anything is printed, so the output bytes no longer depend
+// on hasher state.
+fn print_fault_counts(stats: &HashMap<u64, u64>) {
+    let mut rows: Vec<(u64, u64)> = stats.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort();
+    for (gfn, count) in rows {
+        println!("{gfn:#x}: {count}");
+    }
+}

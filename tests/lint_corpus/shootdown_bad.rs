@@ -1,0 +1,12 @@
+// Known-bad: seeded mutation of the guest munmap teardown path. The real
+// kernel broadcasts a TLB shootdown after zeroing the PTE; here the
+// `self.shootdown_page(hv, gva)` call has been deleted, so a remote vCPU
+// can keep writing through its cached translation after the unmap — the
+// stale-translation bug class `shootdown-complete` exists to catch.
+// Scanned as crate `guest`.
+impl GuestKernel {
+    fn munmap_page(&mut self, hv: &mut Hypervisor, gva: Gva, pa: Pa) {
+        hv.note_guest_pte_dirty_cleared(gva);
+        self.kernel_phys_write(pa, Pte::empty().0);
+    }
+}

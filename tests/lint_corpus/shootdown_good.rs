@@ -1,0 +1,10 @@
+// Known-good twin of shootdown_bad.rs: the teardown notifies the PML
+// shadow (the PTE's D bit is about to be destroyed) and then broadcasts
+// the shootdown, so no core can keep using the dead translation.
+impl GuestKernel {
+    fn munmap_page(&mut self, hv: &mut Hypervisor, gva: Gva, pa: Pa) {
+        hv.note_guest_pte_dirty_cleared(gva);
+        self.kernel_phys_write(pa, Pte::empty().0);
+        self.shootdown_page(hv, gva);
+    }
+}
