@@ -1,0 +1,477 @@
+//! Fleet checkpoint/migration control plane.
+//!
+//! Tracks tens-to-hundreds of VMs concurrently: each VM is one fully
+//! independent stack (own [`SimCtx`], own hypervisor, guest, tracker and
+//! [`Criu`] engine) running a pre-copy loop that grows a
+//! [`SnapshotChain`] — a full base image plus one diff layer per round —
+//! under the [`ConvergencePolicy`]'s control. A VM whose dirty rate
+//! exceeds the copy bandwidth gets throttled (its writer slows, QEMU
+//! auto-converge style) and, if the throttle ladder runs out or the round
+//! cap hits, falls back to stop-and-copy.
+//!
+//! Every VM's chain is restored into a fresh process and byte-verified
+//! against a **full-snapshot oracle** taken at the same virtual instant,
+//! so a fleet run is an end-to-end correctness check, not just a
+//! throughput number.
+//!
+//! Determinism contract: [`simulate_vm`] is a pure function of
+//! `(FleetConfig, vm_index)` — profiles, write schedules and policy
+//! inputs all derive from the index and the seed. The fleet fans out with
+//! `rayon::par_map_ordered` and merges in index order, so reports are
+//! byte-identical across reruns *and* across worker thread counts.
+
+use crate::scenario::Stack;
+use ooh_core::{dirty_rate_pps, ConvergencePolicy, Decision, PolicyState, Technique};
+use ooh_criu::{restore, verify, Criu, CriuConfig, SnapshotChain};
+use ooh_guest::VmaKind;
+use ooh_machine::PAGE_SIZE;
+use ooh_sim::{Lane, SimCtx, SimRng};
+use ooh_trace::Tracer;
+use rayon::par_map_ordered;
+use serde::Serialize;
+
+/// Fleet-wide tunables. Everything per-VM derives from these plus the VM
+/// index.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of VMs to schedule.
+    pub n_vms: usize,
+    /// Worker threads for the fan-out (output is invariant to this).
+    pub threads: usize,
+    /// Tracked region size per VM, in pages.
+    pub pages_per_vm: u64,
+    /// The convergence/throttling policy every VM runs under.
+    pub policy: ConvergencePolicy,
+    /// Seed feeding each VM's write schedule (forked per VM index).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            n_vms: 8,
+            threads: rayon::default_threads(),
+            pages_per_vm: 1024,
+            policy: ConvergencePolicy {
+                max_rounds: 8,
+                stop_threshold_pages: 8,
+                bandwidth_pps: 100_000,
+                patience_rounds: 2,
+                max_throttle_level: 3,
+            },
+            seed: 0x00A0_F1EE_7000_0001,
+        }
+    }
+}
+
+/// Dirtying behaviour class, derived from the VM index. The mix is the
+/// point: a fleet is never uniformly well-behaved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Profile {
+    /// Shrinking working set: converges within a few rounds, must never
+    /// be throttled.
+    Cold,
+    /// Steady writer under the copy bandwidth: neither converges nor
+    /// throttles; the round cap ends it.
+    Warm,
+    /// Writer out-dirtying the channel: climbs the throttle ladder and
+    /// stops (converged if throttling tamed it, bailed otherwise).
+    Hot,
+}
+
+impl Profile {
+    pub fn of_vm(vm: usize) -> Profile {
+        match vm % 3 {
+            0 => Profile::Cold,
+            1 => Profile::Warm,
+            _ => Profile::Hot,
+        }
+    }
+
+    /// (initial pages written per round, think-time ns per round,
+    /// does the working set halve each round).
+    fn writer_params(self, pages: u64) -> (u64, u64, bool) {
+        match self {
+            Profile::Cold => ((pages / 32).max(4), 1_000_000, true),
+            Profile::Warm => ((pages / 16).max(8), 2_000_000, false),
+            Profile::Hot => ((pages / 4).max(16), 250_000, false),
+        }
+    }
+}
+
+/// vCPU counts cycle so the fleet covers the SMP paths too.
+const VCPU_CYCLE: [u32; 3] = [1, 2, 4];
+
+/// One pre-copy round as the fleet saw it.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetRound {
+    pub round: u32,
+    /// Pages this round's diff layer shipped.
+    pub pages: u64,
+    /// Guest-run virtual time since the previous layer (rate denominator).
+    pub interval_ns: u64,
+    /// Dirty rate in pages per virtual second.
+    pub dirty_pps: u64,
+    /// Policy decision token: "cont", "thrN", "stop", "bail".
+    pub decision: String,
+}
+
+/// One VM's complete outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct VmReport {
+    pub vm: usize,
+    pub technique: String,
+    pub profile: Profile,
+    pub vcpus: u32,
+    pub resident_pages: u64,
+    pub rounds: Vec<FleetRound>,
+    /// Did pre-copy converge (dirty set under threshold) vs. bail?
+    pub converged: bool,
+    /// Rounds that ran with a throttle in force.
+    pub throttled_rounds: u32,
+    /// Final throttle level when the loop ended.
+    pub throttle_level: u32,
+    /// Pages shipped across every chain layer (base + diffs + final).
+    pub pages_shipped: u64,
+    /// What shipping a full snapshot per layer would have cost.
+    pub full_snapshot_pages: u64,
+    /// Encoded chain size on the wire.
+    pub chain_bytes: u64,
+    /// FNV-1a fingerprint of the encoded chain — the byte-diffable
+    /// artifact CI compares across reruns and thread counts.
+    pub chain_fingerprint: u64,
+    /// Pages byte-verified after restoring the chain against the
+    /// full-snapshot oracle (== resident_pages on success).
+    pub restore_verified_pages: u64,
+    /// Virtual ns attributed per lane by the per-VM tracer, in
+    /// [`Lane`] order (Tracked, Tracker, Kernel, Hypervisor).
+    pub lane_ns: Vec<(String, u64)>,
+    /// Total virtual time of the VM's whole scenario.
+    pub total_ns: u64,
+}
+
+/// The fleet's merged, index-ordered outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    pub n_vms: usize,
+    pub pages_per_vm: u64,
+    pub vms: Vec<VmReport>,
+    pub converged_vms: usize,
+    pub throttled_vms: usize,
+    pub total_pages_shipped: u64,
+    pub total_full_snapshot_pages: u64,
+    /// `total_full_snapshot_pages / total_pages_shipped`, ×100 (integer so
+    /// reports stay platform-stable).
+    pub diff_savings_x100: u64,
+}
+
+/// Simulate one VM end to end. Pure function of `(config, vm)`: no host
+/// clock, no thread identity, no global state.
+///
+/// The scenario: boot (vCPUs cycle 1/2/4), prefault a `pages_per_vm`
+/// region, attach CRIU under the index-cycled technique, take the base
+/// snapshot, then run pre-copy rounds — write a seeded batch, think, cut
+/// a diff layer, ask the policy — until stop-and-copy. The chain is then
+/// restored into a new process and verified against a full-dump oracle
+/// taken at the same virtual instant.
+pub fn simulate_vm(config: &FleetConfig, vm: usize) -> VmReport {
+    let technique = Technique::ALL[vm % Technique::ALL.len()];
+    let profile = Profile::of_vm(vm);
+    let vcpus = VCPU_CYCLE[(vm / 3) % VCPU_CYCLE.len()];
+    let pages = config.pages_per_vm;
+    let mut rng = SimRng::new(config.seed ^ (vm as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let ctx = SimCtx::new();
+    let tracer = Tracer::install(&ctx);
+    let mut stack = Stack::boot_with_ctx_vcpus(64, ctx.clone(), vcpus);
+    let region = stack
+        .kernel
+        .mmap(stack.pid, pages, true, VmaKind::Anon)
+        .expect("fleet vm mmap");
+    for (i, g) in region.iter_pages().enumerate().collect::<Vec<_>>() {
+        stack
+            .kernel
+            .write_u64(&mut stack.hv, stack.pid, g, (i as u64) | 1, Lane::Tracked)
+            .expect("prefault");
+    }
+
+    let mut criu = Criu::attach(
+        &mut stack.hv,
+        &mut stack.kernel,
+        stack.pid,
+        CriuConfig::new(technique),
+    )
+    .expect("criu attach");
+    let (base, base_stats) = criu
+        .full_dump(&mut stack.hv, &mut stack.kernel, stack.pid)
+        .expect("base snapshot");
+    let resident_pages = base_stats.pages_written;
+    let mut chain = SnapshotChain::new(base);
+
+    let (mut writes, think_ns, decays) = profile.writer_params(pages);
+    let mut state = PolicyState::default();
+    let mut rounds = Vec::new();
+    let converged;
+    let mut last_cut_ns = ctx.now_ns();
+    loop {
+        // The guest runs: one seeded batch of distinct page writes plus
+        // think time. Throttle level L halves the batch L times (the
+        // auto-converge contract: the controller decides, the driver slows
+        // the writer).
+        let w = (writes >> state.throttle_level.min(16)).max(1).min(pages);
+        let start = rng.next_below(pages);
+        for i in 0..w {
+            let page = (start + i) % pages;
+            stack
+                .kernel
+                .write_u64(
+                    &mut stack.hv,
+                    stack.pid,
+                    region.start.add(page * PAGE_SIZE),
+                    rng.next_u64() | 1,
+                    Lane::Tracked,
+                )
+                .expect("fleet write");
+        }
+        ctx.advance(Lane::Tracked, think_ns);
+
+        // Cut a diff layer: collect + ship this round's dirty set.
+        let interval_ns = ctx.now_ns() - last_cut_ns;
+        let (delta, stats) = criu
+            .pre_dump(&mut stack.hv, &mut stack.kernel, stack.pid)
+            .expect("pre dump");
+        last_cut_ns = ctx.now_ns();
+        chain.push_diff(delta);
+
+        let decision = config.policy.decide(&mut state, stats.pages_written, interval_ns);
+        rounds.push(FleetRound {
+            round: rounds.len() as u32,
+            pages: stats.pages_written,
+            interval_ns,
+            dirty_pps: dirty_rate_pps(stats.pages_written, interval_ns),
+            decision: decision.token(),
+        });
+        match decision {
+            Decision::Continue | Decision::Throttle { .. } => {
+                if decays {
+                    writes = (writes / 2).max(1);
+                }
+            }
+            Decision::StopAndCopy { converged: c } => {
+                converged = c;
+                break;
+            }
+        }
+    }
+
+    // Stop-and-copy: the writer is paused; ship whatever it dirtied after
+    // the last cut (nothing here — the decision came right after a cut, so
+    // this layer is the empty downtime marker closing the chain).
+    let (fin, _) = criu
+        .final_dump(&mut stack.hv, &mut stack.kernel, stack.pid)
+        .expect("final dump");
+    chain.push_diff(fin);
+    criu.detach(&mut stack.hv, &mut stack.kernel).expect("detach");
+    chain.validate().expect("chain invariants");
+
+    // Oracle: a full snapshot of the paused guest at the same virtual
+    // instant. Restoring the chain must reproduce it byte for byte.
+    let mut oracle_criu = Criu::attach(
+        &mut stack.hv,
+        &mut stack.kernel,
+        stack.pid,
+        CriuConfig::new(technique),
+    )
+    .expect("oracle attach");
+    let (oracle, _) = oracle_criu
+        .full_dump(&mut stack.hv, &mut stack.kernel, stack.pid)
+        .expect("oracle snapshot");
+    oracle_criu
+        .detach(&mut stack.hv, &mut stack.kernel)
+        .expect("oracle detach");
+
+    let new_pid = restore(&mut stack.hv, &mut stack.kernel, &chain.flatten())
+        .expect("chain restore");
+    let restore_verified_pages =
+        verify(&mut stack.hv, &mut stack.kernel, new_pid, &oracle).expect("oracle verify") as u64;
+    assert_eq!(
+        restore_verified_pages, resident_pages,
+        "vm {vm}: chain restore diverged from the full-snapshot oracle"
+    );
+
+    let layers = chain.len() as u64;
+    let wire = chain.encode();
+    let lane_ns = [Lane::Tracked, Lane::Tracker, Lane::Kernel, Lane::Hypervisor]
+        .iter()
+        .map(|&l| (format!("{l:?}"), tracer.lane_attributed_ns(l)))
+        .collect();
+    VmReport {
+        vm,
+        technique: technique.name().to_string(),
+        profile,
+        vcpus,
+        resident_pages,
+        rounds,
+        converged,
+        throttled_rounds: state.throttled_rounds,
+        throttle_level: state.throttle_level,
+        pages_shipped: chain.pages_shipped(),
+        full_snapshot_pages: layers * resident_pages,
+        chain_bytes: wire.len() as u64,
+        chain_fingerprint: fnv1a(wire.as_ref()),
+        restore_verified_pages,
+        lane_ns,
+        total_ns: ctx.now_ns(),
+    }
+}
+
+/// FNV-1a over a byte string (the workspace's standard fingerprint for
+/// binary artifacts in golden tests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Run the whole fleet: fan out across `config.threads` workers, merge in
+/// VM-index order.
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    let ids: Vec<usize> = (0..config.n_vms).collect();
+    let vms = par_map_ordered(&ids, config.threads, |&vm| simulate_vm(config, vm));
+
+    let converged_vms = vms.iter().filter(|v| v.converged).count();
+    let throttled_vms = vms.iter().filter(|v| v.throttled_rounds > 0).count();
+    let total_pages_shipped: u64 = vms.iter().map(|v| v.pages_shipped).sum();
+    let total_full_snapshot_pages: u64 = vms.iter().map(|v| v.full_snapshot_pages).sum();
+    FleetReport {
+        n_vms: config.n_vms,
+        pages_per_vm: config.pages_per_vm,
+        converged_vms,
+        throttled_vms,
+        diff_savings_x100: total_full_snapshot_pages * 100 / total_pages_shipped.max(1),
+        total_pages_shipped,
+        total_full_snapshot_pages,
+        vms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            n_vms: 6,
+            threads: 2,
+            pages_per_vm: 256,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A hot VM must climb the throttle ladder and reach stop-and-copy
+    /// within the policy's round cap.
+    #[test]
+    fn hot_vm_throttles_then_stops_within_round_cap() {
+        let cfg = small_config();
+        let report = simulate_vm(&cfg, 2); // vm 2: Hot profile
+        assert_eq!(report.profile, Profile::Hot);
+        assert!(
+            report.rounds.iter().any(|r| r.decision.starts_with("thr")),
+            "hot writer must be throttled: {:?}",
+            report.rounds
+        );
+        assert!(report.throttled_rounds > 0);
+        assert!(report.throttle_level >= 1);
+        assert!(
+            report.rounds.len() as u32 <= cfg.policy.max_rounds,
+            "stop-and-copy must land within the round cap"
+        );
+        let last = report.rounds.last().unwrap();
+        assert!(
+            last.decision == "stop" || last.decision == "bail",
+            "the loop must end in stop-and-copy, got {:?}",
+            last.decision
+        );
+        // The throttled writer's dirty rate was genuinely above bandwidth.
+        assert!(report.rounds[0].dirty_pps > cfg.policy.bandwidth_pps);
+    }
+
+    /// A converging (cold) VM must never be throttled and must stop
+    /// converged.
+    #[test]
+    fn converging_vm_never_throttles() {
+        let cfg = small_config();
+        let report = simulate_vm(&cfg, 0); // vm 0: Cold profile
+        assert_eq!(report.profile, Profile::Cold);
+        assert!(report.converged, "cold VM must converge");
+        assert_eq!(report.throttled_rounds, 0);
+        assert_eq!(report.throttle_level, 0);
+        assert!(
+            report.rounds.iter().all(|r| !r.decision.starts_with("thr")),
+            "no round may throttle a converging writer: {:?}",
+            report.rounds
+        );
+        assert_eq!(report.rounds.last().unwrap().decision, "stop");
+    }
+
+    /// A warm VM (steady, under bandwidth) neither converges nor
+    /// throttles: the round cap ends it.
+    #[test]
+    fn warm_vm_is_ended_by_the_round_cap() {
+        let cfg = small_config();
+        let report = simulate_vm(&cfg, 1); // vm 1: Warm profile
+        assert_eq!(report.profile, Profile::Warm);
+        assert_eq!(report.throttled_rounds, 0);
+        assert_eq!(report.rounds.len() as u32, cfg.policy.max_rounds);
+        assert_eq!(report.rounds.last().unwrap().decision, "bail");
+        assert!(!report.converged);
+    }
+
+    /// Every VM restores byte-identically against its oracle, and diff
+    /// layers undercut repeated full snapshots.
+    #[test]
+    fn fleet_restores_and_ships_fewer_pages_than_full_snapshots() {
+        let cfg = small_config();
+        let report = run_fleet(&cfg);
+        assert_eq!(report.vms.len(), cfg.n_vms);
+        for v in &report.vms {
+            assert_eq!(v.restore_verified_pages, v.resident_pages, "vm {}", v.vm);
+            assert!(
+                v.pages_shipped < v.full_snapshot_pages,
+                "vm {}: chain must beat repeated fulls",
+                v.vm
+            );
+        }
+        assert!(report.total_pages_shipped < report.total_full_snapshot_pages);
+        assert!(report.diff_savings_x100 > 100);
+    }
+
+    /// The fleet fan-out is thread-count invariant: 1 worker and 4 workers
+    /// must produce identical reports.
+    #[test]
+    fn fleet_report_is_thread_count_invariant() {
+        let mut cfg = small_config();
+        cfg.threads = 1;
+        let one = serde_json::to_string(&run_fleet(&cfg)).unwrap();
+        cfg.threads = 4;
+        let four = serde_json::to_string(&run_fleet(&cfg)).unwrap();
+        assert_eq!(one, four);
+    }
+
+    /// Per-VM lane attribution is present and the Tracked lane dominated
+    /// (the writer runs far longer than the tracker's dump phases for cold
+    /// profiles).
+    #[test]
+    fn lane_attribution_covers_all_lanes() {
+        let cfg = small_config();
+        let report = simulate_vm(&cfg, 0);
+        assert_eq!(report.lane_ns.len(), 4);
+        let tracked = report.lane_ns[0].1;
+        assert!(tracked > 0, "Tracked lane must accumulate time");
+        let total: u64 = report.lane_ns.iter().map(|(_, n)| n).sum();
+        assert!(total <= report.total_ns, "lanes cannot exceed the clock");
+    }
+}

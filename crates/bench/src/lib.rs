@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod criu_scenarios;
+pub mod fleet;
 pub mod formula;
 pub mod gc_scenarios;
 pub mod report;

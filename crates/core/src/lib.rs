@@ -21,6 +21,7 @@ pub mod epml;
 #[cfg(feature = "debug-invariants")]
 pub mod invariants;
 pub mod model_port;
+pub mod policy;
 pub mod proc_tracker;
 pub mod revmap;
 pub mod session;
@@ -34,6 +35,7 @@ pub use model_port::{
     technique_from_token, technique_token, ModelError, ModelPort, ModelSession, ModelViolation,
     Mutation, Scenario, Step,
 };
+pub use policy::{dirty_rate_pps, ConvergencePolicy, Decision, PolicyState};
 pub use proc_tracker::ProcTracker;
 pub use session::OohSession;
 pub use spml::SpmlTracker;

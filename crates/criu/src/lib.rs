@@ -19,10 +19,12 @@
 pub mod dump;
 pub mod image;
 pub mod restore;
+pub mod snapshot_chain;
 
 pub use dump::{Criu, CriuConfig, DumpStats};
 pub use image::{CheckpointImage, ImageError, VmaRecord};
 pub use restore::{restore, verify};
+pub use snapshot_chain::{ChainError, ChainLayer, LayerKind, SnapshotChain};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,662 @@
+//! Incremental diff-snapshot chains — the fleet checkpoint format.
+//!
+//! A [`SnapshotChain`] is one **base** layer (a full checkpoint of every
+//! resident page) followed by zero or more **diff** layers, each carrying
+//! only the pages dirtied since the previous layer — Firecracker's
+//! `track_dirty_pages` diff-snapshot model, for our process-level images.
+//! Restore applies the base and replays the diffs in order; adjacent
+//! layers can be *compacted* (merged) without changing the restored state.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! chain   := magic:u32 "OOHN" | version:u16 | n_layers:u16
+//!            { layer_len:u64 | layer }*
+//! layer   := seq:u32 | kind:u8 (0 base, 1 diff) | pad:u8
+//!          | n_vmas:u32
+//!          | { start:u64 | pages:u64 | writable:u8 | pad:[u8;7] }*
+//!          | content_bitmap | zero_bitmap
+//!          | { page_bytes:[u8;4096] }*          (ascending page order)
+//! bitmap  := n_chunks:u32
+//!          | { chunk_idx:u64 | presence:u64 | word:u64 * popcount }*
+//! ```
+//!
+//! Page *numbers* never appear next to page *contents*: the word-packed
+//! `content_bitmap` is the manifest, and the payload is the content pages'
+//! bytes in ascending page order. A diff layer therefore costs
+//! `O(words)` of manifest plus exactly its dirty payload; all-zero pages
+//! ride in `zero_bitmap` for 0 payload bytes (CRIU zero-page dedup).
+//!
+//! ## Invariants (checked by [`SnapshotChain::validate`] and on decode)
+//!
+//! * layer 0 is the base (kind 0, non-incremental); layers 1.. are diffs;
+//! * `seq` equals the layer's index (re-stamped by compaction);
+//! * within a layer, the content and zero bitmaps are **disjoint** — one
+//!   page has one kind of record. Across layers the same page may recur:
+//!   later layers **supersede** earlier ones at restore;
+//! * bitmaps are canonical: chunk indices strictly ascending, no zero
+//!   words stored — so equal sets encode to equal bytes, which is what the
+//!   fleet determinism tests byte-diff.
+
+use crate::image::{CheckpointImage, VmaRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ooh_guest::{GuestError, GuestKernel, Pid};
+use ooh_hypervisor::Hypervisor;
+use ooh_machine::{DirtyBitmap, Gva, PAGE_SIZE};
+
+const CHAIN_MAGIC: u32 = 0x4F4F_484E; // "OOHN"
+const CHAIN_VERSION: u16 = 1;
+const KIND_BASE: u8 = 0;
+const KIND_DIFF: u8 = 1;
+
+/// What a chain layer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Full image: every page resident at snapshot time.
+    Base,
+    /// Incremental image: only pages dirtied since the previous layer.
+    Diff,
+}
+
+/// One layer of a snapshot chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLayer {
+    /// Position in the chain (0 = base). Re-stamped by compaction.
+    pub seq: u32,
+    pub kind: LayerKind,
+    /// The pages (content + zero-deduplicated) and VMA table.
+    pub image: CheckpointImage,
+}
+
+impl ChainLayer {
+    /// Word-packed manifest of every page this layer records (content and
+    /// zero pages alike).
+    pub fn manifest(&self) -> DirtyBitmap {
+        let mut m = self.content_bitmap();
+        m.merge(&self.image.zero_pages);
+        m
+    }
+
+    /// Word-packed bitmap of the content-bearing pages.
+    pub fn content_bitmap(&self) -> DirtyBitmap {
+        self.image.pages.keys().copied().collect()
+    }
+
+    /// Pages recorded by this layer (content + zero).
+    pub fn page_count(&self) -> u64 {
+        self.image.page_count() as u64
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.seq);
+        buf.put_u8(match self.kind {
+            LayerKind::Base => KIND_BASE,
+            LayerKind::Diff => KIND_DIFF,
+        });
+        buf.put_u8(0); // pad
+        buf.put_u32(self.image.vmas.len() as u32);
+        for v in &self.image.vmas {
+            buf.put_u64(v.start.raw());
+            buf.put_u64(v.pages);
+            buf.put_u8(v.writable as u8);
+            buf.put_bytes(0, 7);
+        }
+        encode_bitmap(&self.content_bitmap(), buf);
+        encode_bitmap(&self.image.zero_pages, buf);
+        for data in self.image.pages.values() {
+            buf.put_slice(data);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, ChainError> {
+        if buf.remaining() < 10 {
+            return Err(ChainError::Truncated);
+        }
+        let seq = buf.get_u32();
+        let kind = match buf.get_u8() {
+            KIND_BASE => LayerKind::Base,
+            KIND_DIFF => LayerKind::Diff,
+            k => return Err(ChainError::BadLayerKind(k)),
+        };
+        let _pad = buf.get_u8();
+        let n_vmas = buf.get_u32() as usize;
+        let mut image = CheckpointImage::new(kind == LayerKind::Diff);
+        for _ in 0..n_vmas {
+            if buf.remaining() < 24 {
+                return Err(ChainError::Truncated);
+            }
+            let start = Gva(buf.get_u64());
+            let pages = buf.get_u64();
+            let writable = buf.get_u8() != 0;
+            buf.advance(7);
+            image.vmas.push(VmaRecord {
+                start,
+                pages,
+                writable,
+            });
+        }
+        let content = decode_bitmap(buf)?;
+        let zero = decode_bitmap(buf)?;
+        if content.intersects(&zero) {
+            let page = content
+                .pages()
+                .find(|&p| zero.contains(p))
+                .unwrap_or_default();
+            return Err(ChainError::ZeroContentOverlap { seq, page });
+        }
+        for page in content.pages() {
+            if buf.remaining() < PAGE_SIZE as usize {
+                return Err(ChainError::Truncated);
+            }
+            let data = buf.copy_to_bytes(PAGE_SIZE as usize);
+            image.pages.insert(page, data.to_vec().into_boxed_slice());
+        }
+        image.zero_pages = zero;
+        Ok(ChainLayer { seq, kind, image })
+    }
+
+    fn validate(&self, index: usize) -> Result<(), ChainError> {
+        if self.seq as usize != index {
+            return Err(ChainError::SeqMismatch {
+                index,
+                seq: self.seq,
+            });
+        }
+        let expect_kind = if index == 0 {
+            LayerKind::Base
+        } else {
+            LayerKind::Diff
+        };
+        if self.kind != expect_kind {
+            return Err(ChainError::BaseNotFirst { index });
+        }
+        if self.image.incremental != (self.kind == LayerKind::Diff) {
+            return Err(ChainError::BaseNotFirst { index });
+        }
+        let content = self.content_bitmap();
+        if content.intersects(&self.image.zero_pages) {
+            let page = content
+                .pages()
+                .find(|&p| self.image.zero_pages.contains(p))
+                .unwrap_or_default();
+            return Err(ChainError::ZeroContentOverlap {
+                seq: self.seq,
+                page,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Encode a word-packed bitmap in canonical form: chunk indices ascending,
+/// a presence mask per chunk, only nonzero words stored.
+fn encode_bitmap(bitmap: &DirtyBitmap, buf: &mut BytesMut) {
+    let n_chunks = bitmap.chunk_iter().count() as u32;
+    buf.put_u32(n_chunks);
+    for (ci, words) in bitmap.chunk_iter() {
+        let mut presence = 0u64;
+        for (wi, &w) in words.iter().enumerate() {
+            if w != 0 {
+                presence |= 1u64 << wi;
+            }
+        }
+        buf.put_u64(ci);
+        buf.put_u64(presence);
+        for &w in words.iter().filter(|&&w| w != 0) {
+            buf.put_u64(w);
+        }
+    }
+}
+
+fn decode_bitmap(buf: &mut Bytes) -> Result<DirtyBitmap, ChainError> {
+    if buf.remaining() < 4 {
+        return Err(ChainError::Truncated);
+    }
+    let n_chunks = buf.get_u32();
+    let mut out = DirtyBitmap::new();
+    let mut last_chunk: Option<u64> = None;
+    for _ in 0..n_chunks {
+        if buf.remaining() < 16 {
+            return Err(ChainError::Truncated);
+        }
+        let ci = buf.get_u64();
+        if last_chunk.is_some_and(|prev| ci <= prev) {
+            return Err(ChainError::NonCanonicalBitmap);
+        }
+        last_chunk = Some(ci);
+        let presence = buf.get_u64();
+        if presence == 0 {
+            return Err(ChainError::NonCanonicalBitmap); // empty chunk stored
+        }
+        for wi in 0..64 {
+            if presence & (1u64 << wi) == 0 {
+                continue;
+            }
+            if buf.remaining() < 8 {
+                return Err(ChainError::Truncated);
+            }
+            let w = buf.get_u64();
+            if w == 0 {
+                return Err(ChainError::NonCanonicalBitmap); // zero word stored
+            }
+            out.insert_word(ci, wi, w);
+        }
+    }
+    Ok(out)
+}
+
+/// Chain format / integrity errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChainError {
+    BadMagic(u32),
+    BadVersion(u16),
+    Truncated,
+    BadLayerKind(u8),
+    /// A page is recorded both as content and as zero in one layer.
+    ZeroContentOverlap { seq: u32, page: u64 },
+    /// Layer `seq` does not match its position in the chain.
+    SeqMismatch { index: usize, seq: u32 },
+    /// A base layer after index 0, or a diff layer at index 0.
+    BaseNotFirst { index: usize },
+    /// Bitmap encoding broke canonical form (unsorted chunks, zero words).
+    NonCanonicalBitmap,
+    /// Compaction range out of bounds or reversed.
+    BadRange { from: usize, to: usize, len: usize },
+    Empty,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::BadMagic(m) => write!(f, "bad chain magic {m:#x}"),
+            ChainError::BadVersion(v) => write!(f, "unsupported chain version {v}"),
+            ChainError::Truncated => write!(f, "truncated chain"),
+            ChainError::BadLayerKind(k) => write!(f, "unknown layer kind {k}"),
+            ChainError::ZeroContentOverlap { seq, page } => {
+                write!(f, "layer {seq}: page {page:#x} is both content and zero")
+            }
+            ChainError::SeqMismatch { index, seq } => {
+                write!(f, "layer at index {index} carries seq {seq}")
+            }
+            ChainError::BaseNotFirst { index } => {
+                write!(f, "layer kind/position mismatch at index {index}")
+            }
+            ChainError::NonCanonicalBitmap => write!(f, "non-canonical bitmap encoding"),
+            ChainError::BadRange { from, to, len } => {
+                write!(f, "compaction range {from}..={to} invalid for {len} layers")
+            }
+            ChainError::Empty => write!(f, "empty chain"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A base image plus ordered incremental diffs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChain {
+    layers: Vec<ChainLayer>,
+}
+
+impl SnapshotChain {
+    /// Start a chain from a full (base) checkpoint image.
+    pub fn new(mut base: CheckpointImage) -> Self {
+        base.incremental = false;
+        Self {
+            layers: vec![ChainLayer {
+                seq: 0,
+                kind: LayerKind::Base,
+                image: base,
+            }],
+        }
+    }
+
+    /// Append a diff layer holding the pages dirtied since the previous
+    /// layer.
+    pub fn push_diff(&mut self, mut diff: CheckpointImage) {
+        diff.incremental = true;
+        self.layers.push(ChainLayer {
+            seq: self.layers.len() as u32,
+            kind: LayerKind::Diff,
+            image: diff,
+        });
+    }
+
+    pub fn layers(&self) -> &[ChainLayer] {
+        &self.layers
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total page records across all layers — what the chain *shipped*.
+    /// Compare with `layers × resident` for the repeated-full-snapshot cost.
+    pub fn pages_shipped(&self) -> u64 {
+        self.layers.iter().map(ChainLayer::page_count).sum()
+    }
+
+    /// Check every structural invariant (see module docs).
+    pub fn validate(&self) -> Result<(), ChainError> {
+        if self.layers.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.validate(i)?;
+        }
+        Ok(())
+    }
+
+    /// Apply the base and replay the diffs in order: the single full image
+    /// the chain denotes. Restoring `flatten()` is the chain's semantics.
+    pub fn flatten(&self) -> CheckpointImage {
+        let mut img = self.layers[0].image.clone();
+        for layer in &self.layers[1..] {
+            img.apply(&layer.image);
+        }
+        img
+    }
+
+    /// Merge the adjacent layers `from..=to` into one. The flattened image
+    /// — and therefore the restored state — is unchanged; only the layer
+    /// structure (and the pages shipped, for future transfers) changes.
+    /// Merging a range that starts at 0 produces a new base.
+    pub fn compact(&mut self, from: usize, to: usize) -> Result<(), ChainError> {
+        let len = self.layers.len();
+        if from > to || to >= len {
+            return Err(ChainError::BadRange { from, to, len });
+        }
+        if from == to {
+            return Ok(()); // single layer: nothing to merge
+        }
+        let mut merged = self.layers[from].image.clone();
+        for layer in &self.layers[from + 1..=to] {
+            merged.apply(&layer.image);
+        }
+        merged.incremental = from != 0;
+        let kind = if from == 0 {
+            LayerKind::Base
+        } else {
+            LayerKind::Diff
+        };
+        self.layers.splice(
+            from..=to,
+            [ChainLayer {
+                seq: 0, // re-stamped below
+                kind,
+                image: merged,
+            }],
+        );
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.seq = i as u32;
+        }
+        Ok(())
+    }
+
+    /// Compact the whole chain into a single base layer.
+    pub fn compact_all(&mut self) -> Result<(), ChainError> {
+        if self.layers.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        self.compact(0, self.layers.len() - 1)
+    }
+
+    /// Serialize the chain to the version-1 wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(CHAIN_MAGIC);
+        buf.put_u16(CHAIN_VERSION);
+        buf.put_u16(self.layers.len() as u16);
+        for layer in &self.layers {
+            let mut lbuf = BytesMut::new();
+            layer.encode_into(&mut lbuf);
+            buf.put_u64(lbuf.len() as u64);
+            buf.put_slice(lbuf.as_ref());
+        }
+        buf.freeze()
+    }
+
+    /// Parse and structurally validate a version-1 chain.
+    pub fn decode(mut buf: Bytes) -> Result<Self, ChainError> {
+        if buf.remaining() < 8 {
+            return Err(ChainError::Truncated);
+        }
+        let magic = buf.get_u32();
+        if magic != CHAIN_MAGIC {
+            return Err(ChainError::BadMagic(magic));
+        }
+        let version = buf.get_u16();
+        if version != CHAIN_VERSION {
+            return Err(ChainError::BadVersion(version));
+        }
+        let n_layers = buf.get_u16() as usize;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            if buf.remaining() < 8 {
+                return Err(ChainError::Truncated);
+            }
+            let len = buf.get_u64() as usize;
+            if buf.remaining() < len {
+                return Err(ChainError::Truncated);
+            }
+            let mut lbuf = buf.copy_to_bytes(len);
+            layers.push(ChainLayer::decode(&mut lbuf)?);
+        }
+        let chain = Self { layers };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Restore the chain into a brand-new process: flatten, then run the
+    /// ordinary image restorer. Returns the new PID.
+    pub fn restore(
+        &self,
+        hv: &mut Hypervisor,
+        kernel: &mut GuestKernel,
+    ) -> Result<Pid, GuestError> {
+        crate::restore::restore(hv, kernel, &self.flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE as usize]
+    }
+
+    fn base_image(pages: u64) -> CheckpointImage {
+        let mut img = CheckpointImage::new(false);
+        img.vmas.push(VmaRecord {
+            start: Gva::from_page(0x10),
+            pages,
+            writable: true,
+        });
+        for p in 0..pages {
+            img.put_page(0x10 + p, &page_of(p as u8 + 1));
+        }
+        img
+    }
+
+    #[test]
+    fn chain_roundtrip_is_identity() {
+        let mut chain = SnapshotChain::new(base_image(6));
+        let mut d1 = CheckpointImage::new(true);
+        d1.put_page(0x11, &page_of(0xAA));
+        d1.put_page(0x13, &page_of(0)); // content -> zero
+        chain.push_diff(d1);
+        let mut d2 = CheckpointImage::new(true);
+        d2.put_page(0x13, &page_of(0xBB)); // zero -> content again
+        chain.push_diff(d2);
+
+        chain.validate().unwrap();
+        let decoded = SnapshotChain::decode(chain.encode()).unwrap();
+        assert_eq!(decoded, chain);
+        assert_eq!(decoded.flatten(), chain.flatten());
+    }
+
+    #[test]
+    fn flatten_applies_diffs_in_order() {
+        let mut chain = SnapshotChain::new(base_image(4));
+        let mut d1 = CheckpointImage::new(true);
+        d1.put_page(0x11, &page_of(0x22));
+        chain.push_diff(d1);
+        let mut d2 = CheckpointImage::new(true);
+        d2.put_page(0x11, &page_of(0x33)); // supersedes d1
+        chain.push_diff(d2);
+        let flat = chain.flatten();
+        assert_eq!(flat.pages[&0x11][0], 0x33);
+        assert_eq!(flat.pages[&0x10][0], 1);
+        assert_eq!(flat.page_count(), 4);
+    }
+
+    #[test]
+    fn compaction_preserves_flatten() {
+        let mut chain = SnapshotChain::new(base_image(8));
+        for i in 0..4u8 {
+            let mut d = CheckpointImage::new(true);
+            d.put_page(0x10 + u64::from(i % 3), &page_of(0x40 + i));
+            d.put_page(0x14, &page_of(if i % 2 == 0 { 0 } else { 0x99 }));
+            chain.push_diff(d);
+        }
+        let before = chain.flatten();
+        let mut middle = chain.clone();
+        middle.compact(1, 3).unwrap();
+        assert_eq!(middle.len(), 3);
+        assert_eq!(middle.flatten(), before);
+        middle.validate().unwrap();
+
+        let mut all = chain.clone();
+        all.compact_all().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all.flatten(), before);
+        all.validate().unwrap();
+        // A compacted-to-base chain IS its flatten.
+        assert_eq!(all.layers()[0].image, before);
+    }
+
+    #[test]
+    fn compact_range_checks() {
+        let mut chain = SnapshotChain::new(base_image(2));
+        chain.push_diff(CheckpointImage::new(true));
+        assert!(matches!(
+            chain.compact(1, 2),
+            Err(ChainError::BadRange { .. })
+        ));
+        assert!(matches!(
+            chain.compact(2, 1),
+            Err(ChainError::BadRange { .. })
+        ));
+        chain.compact(1, 1).unwrap(); // no-op
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_chains() {
+        // Diff first.
+        let mut chain = SnapshotChain::new(base_image(2));
+        chain.layers[0].kind = LayerKind::Diff;
+        chain.layers[0].image.incremental = true;
+        assert!(matches!(
+            chain.validate(),
+            Err(ChainError::BaseNotFirst { index: 0 })
+        ));
+
+        // Seq gap.
+        let mut chain = SnapshotChain::new(base_image(2));
+        chain.push_diff(CheckpointImage::new(true));
+        chain.layers[1].seq = 7;
+        assert!(matches!(
+            chain.validate(),
+            Err(ChainError::SeqMismatch { index: 1, seq: 7 })
+        ));
+
+        // Content/zero overlap smuggled past put_page.
+        let mut chain = SnapshotChain::new(base_image(2));
+        let mut d = CheckpointImage::new(true);
+        d.put_page(0x11, &page_of(0x55));
+        d.zero_pages.insert(0x11);
+        chain.push_diff(d);
+        assert!(matches!(
+            chain.validate(),
+            Err(ChainError::ZeroContentOverlap { seq: 1, page: 0x11 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let chain = SnapshotChain::new(base_image(3));
+        let good = chain.encode();
+
+        let mut bad_magic = BytesMut::new();
+        bad_magic.put_u32(0xDEAD_BEEF);
+        bad_magic.put_slice(&good.as_ref()[4..]);
+        assert!(matches!(
+            SnapshotChain::decode(bad_magic.freeze()),
+            Err(ChainError::BadMagic(0xDEAD_BEEF))
+        ));
+
+        let cut = good.slice(0..good.len() - 17);
+        assert!(matches!(
+            SnapshotChain::decode(cut),
+            Err(ChainError::Truncated)
+        ));
+
+        let mut bad_version = BytesMut::new();
+        bad_version.put_u32(CHAIN_MAGIC);
+        bad_version.put_u16(99);
+        bad_version.put_slice(&good.as_ref()[6..]);
+        assert!(matches!(
+            SnapshotChain::decode(bad_version.freeze()),
+            Err(ChainError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn diff_layers_are_cheap_on_the_wire() {
+        let mut chain = SnapshotChain::new(base_image(64));
+        let mut d = CheckpointImage::new(true);
+        d.put_page(0x20, &page_of(0x77));
+        d.put_page(0x21, &page_of(0)); // zero page: manifest-only
+        chain.push_diff(d);
+        let total = chain.encode().len();
+        let base_only = SnapshotChain::new(base_image(64)).encode().len();
+        let diff_cost = total - base_only;
+        // One content page + manifests + VMA table, far under two raw pages.
+        assert!(
+            diff_cost < PAGE_SIZE as usize + 512,
+            "diff layer cost {diff_cost} bytes"
+        );
+    }
+
+    #[test]
+    fn zero_word_bitmap_rejected() {
+        // Hand-build a layer whose bitmap stores a zero word: decode must
+        // reject non-canonical form.
+        let mut buf = BytesMut::new();
+        buf.put_u32(CHAIN_MAGIC);
+        buf.put_u16(CHAIN_VERSION);
+        buf.put_u16(1);
+        let mut layer = BytesMut::new();
+        layer.put_u32(0); // seq
+        layer.put_u8(KIND_BASE);
+        layer.put_u8(0);
+        layer.put_u32(0); // no vmas
+        layer.put_u32(1); // content bitmap: 1 chunk
+        layer.put_u64(0); // chunk 0
+        layer.put_u64(1); // presence: word 0
+        layer.put_u64(0); // ...but the word is zero
+        layer.put_u32(0); // zero bitmap: empty
+        buf.put_u64(layer.len() as u64);
+        buf.put_slice(layer.as_ref());
+        assert_eq!(
+            SnapshotChain::decode(buf.freeze()),
+            Err(ChainError::NonCanonicalBitmap)
+        );
+    }
+}

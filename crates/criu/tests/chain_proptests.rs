@@ -1,0 +1,205 @@
+//! Property tests for the snapshot-chain format
+//! (`criu/src/snapshot_chain.rs`).
+//!
+//! Three properties back the fleet control plane's use of chains:
+//!
+//! 1. **Compaction is invisible** — merging any adjacent layer range
+//!    leaves the flattened (restored) image unchanged, so a fleet can
+//!    garbage-collect chain history at will;
+//! 2. **Layers are disjoint-or-superseding** — within one layer a page is
+//!    content *or* zero, never both, and across layers the *last* layer
+//!    recording a page decides its restored bytes;
+//! 3. **The wire format is lossless and canonical** — decode(encode(c))
+//!    is identity, and equal chains produce byte-equal encodings (what
+//!    the fleet determinism tests byte-diff).
+
+use ooh_criu::{CheckpointImage, ChainError, LayerKind, SnapshotChain, VmaRecord};
+use ooh_machine::{Gva, PAGE_SIZE};
+use proptest::prelude::*;
+
+const PAGES: u64 = 48;
+
+fn page_of(byte: u8) -> Vec<u8> {
+    vec![byte; PAGE_SIZE as usize]
+}
+
+/// Build a chain from a generated script: a full base over `PAGES` pages,
+/// then one diff layer per op-group. A `(page, byte)` op writes `byte`
+/// into `page` (byte 0 makes it an all-zero page, exercising zero-dedup).
+fn build_chain(diff_scripts: &[Vec<(u64, u8)>]) -> SnapshotChain {
+    let mut base = CheckpointImage::new(false);
+    base.vmas.push(VmaRecord {
+        start: Gva::from_page(0x100),
+        pages: PAGES,
+        writable: true,
+    });
+    for p in 0..PAGES {
+        base.put_page(0x100 + p, &page_of((p % 7) as u8));
+    }
+    let mut chain = SnapshotChain::new(base);
+    for script in diff_scripts {
+        let mut diff = CheckpointImage::new(true);
+        for &(page, byte) in script {
+            diff.put_page(0x100 + page % PAGES, &page_of(byte));
+        }
+        chain.push_diff(diff);
+    }
+    chain
+}
+
+/// The obviously-correct reference model: a flat map from page number to
+/// its latest bytes, replayed write by write.
+fn reference_pages(diff_scripts: &[Vec<(u64, u8)>]) -> Vec<(u64, u8)> {
+    let mut model: std::collections::BTreeMap<u64, u8> =
+        (0..PAGES).map(|p| (0x100 + p, (p % 7) as u8)).collect();
+    for script in diff_scripts {
+        for &(page, byte) in script {
+            model.insert(0x100 + page % PAGES, byte);
+        }
+    }
+    model.into_iter().collect()
+}
+
+fn assert_image_matches_model(
+    img: &CheckpointImage,
+    model: &[(u64, u8)],
+) -> Result<(), String> {
+    prop_assert_eq!(img.page_count() as u64, model.len() as u64);
+    for &(page, byte) in model {
+        if byte == 0 {
+            prop_assert!(
+                img.zero_pages.contains(page),
+                "page {:#x} should be zero-deduplicated",
+                page
+            );
+        } else {
+            let data = img
+                .pages
+                .get(&page)
+                .unwrap_or_else(|| panic!("page {page:#x} missing from image"));
+            prop_assert!(
+                data.iter().all(|&b| b == byte),
+                "page {:#x} holds wrong bytes",
+                page
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Compacting ANY adjacent layer range — including ranges touching the
+    /// base — leaves the flattened image identical, and the compacted
+    /// chain still validates.
+    #[test]
+    fn compaction_preserves_restore_state(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u64..PAGES, any::<u8>()), 0..12),
+            1..6,
+        ),
+        pick in any::<u64>(),
+    ) {
+        let chain = build_chain(&scripts);
+        let model = reference_pages(&scripts);
+        let before = chain.flatten();
+        assert_image_matches_model(&before, &model)?;
+
+        // A pseudo-random adjacent range derived from `pick`.
+        let len = chain.len() as u64;
+        let from = (pick % len) as usize;
+        let to = from + ((pick >> 32) % (len - from as u64)) as usize;
+        let mut compacted = chain.clone();
+        compacted.compact(from, to).unwrap();
+        compacted.validate().unwrap();
+        prop_assert_eq!(compacted.flatten(), before.clone());
+
+        // Degenerate full compaction: a single base layer that IS the
+        // flattened image.
+        let mut all = chain.clone();
+        all.compact_all().unwrap();
+        prop_assert_eq!(all.len(), 1);
+        prop_assert_eq!(all.layers()[0].kind, LayerKind::Base);
+        prop_assert_eq!(&all.layers()[0].image, &before);
+    }
+
+    /// Within a layer, the content and zero bitmaps are disjoint; across
+    /// layers, a page recorded several times is *superseded*: the last
+    /// layer recording it decides the restored bytes.
+    #[test]
+    fn layers_are_disjoint_or_superseding(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u64..PAGES, any::<u8>()), 0..12),
+            1..6,
+        ),
+    ) {
+        let chain = build_chain(&scripts);
+        chain.validate().unwrap();
+        for layer in chain.layers() {
+            prop_assert!(
+                !layer.content_bitmap().intersects(&layer.image.zero_pages),
+                "layer {}: a page is both content and zero",
+                layer.seq
+            );
+            // The manifest is exactly content ∪ zero.
+            prop_assert_eq!(
+                layer.manifest().len() as u64,
+                layer.page_count(),
+                "layer {}: manifest over/under-counts",
+                layer.seq
+            );
+        }
+        // Supersession: walking layers in order and taking the last record
+        // per page reproduces flatten() exactly.
+        let flat = chain.flatten();
+        let mut last: std::collections::BTreeMap<u64, Option<&[u8]>> =
+            std::collections::BTreeMap::new();
+        for layer in chain.layers() {
+            for (&page, data) in &layer.image.pages {
+                last.insert(page, Some(data));
+            }
+            for page in layer.image.zero_pages.pages() {
+                last.insert(page, None);
+            }
+        }
+        prop_assert_eq!(last.len() as u64, flat.page_count() as u64);
+        for (page, data) in last {
+            match data {
+                Some(bytes) => prop_assert_eq!(
+                    flat.pages.get(&page).map(|b| &b[..]),
+                    Some(bytes),
+                    "page {:#x} not superseded by the last layer",
+                    page
+                ),
+                None => prop_assert!(
+                    flat.zero_pages.contains(page),
+                    "page {:#x} should flatten to zero",
+                    page
+                ),
+            }
+        }
+    }
+
+    /// decode(encode(chain)) is identity, and encoding is canonical: equal
+    /// chains — however their bitmaps were populated — encode to equal
+    /// bytes.
+    #[test]
+    fn encode_decode_roundtrip_identity(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u64..PAGES, any::<u8>()), 0..12),
+            1..6,
+        ),
+    ) {
+        let chain = build_chain(&scripts);
+        let wire = chain.encode();
+        let decoded = SnapshotChain::decode(wire.clone()).unwrap();
+        prop_assert_eq!(&decoded, &chain);
+        prop_assert_eq!(decoded.flatten(), chain.flatten());
+        // Canonical: re-encoding the decoded chain is byte-identical.
+        let rewire = decoded.encode();
+        prop_assert_eq!(rewire.as_ref(), wire.as_ref());
+        // And truncating anywhere strictly inside the wire must error, not
+        // mis-parse.
+        let cut = wire.slice(0..wire.len() - 1);
+        prop_assert_eq!(SnapshotChain::decode(cut), Err(ChainError::Truncated));
+    }
+}

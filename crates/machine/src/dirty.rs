@@ -279,6 +279,44 @@ impl DirtyBitmap {
         std::mem::take(self)
     }
 
+    /// True when the two sets share at least one page — O(words of the
+    /// smaller chunk overlap), no allocation.
+    pub fn intersects(&self, other: &DirtyBitmap) -> bool {
+        let (small, big) = if self.chunks.len() <= other.chunks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.chunks.iter().any(|(ci, a)| {
+            big.chunks
+                .get(ci)
+                .is_some_and(|b| a.iter().zip(b.iter()).any(|(&x, &y)| x & y != 0))
+        })
+    }
+
+    /// The stored chunks in ascending chunk-index order, as
+    /// `(chunk_index, words)` pairs (`words` is [`CHUNK_WORDS`] long; the
+    /// chunk covers pages `[index * CHUNK_PAGES, (index + 1) * CHUNK_PAGES)`).
+    /// This is the raw word-packed view wire formats serialize.
+    pub fn chunk_iter(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        self.chunks.iter().map(|(&ci, c)| (ci, &c[..]))
+    }
+
+    /// OR one raw word into the bitmap at `(chunk_index, word_index)` — the
+    /// decode-side counterpart of [`chunk_iter`](Self::chunk_iter). Length
+    /// bookkeeping is by popcount delta; an all-zero word is a no-op (the
+    /// no-empty-chunk invariant is preserved).
+    pub fn insert_word(&mut self, chunk_index: u64, word_index: usize, word: u64) {
+        assert!(word_index < CHUNK_WORDS, "word index {word_index} out of chunk");
+        if word == 0 {
+            return;
+        }
+        let chunk = self.chunks.entry(chunk_index).or_insert_with(new_chunk);
+        let slot = &mut chunk[word_index];
+        self.len += (word & !*slot).count_ones() as usize;
+        *slot |= word;
+    }
+
     /// Drop every bit — O(chunks).
     pub fn clear(&mut self) {
         self.chunks.clear();
@@ -506,6 +544,41 @@ mod tests {
         assert_eq!(word_mask(0, 1), 1);
         assert_eq!(word_mask(63, 64), 1 << 63);
         assert_eq!(word_mask(4, 4), 0);
+    }
+
+    #[test]
+    fn intersects_matches_reference() {
+        let a: DirtyBitmap = [1u64, 64, CHUNK_PAGES + 3].into_iter().collect();
+        let b: DirtyBitmap = [2u64, CHUNK_PAGES + 3].into_iter().collect();
+        let c: DirtyBitmap = [0u64, 63, CHUNK_PAGES + 4].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+        assert!(!a.intersects(&DirtyBitmap::new()));
+        assert!(!DirtyBitmap::new().intersects(&a));
+    }
+
+    #[test]
+    fn chunk_iter_insert_word_roundtrip() {
+        let pages = [0u64, 1, 63, 64, 65, CHUNK_PAGES - 1, CHUNK_PAGES, 9 * CHUNK_PAGES + 17];
+        let src: DirtyBitmap = pages.into_iter().collect();
+        let mut dst = DirtyBitmap::new();
+        for (ci, words) in src.chunk_iter() {
+            for (wi, &w) in words.iter().enumerate() {
+                dst.insert_word(ci, wi, w);
+            }
+        }
+        assert_eq!(dst, src);
+        assert_eq!(dst.len(), src.len());
+        // Duplicated words are idempotent, zero words change nothing.
+        for (ci, words) in src.chunk_iter() {
+            for (wi, &w) in words.iter().enumerate() {
+                dst.insert_word(ci, wi, w);
+            }
+        }
+        dst.insert_word(1234, 0, 0);
+        assert_eq!(dst, src);
     }
 
     proptest::proptest! {

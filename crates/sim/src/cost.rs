@@ -266,6 +266,9 @@ impl CostModel {
             Event::PostedInterrupt => self.posted_interrupt_ns,
             Event::SppUpdate => self.spp_update_ns,
             Event::SppViolationFault => self.page_fault_kernel_ns,
+            // Channel-dependent: the migration driver charges its configured
+            // per-page cost through `charge_n_ns`.
+            Event::MigrationPageCopy => 0,
         }
     }
 

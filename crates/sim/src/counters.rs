@@ -153,6 +153,13 @@ events! {
         SppUpdate,
         /// Write blocked by a sub-page guard (overflow detected).
         SppViolationFault,
+
+        // --- migration / checkpoint transport ----------------------------------------
+        /// One page shipped over the migration/checkpoint copy channel
+        /// during a pre-copy round. The cost is channel-dependent
+        /// (`MigrationConfig::page_copy_ns`), charged explicitly via
+        /// `SimCtx::charge_n_ns`, so the flat unit cost here is zero.
+        MigrationPageCopy,
     }
 }
 

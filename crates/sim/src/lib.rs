@@ -167,6 +167,15 @@ impl SimCtx {
         ns
     }
 
+    /// Record `n` occurrences of `event` with an explicit *total* cost —
+    /// for batches whose unit cost is not in the [`CostModel`], e.g. a
+    /// migration round shipping `n` pages over a configured copy channel.
+    pub fn charge_n_ns(&self, lane: Lane, event: Event, n: u64, ns: u64) -> u64 {
+        self.inner.counters.add(event, n);
+        self.advance_traced(lane, Some(event), n, ns);
+        ns
+    }
+
     /// Record one occurrence of `event` with an explicit cost (for costs
     /// computed from mechanism state, e.g. a pagemap scan proportional to
     /// resident pages).

@@ -44,6 +44,11 @@ pub struct Node {
 pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("hypervisor", "hypercall"),
     ("hypervisor", "handle_*"),
+    // The pre-copy migration round surface: the fleet control plane drives
+    // these directly, so the copy channel must account its pages.
+    ("hypervisor", "round"),
+    ("hypervisor", "finalize"),
+    ("hypervisor", "run_*"),
     ("guest", "handle_*"),
     ("guest", "shootdown_page"),
     ("guest", "shootdown_all"),

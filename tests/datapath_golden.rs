@@ -176,3 +176,87 @@ fn criu_dump_chain_matches_old_data_path() {
     text.push('\n');
     check("datapath_criu.txt", &text);
 }
+
+/// The snapshot-chain wire format pinned the same way: a fixed per-technique
+/// base + 2-diff + final chain, with per-layer structure lines and FNV-1a
+/// fingerprints of the full chain encoding, its flattened image, and the
+/// fully-compacted chain. Any byte-level change to the chain container
+/// (header, layer framing, canonical bitmap wire) or to compaction
+/// semantics lands in this golden.
+#[test]
+fn snapshot_chain_wire_matches_golden() {
+    use ooh::criu::SnapshotChain;
+
+    let mut lines = Vec::new();
+    for technique in Technique::ALL {
+        let mut hv = Hypervisor::new(
+            MachineConfig::epml(64 * 1024 * PAGE_SIZE),
+            SimCtx::new(),
+        );
+        let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, 1).expect("vm");
+        let mut kernel = GuestKernel::new(vm);
+        let pid = kernel.spawn(&mut hv).expect("spawn");
+        let region = kernel.mmap(pid, 64, true, VmaKind::Anon).expect("mmap");
+        for (i, g) in region.iter_pages().collect::<Vec<_>>().iter().enumerate() {
+            let v = if i < 8 { 0 } else { i as u64 };
+            kernel.write_u64(&mut hv, pid, *g, v, Lane::Tracked).expect("write");
+        }
+
+        let mut criu =
+            Criu::attach(&mut hv, &mut kernel, pid, CriuConfig::new(technique)).expect("attach");
+        let (base, _) = criu.full_dump(&mut hv, &mut kernel, pid).expect("full");
+        let mut chain = SnapshotChain::new(base);
+        // Two pre-copy deltas (the second writes one page back to zero),
+        // then a final stop-and-copy cut.
+        for i in [3u64, 9, 17, 33, 63] {
+            kernel
+                .write_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), 1000 + i, Lane::Tracked)
+                .expect("write");
+        }
+        let (d1, _) = criu.pre_dump(&mut hv, &mut kernel, pid).expect("pre");
+        chain.push_diff(d1);
+        kernel
+            .write_u64(&mut hv, pid, region.start.add(10 * PAGE_SIZE), 0, Lane::Tracked)
+            .expect("write");
+        let (d2, _) = criu.pre_dump(&mut hv, &mut kernel, pid).expect("pre");
+        chain.push_diff(d2);
+        for i in [9u64, 40] {
+            kernel
+                .write_u64(&mut hv, pid, region.start.add(i * PAGE_SIZE), 2000 + i, Lane::Tracked)
+                .expect("write");
+        }
+        let (fin, _) = criu.final_dump(&mut hv, &mut kernel, pid).expect("final");
+        chain.push_diff(fin);
+        criu.detach(&mut hv, &mut kernel).expect("detach");
+        chain.validate().expect("valid chain");
+
+        for layer in chain.layers() {
+            lines.push(format!(
+                "{} layer seq={} kind={:?} content={} zero={} manifest={}",
+                technique.name(),
+                layer.seq,
+                layer.kind,
+                layer.content_bitmap().len(),
+                layer.image.zero_pages.len(),
+                layer.manifest().len(),
+            ));
+        }
+        let wire = chain.encode();
+        let mut compacted = chain.clone();
+        compacted.compact_all().expect("compact");
+        lines.push(format!(
+            "{} chain layers={} shipped={} wire_bytes={} wire_fnv={:016x} \
+             flat_fnv={:016x} compact_fnv={:016x}",
+            technique.name(),
+            chain.len(),
+            chain.pages_shipped(),
+            wire.len(),
+            fnv1a(wire.as_ref()),
+            fnv1a(chain.flatten().encode().as_ref()),
+            fnv1a(compacted.encode().as_ref()),
+        ));
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    check("datapath_chain.txt", &text);
+}

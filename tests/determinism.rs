@@ -136,3 +136,32 @@ fn trace_on_and_trace_off_runs_are_byte_identical() {
         assert!(tracer.records() > 0, "tracer observed nothing");
     }
 }
+
+/// The fleet control plane inherits the determinism contract wholesale: a
+/// whole fleet run — per-VM snapshot chains, convergence decisions, lane
+/// attribution, chain fingerprints — must serialize byte-identically
+/// across reruns AND across rayon worker-thread counts. This is what lets
+/// CI diff two `fleet_snap` runs and treat any divergence as a bug.
+#[test]
+fn fleet_run_is_byte_identical_across_reruns_and_thread_counts() {
+    use ooh::bench::fleet::{run_fleet, FleetConfig};
+
+    let config = FleetConfig {
+        n_vms: 6,
+        threads: 2,
+        pages_per_vm: 256,
+        ..FleetConfig::default()
+    };
+    let first = serde_json::to_string(&run_fleet(&config)).expect("fleet json");
+    let rerun = serde_json::to_string(&run_fleet(&config)).expect("fleet json");
+    assert_eq!(first, rerun, "fleet rerun diverged at equal thread count");
+
+    for threads in [1usize, 4] {
+        let other = FleetConfig { threads, ..config };
+        let alt = serde_json::to_string(&run_fleet(&other)).expect("fleet json");
+        assert_eq!(
+            first, alt,
+            "fleet run at {threads} threads diverged from the 2-thread run"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Differential oracle for snapshot chains: restoring an incremental
+//! diff-chain must be **byte-identical** to a full snapshot taken at the
+//! same virtual instant — for every tracking technique, at 1/2/4 vCPUs,
+//! under randomized (seeded) write schedules.
+//!
+//! The chain is the fleet control plane's transfer format; the full dump
+//! is the obviously-correct oracle. Three layers of identity are checked:
+//!
+//! 1. **image level** — `chain.flatten()` equals the oracle image
+//!    structurally *and* on the wire (`encode()` bytes);
+//! 2. **process level** — restoring the chain yields a process whose every
+//!    page byte-verifies against the oracle image;
+//! 3. **compaction level** — compacting the chain (fully, and a middle
+//!    slice) changes neither of the above.
+
+use ooh::criu::SnapshotChain;
+use ooh::prelude::*;
+
+/// splitmix64 stream with a literal seed (the schedule is part of the test).
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct Rig {
+    hv: Hypervisor,
+    kernel: GuestKernel,
+    pid: Pid,
+    region: GvaRange,
+}
+
+fn boot(pages: u64, vcpus: u32) -> Rig {
+    let mut hv = Hypervisor::new(MachineConfig::epml(64 * 1024 * PAGE_SIZE), SimCtx::new());
+    let vm = hv.create_vm(16 * 1024 * PAGE_SIZE, vcpus).unwrap();
+    let mut kernel = GuestKernel::with_vcpus(vm, vcpus);
+    let pid = kernel.spawn(&mut hv).unwrap();
+    let region = kernel.mmap(pid, pages, true, VmaKind::Anon).unwrap();
+    for (i, g) in region.iter_pages().enumerate().collect::<Vec<_>>() {
+        kernel
+            .write_u64(&mut hv, pid, g, (i as u64) << 8 | 1, Lane::Tracked)
+            .unwrap();
+    }
+    Rig {
+        hv,
+        kernel,
+        pid,
+        region,
+    }
+}
+
+/// Grow a chain under a randomized write schedule, then check all three
+/// identity layers against a full-dump oracle.
+fn chain_matches_oracle(technique: Technique, vcpus: u32, seed: u64) {
+    const PAGES: u64 = 40;
+    let mut rig = boot(PAGES, vcpus);
+    let mut next = splitmix(seed);
+    let label = format!("{} vcpus={vcpus} seed={seed:#x}", technique.name());
+
+    let mut criu = Criu::attach(
+        &mut rig.hv,
+        &mut rig.kernel,
+        rig.pid,
+        CriuConfig::new(technique),
+    )
+    .unwrap();
+    let (base, base_stats) = criu.full_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+    assert_eq!(base_stats.pages_written, PAGES, "{label}: base covers the region");
+    let mut chain = SnapshotChain::new(base);
+
+    // Randomized pre-copy rounds: random pages, random values, and a real
+    // chance of zeroing a page (prefault leaves only the first 8 bytes
+    // non-zero, so writing 0 there exercises content→zero transitions and
+    // the zero-dedup wire path; a later non-zero write flips it back).
+    for _round in 0..4 {
+        let writes = next() % 12;
+        for _ in 0..writes {
+            let page = next() % PAGES;
+            let value = if next().is_multiple_of(4) { 0 } else { next() | 1 };
+            rig.kernel
+                .write_u64(
+                    &mut rig.hv,
+                    rig.pid,
+                    rig.region.start.add(page * PAGE_SIZE),
+                    value,
+                    Lane::Tracked,
+                )
+                .unwrap();
+        }
+        let (delta, _) = criu.pre_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+        chain.push_diff(delta);
+    }
+    // Stop-and-copy closes the chain; the writer is paused from here on.
+    let (fin, _) = criu.final_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+    chain.push_diff(fin);
+    criu.detach(&mut rig.hv, &mut rig.kernel).unwrap();
+    chain.validate().unwrap();
+
+    // Wire round-trip: the chain that travels is the chain that restores.
+    let chain = SnapshotChain::decode(chain.encode()).unwrap();
+
+    // The oracle: a full snapshot of the paused process, taken at the same
+    // virtual instant (no writes can intervene).
+    let mut ocriu = Criu::attach(
+        &mut rig.hv,
+        &mut rig.kernel,
+        rig.pid,
+        CriuConfig::new(technique),
+    )
+    .unwrap();
+    let (oracle, _) = ocriu.full_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+    ocriu.detach(&mut rig.hv, &mut rig.kernel).unwrap();
+
+    // 1. Image level: flatten == oracle, structurally and on the wire.
+    let flat = chain.flatten();
+    assert_eq!(flat, oracle, "{label}: flattened chain != full-dump oracle");
+    assert_eq!(
+        flat.encode().as_ref(),
+        oracle.encode().as_ref(),
+        "{label}: wire bytes diverge"
+    );
+
+    // 2. Process level: the restored process byte-verifies against the
+    //    oracle image, page for page.
+    let restored = restore(&mut rig.hv, &mut rig.kernel, &chain.flatten()).unwrap();
+    let checked = verify(&mut rig.hv, &mut rig.kernel, restored, &oracle).unwrap();
+    assert_eq!(checked, PAGES, "{label}: oracle verify");
+
+    // 3. Compaction level: full and partial compaction preserve both.
+    let mut all = chain.clone();
+    all.compact_all().unwrap();
+    assert_eq!(all.flatten(), oracle, "{label}: compact_all diverged");
+    let mut mid = chain.clone();
+    mid.compact(1, chain.len() - 2).unwrap();
+    mid.validate().unwrap();
+    assert_eq!(mid.flatten(), oracle, "{label}: middle compaction diverged");
+    let restored2 = restore(&mut rig.hv, &mut rig.kernel, &mid.flatten()).unwrap();
+    let checked2 = verify(&mut rig.hv, &mut rig.kernel, restored2, &oracle).unwrap();
+    assert_eq!(checked2, PAGES, "{label}: compacted restore verify");
+}
+
+/// The full matrix: every technique × 1/2/4 vCPUs × two seeds.
+#[test]
+fn chain_restore_matches_full_snapshot_oracle() {
+    for technique in Technique::ALL {
+        for vcpus in [1u32, 2, 4] {
+            for seed in [0xF1EE_7D1F_F001_u64, 0x0DDC_0FFE_E000_u64] {
+                chain_matches_oracle(technique, vcpus, seed);
+            }
+        }
+    }
+}
+
+/// Degenerate schedules must hold too: a writer that never writes (every
+/// diff empty) and a writer that rewrites the same page every round.
+#[test]
+fn degenerate_schedules_still_match_the_oracle() {
+    for technique in Technique::ALL {
+        // Quiescent guest: diffs are empty, chain == base.
+        const PAGES: u64 = 8;
+        let mut rig = boot(PAGES, 1);
+        let mut criu = Criu::attach(
+            &mut rig.hv,
+            &mut rig.kernel,
+            rig.pid,
+            CriuConfig::new(technique),
+        )
+        .unwrap();
+        let (base, _) = criu.full_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+        let mut chain = SnapshotChain::new(base);
+        for _ in 0..3 {
+            let (delta, stats) = criu.pre_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+            assert_eq!(stats.pages_written, 0, "{}", technique.name());
+            chain.push_diff(delta);
+        }
+        // Hot spot: the same page rewritten before the final cut.
+        for v in 0..5u64 {
+            rig.kernel
+                .write_u64(&mut rig.hv, rig.pid, rig.region.start, v | 1, Lane::Tracked)
+                .unwrap();
+        }
+        let (fin, stats) = criu.final_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+        assert_eq!(
+            stats.pages_written,
+            1,
+            "{}: five rewrites of one page ship once",
+            technique.name()
+        );
+        chain.push_diff(fin);
+        criu.detach(&mut rig.hv, &mut rig.kernel).unwrap();
+
+        let mut ocriu = Criu::attach(
+            &mut rig.hv,
+            &mut rig.kernel,
+            rig.pid,
+            CriuConfig::new(technique),
+        )
+        .unwrap();
+        let (oracle, _) = ocriu.full_dump(&mut rig.hv, &mut rig.kernel, rig.pid).unwrap();
+        ocriu.detach(&mut rig.hv, &mut rig.kernel).unwrap();
+
+        assert_eq!(chain.flatten(), oracle, "{}", technique.name());
+        let restored = restore(&mut rig.hv, &mut rig.kernel, &chain.flatten()).unwrap();
+        let checked = verify(&mut rig.hv, &mut rig.kernel, restored, &oracle).unwrap();
+        assert_eq!(checked, PAGES, "{}", technique.name());
+    }
+}
