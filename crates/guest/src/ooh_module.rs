@@ -383,8 +383,11 @@ impl OohModule {
         }
 
         let Some(pid) = self.tracked else {
-            // Nothing to attribute entries to; just reset.
-            hv.guest_vmwrite(
+            // Nothing to attribute entries to; just reset. Dropping the
+            // logged GVAs is deliberate here: with no tracked process the
+            // entries have no consumer, and their pages' D bits stay set so
+            // nothing is lost for a later track().
+            hv.guest_vmwrite( // ooh-verify: allow(drain-before-clear)
                 kernel.vm,
                 kernel.vcpu,
                 Field::GuestPmlIndex,

@@ -1,0 +1,305 @@
+//! Incremental analysis cache: a content-hash memo of the whole-workspace
+//! report.
+//!
+//! The analyzer is cross-file (the call graph resolves helpers across
+//! crates), so caching *per-file* findings is unsound: editing one file
+//! can change the verdict in another (a helper stops charging the cost
+//! model; a notify hook is renamed). What IS sound is memoizing the whole
+//! scan: if every input file, the `verify.allow` contents, and the
+//! analyzer schema are byte-for-byte what they were, the report is too.
+//! So the cache stores one FNV-1a-64 hash per input file plus the
+//! serialized report; a warm run whose hashes all match replays the
+//! stored report and is guaranteed byte-identical across text, JSON, and
+//! SARIF emitters (asserted by `tests/verify_lint.rs`). Any mismatch —
+//! one edited file, a changed allowlist, a new analyzer version — falls
+//! back to a full scan and rewrites the cache.
+//!
+//! The file format is line-based and versioned ([`SCHEMA`]); strings are
+//! JSON-escaped one-per-field so embedded `|`/newlines round-trip. An
+//! unreadable or corrupt cache is treated as cold, never an error.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::sarif::escape_json;
+use crate::{Allowlist, Report, Violation, TraceStep, RULES};
+
+/// Bump when the analyzer's rules or the cache format change shape; old
+/// caches then miss instead of replaying stale findings.
+pub const SCHEMA: &str = "ooh-verify-cache v1";
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the workspace scan with the memo at `cache_path`: returns the
+/// report and whether it was served warm (all input hashes matched).
+pub fn run_cached(root: &Path, cache_path: &Path) -> io::Result<(Report, bool)> {
+    let allow_text = fs::read_to_string(root.join("verify.allow")).unwrap_or_default();
+    let inputs = crate::collect_inputs(root)?;
+    if let Some(report) = try_replay(cache_path, &allow_text, &inputs) {
+        return Ok((report, true));
+    }
+    // Cold: run the same pipeline `run()` uses, then persist the memo.
+    let allow = Allowlist::load(&root.join("verify.allow"));
+    let mut report = crate::scan_files(&inputs, &allow);
+    for (line, text) in allow.stale_entries() {
+        report.violations.push(Violation {
+            rule: "stale-allow",
+            path: "verify.allow".to_string(),
+            line,
+            col: 1,
+            excerpt: text.clone(),
+            message: format!("allow entry matches no current violation: `{text}`"),
+            hint: crate::rule_info("stale-allow").help.to_string(),
+            trace: Vec::new(),
+        });
+    }
+    report.violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
+    // Cache write failures are non-fatal: the scan result is still good.
+    let _ = fs::write(cache_path, serialize(&allow_text, &inputs, &report));
+    Ok((report, false))
+}
+
+fn serialize(allow_text: &str, inputs: &[(String, String, String)], report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(SCHEMA);
+    out.push('\n');
+    out.push_str(&format!("allow {:016x}\n", fnv1a64(allow_text.as_bytes())));
+    for (_, rel, source) in inputs {
+        out.push_str(&format!(
+            "file {:016x} {}\n",
+            fnv1a64(source.as_bytes()),
+            escape_json(rel)
+        ));
+    }
+    out.push_str(&format!(
+        "meta {} {} {}\n",
+        report.files_scanned,
+        report.allowed,
+        report.violations.len()
+    ));
+    for v in &report.violations {
+        out.push_str(&format!(
+            "v {} {} {} {}\n",
+            escape_json(v.rule),
+            v.line,
+            v.col,
+            escape_json(&v.path)
+        ));
+        out.push_str(&format!("e {}\n", escape_json(&v.excerpt)));
+        out.push_str(&format!("m {}\n", escape_json(&v.message)));
+        out.push_str(&format!("h {}\n", escape_json(&v.hint)));
+        for s in &v.trace {
+            out.push_str(&format!(
+                "t {} {} {}\n",
+                s.line,
+                s.col,
+                escape_json(&s.note)
+            ));
+        }
+    }
+    out
+}
+
+/// Replays the cached report when the schema, allowlist hash, and every
+/// per-file hash match the current inputs (same file set, same order,
+/// same bytes). Any parse hiccup or mismatch returns `None` (cold).
+fn try_replay(
+    cache_path: &Path,
+    allow_text: &str,
+    inputs: &[(String, String, String)],
+) -> Option<Report> {
+    let text = fs::read_to_string(cache_path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != SCHEMA {
+        return None;
+    }
+    let allow_line = lines.next()?;
+    let want = format!("allow {:016x}", fnv1a64(allow_text.as_bytes()));
+    if allow_line != want {
+        return None;
+    }
+    let mut file_count = 0usize;
+    let mut line = lines.next()?;
+    while let Some(rest) = line.strip_prefix("file ") {
+        let (hash, rel_esc) = rest.split_once(' ')?;
+        let (_, rel, source) = inputs.get(file_count)?;
+        if unescape(rel_esc)? != *rel
+            || hash != format!("{:016x}", fnv1a64(source.as_bytes()))
+        {
+            return None;
+        }
+        file_count += 1;
+        line = lines.next()?;
+    }
+    if file_count != inputs.len() {
+        return None;
+    }
+    let meta = line.strip_prefix("meta ")?;
+    let mut parts = meta.split(' ');
+    let files_scanned: usize = parts.next()?.parse().ok()?;
+    let allowed: usize = parts.next()?.parse().ok()?;
+    let n_violations: usize = parts.next()?.parse().ok()?;
+    let mut violations: Vec<Violation> = Vec::with_capacity(n_violations);
+    for raw in lines {
+        if let Some(rest) = raw.strip_prefix("v ") {
+            let mut p = rest.splitn(4, ' ');
+            let rule_txt = unescape(p.next()?)?;
+            // Violations hold `&'static str` rule ids: map back onto the
+            // RULES table; an unknown id means a stale schema — miss.
+            let rule = RULES.iter().find(|r| r.id == rule_txt)?.id;
+            let line_no: usize = p.next()?.parse().ok()?;
+            let col: usize = p.next()?.parse().ok()?;
+            let path = unescape(p.next()?)?;
+            violations.push(Violation {
+                rule,
+                path,
+                line: line_no,
+                col,
+                excerpt: String::new(),
+                message: String::new(),
+                hint: String::new(),
+                trace: Vec::new(),
+            });
+        } else if let Some(rest) = raw.strip_prefix("e ") {
+            violations.last_mut()?.excerpt = unescape(rest)?;
+        } else if let Some(rest) = raw.strip_prefix("m ") {
+            violations.last_mut()?.message = unescape(rest)?;
+        } else if let Some(rest) = raw.strip_prefix("h ") {
+            violations.last_mut()?.hint = unescape(rest)?;
+        } else if let Some(rest) = raw.strip_prefix("t ") {
+            let mut p = rest.splitn(3, ' ');
+            let line_no: usize = p.next()?.parse().ok()?;
+            let col: usize = p.next()?.parse().ok()?;
+            let note = unescape(p.next()?)?;
+            violations.last_mut()?.trace.push(TraceStep {
+                line: line_no,
+                col,
+                note,
+            });
+        } else {
+            return None;
+        }
+    }
+    if violations.len() != n_violations {
+        return None;
+    }
+    Some(Report {
+        files_scanned,
+        allowed,
+        violations,
+    })
+}
+
+/// Inverse of [`escape_json`] for the cache's field encoding.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = (0..4).map(|_| chars.next().unwrap_or('0')).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_eq!(fnv1a64(b"ooh"), fnv1a64(b"ooh"));
+    }
+
+    #[test]
+    fn unescape_round_trips_escape_json() {
+        for s in ["plain", "pipe|and space", "quote\"back\\slash", "nl\ntab\t", "ctl\u{1}"] {
+            assert_eq!(unescape(&escape_json(s)).as_deref(), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn serialize_replay_round_trips_reports_with_traces() {
+        let inputs = vec![(
+            "guest".to_string(),
+            "crates/guest/src/x.rs".to_string(),
+            "fn f() {}".to_string(),
+        )];
+        let report = Report {
+            files_scanned: 1,
+            allowed: 2,
+            violations: vec![Violation {
+                rule: "drain-before-clear",
+                path: "crates/guest/src/x.rs".to_string(),
+                line: 3,
+                col: 9,
+                excerpt: "hv.guest_vmwrite(..)?;".to_string(),
+                message: "reset before drain | with pipe".to_string(),
+                hint: "drain first\nsecond line".to_string(),
+                trace: vec![TraceStep {
+                    line: 2,
+                    col: 5,
+                    note: "state 'idle' → 'armed'".to_string(),
+                }],
+            }],
+        };
+        let dir = std::env::temp_dir().join("ooh-verify-cache-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("roundtrip.cache");
+        fs::write(&path, serialize("allow-bytes", &inputs, &report)).unwrap();
+        let replayed = try_replay(&path, "allow-bytes", &inputs).expect("warm hit");
+        assert_eq!(replayed.files_scanned, 1);
+        assert_eq!(replayed.allowed, 2);
+        assert_eq!(replayed.violations, report.violations);
+        // Any drift misses: allowlist bytes, file bytes, file set.
+        assert!(try_replay(&path, "other-allow", &inputs).is_none());
+        let edited = vec![(
+            inputs[0].0.clone(),
+            inputs[0].1.clone(),
+            "fn f() { changed(); }".to_string(),
+        )];
+        assert!(try_replay(&path, "allow-bytes", &edited).is_none());
+        assert!(try_replay(&path, "allow-bytes", &[]).is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_or_missing_cache_is_cold_not_fatal() {
+        let dir = std::env::temp_dir().join("ooh-verify-cache-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("corrupt.cache");
+        assert!(try_replay(&path.join("missing"), "", &[]).is_none());
+        fs::write(&path, "not a cache at all\n").unwrap();
+        assert!(try_replay(&path, "", &[]).is_none());
+        fs::write(&path, format!("{SCHEMA}\nallow 0000000000000000\ngarbage\n")).unwrap();
+        assert!(try_replay(&path, "", &[]).is_none());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -84,10 +84,13 @@ impl CallGraph {
                 let Some((lo, hi)) = file.body_inner(f) else {
                     continue;
                 };
+                // Callee names are normalized like definition names: the
+                // raw-identifier prefix is stripped, so `self.r#yield()`
+                // resolves to `fn r#yield`.
                 let callees: BTreeSet<String> = file
                     .calls_in(lo, hi)
                     .iter()
-                    .map(|c: &CallSite| file.toks[c.tok].text.clone())
+                    .map(|c: &CallSite| file.toks[c.tok].name().to_string())
                     .collect();
                 let id = nodes.len();
                 nodes.push(Node {
@@ -146,6 +149,40 @@ impl CallGraph {
                     continue;
                 }
                 if node.callees.iter().any(|c| member.contains(c)) {
+                    member.insert(node.name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        member
+    }
+
+    /// Like [`Self::names_reaching`], but propagation only flows through
+    /// *unambiguously resolved* callees: a caller joins the member set when
+    /// it calls the leaf by name, or calls a member name with exactly one
+    /// workspace definition. The permissive variant is right for
+    /// cost-coverage (a missed edge would mean noise); it is wrong for the
+    /// typestate protocols, where ubiquitous names (`new`, `push`, `get`)
+    /// bridge unrelated subsystems and would count a `guest_vmwrite` as
+    /// "reaching" a dirty-notify hook through `PmlBuffer::new`. Strict
+    /// resolution trades missed deep-indirection paths (the protocols only
+    /// need one level of helper) for no spurious state transitions.
+    pub fn names_reaching_strict(&self, leaf: &str) -> BTreeSet<String> {
+        let mut member: BTreeSet<String> = BTreeSet::new();
+        member.insert(leaf.to_string());
+        loop {
+            let mut changed = false;
+            for node in &self.nodes {
+                if member.contains(&node.name) {
+                    continue;
+                }
+                let joins = node.callees.iter().any(|c| {
+                    member.contains(c) && (c == leaf || self.nodes_named(c).len() == 1)
+                });
+                if joins {
                     member.insert(node.name.clone());
                     changed = true;
                 }
@@ -236,6 +273,21 @@ mod tests {
     }
 
     #[test]
+    fn raw_identifier_calls_resolve_to_stripped_names() {
+        // `fn r#loop` parses to the name "loop" (ast strips `r#`); a call
+        // site `self.r#loop()` must edge to it, not to a phantom "r#loop".
+        let (_, g) = graph(&[(
+            "guest",
+            "fn caller(&mut self) { self.r#loop(); }\n\
+             fn r#loop(&mut self) { ctx.charge(1, 2); }\n",
+        )]);
+        let c = g.nodes_named("caller")[0];
+        assert!(g.nodes_named("r#loop").is_empty(), "names must be normalized");
+        assert_eq!(g.nodes_named("loop").len(), 1);
+        assert!(g.reaches(c, &|n| n == "charge"));
+    }
+
+    #[test]
     fn names_reaching_fixpoint() {
         let (files, g) = graph(&[(
             "guest",
@@ -246,6 +298,41 @@ mod tests {
             assert!(set.contains(n), "{n} missing: {set:?}");
         }
         assert!(!set.contains("d"));
+    }
+
+    #[test]
+    fn strict_reachability_stops_at_ambiguous_names() {
+        // `helper` (unique) propagates; `new` (two definitions) is an
+        // ambiguous bridge and must not.
+        let (files, g) = graph(&[(
+            "guest",
+            "fn direct(&mut self) { self.helper(); }\n\
+             fn helper(&mut self) { hv.note_guest_dirty_cleared(p); }\n\
+             fn via_new(&mut self) { Thing::new(); }\n\
+             fn new() { hv.note_guest_dirty_cleared(p); }\n\
+             fn new2(&mut self) { nothing(); }\n",
+        )]);
+        // Rename the second `new` definition by building a second file so
+        // the workspace has two fns named `new`.
+        let mut files2 = files;
+        files2.push(ParsedFile::parse(
+            "core",
+            "crates/core/src/f9.rs",
+            "fn new() { idle(); }",
+        ));
+        let g2 = CallGraph::build(&files2);
+        let strict = g2.names_reaching_strict("note_guest_dirty_cleared");
+        assert!(strict.contains("direct"), "{strict:?}");
+        assert!(strict.contains("helper"));
+        assert!(strict.contains("new"), "a fn named `new` that calls the leaf directly still joins");
+        assert!(
+            !strict.contains("via_new"),
+            "ambiguous `new` must not bridge: {strict:?}"
+        );
+        // The permissive variant does bridge — that contrast is the point.
+        let loose = g2.names_reaching("note_guest_dirty_cleared", &files2);
+        assert!(loose.contains("via_new"));
+        let _ = g;
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl Tok {
     pub fn is_ident(&self, s: &str) -> bool {
         self.kind == TokKind::Ident && self.text == s
     }
+    /// The ident's *name*: the text with any raw-identifier prefix
+    /// stripped, so `r#match(..)` and `match_(..)`-style callees compare
+    /// equal to their definitions (fn items already strip `r#`). Keyword
+    /// checks must keep using [`Tok::is_ident`] on the raw text — `r#if`
+    /// is an ordinary name, not the keyword.
+    pub fn name(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.starts_with(c)
     }
@@ -521,6 +529,19 @@ mod tests {
         let m = masked(r####"let r#type = r#"Instant"#; fine();"####);
         assert!(!m.contains("Instant"));
         assert!(m.contains("fine();"));
+    }
+
+    #[test]
+    fn raw_identifier_names_normalize_but_keywords_do_not() {
+        let l = lex("r#match r#type plain");
+        let names: Vec<&str> = l.toks.iter().map(Tok::name).collect();
+        assert_eq!(names, vec!["match", "type", "plain"]);
+        // `r#match` is *not* the `match` keyword for structural checks —
+        // is_ident compares the raw text, name() strips the prefix.
+        let rm = &l.toks[0];
+        assert!(!rm.is_ident("match"));
+        assert!(rm.is_ident("r#match"));
+        assert_eq!(rm.name(), "match");
     }
 
     #[test]

@@ -25,8 +25,20 @@
 //! - [`rules`] — the flow rules (`cost-coverage`, `shootdown-complete`,
 //!   `ordered-iter`) on top of the graph, plus the ported token rules
 //!   below;
+//! - [`cfg`] — per-function control-flow graphs recovered from the token
+//!   stream (branches, loops, match arms, early returns), with
+//!   fault-injection arms (`mutate_*` conditions) marked exempt;
+//! - [`dataflow`] — a small forward/backward fixpoint framework with a
+//!   lattice join over paths;
+//! - [`typestate`] — lifecycle protocols (PML pairing, drain-before-clear,
+//!   ring overflow guards, the EPML self-IPI obligation) as state machines
+//!   over call events, checked per-path over the CFGs; findings carry a
+//!   step-by-step protocol trace;
+//! - [`cache`] — a content-hash memo of the whole-workspace report, so
+//!   warm reruns with unchanged inputs replay byte-identically without
+//!   re-analyzing;
 //! - [`sarif`] — JSON and SARIF 2.1.0 emitters for the report (the text
-//!   form is [`Violation`]'s `Display`).
+//!   form is [`Violation`]'s `Display`; traces become `codeFlows`).
 //!
 //! It is still not rustc — the goal is catching honest regressions, not
 //! adversarial obfuscation — but findings now carry file/line/column
@@ -49,10 +61,14 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod cache;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
 pub mod sarif;
+pub mod typestate;
 
 use ast::ParsedFile;
 use callgraph::CallGraph;
@@ -147,6 +163,26 @@ pub const RULES: &[RuleInfo] = &[
         help: "sort the keys first, rebuild through a BTreeMap/BTreeSet, or use par_map_ordered",
     },
     RuleInfo {
+        id: "spml-pairing",
+        summary: "every success path through the guest's sched-out must disable dirty logging (SPML DisableLogging hypercall / EPML control vmwrite)",
+        help: "make every sched-out return path reach disable_logging (or the DisableLogging hypercall / EpmlControl vmwrite); a vCPU descheduled with logging enabled leaks PML state into the next tenant",
+    },
+    RuleInfo {
+        id: "drain-before-clear",
+        summary: "PML state must be drained before it is destroyed: no GuestPmlIndex reset before the entries are copied out, and no D-bit destruction without a note_*_dirty_cleared notify on the path",
+        help: "copy the logged entries (ring push / dirty-notify) before resetting GuestPmlIndex, and pair PTE D-bit destruction with note_*_dirty_cleared so the PML shadow tracks the transition",
+    },
+    RuleInfo {
+        id: "ring-guard",
+        summary: "SPSC ring pushes must be dominated by a free-slot probe or consume the overflow result",
+        help: "check free_slots()/is_full() first, or branch on the push's boolean overflow result and count the drop",
+    },
+    RuleInfo {
+        id: "ipi-on-full",
+        summary: "the hypervisor's GuestBufferFull dispatch arm must post the EPML self-IPI before returning",
+        help: "post_interrupt(.., EPML_SELF_IPI_VECTOR) inside the GuestBufferFull arm; without the self-IPI the guest never learns its PML buffer filled",
+    },
+    RuleInfo {
         id: "stale-allow",
         summary: "every verify.allow entry and inline allow marker must still match a violation; prune dead exemptions",
         help: "remove the dead suppression, or run `cargo run -p ooh-verify -- --prune-stale`",
@@ -185,6 +221,19 @@ pub const GATED_HOOKS: &[&str] = &[
     "check_step_invariants",
 ];
 
+/// One step of a protocol trace: where a typestate transition happened
+/// and what it did. Rendered under the finding in text output and as
+/// SARIF `codeFlows`/`relatedLocations`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// 1-based line in the finding's file.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What happened here (`call `push` — state 'armed' → 'drained'`).
+    pub note: String,
+}
+
 /// One lint hit, after allowlist filtering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -202,6 +251,9 @@ pub struct Violation {
     pub message: String,
     /// How to fix it (rule-level default, sharpened by flow rules).
     pub hint: String,
+    /// Protocol trace (typestate findings only; empty otherwise): the
+    /// step-by-step path from function entry to the violating exit.
+    pub trace: Vec<TraceStep>,
 }
 
 impl fmt::Display for Violation {
@@ -210,7 +262,11 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}\n    {}",
             self.path, self.line, self.rule, self.message, self.excerpt
-        )
+        )?;
+        for step in &self.trace {
+            write!(f, "\n      {}:{}  {}", step.line, step.col, step.note)?;
+        }
+        Ok(())
     }
 }
 
@@ -532,6 +588,7 @@ pub fn scan_files(inputs: &[(String, String, String)], allow: &Allowlist) -> Rep
     raw_hits.extend(rules::cost::check(&parsed, &graph));
     raw_hits.extend(rules::shootdown::check(&parsed, &graph));
     raw_hits.extend(rules::order::check(&parsed, &graph));
+    raw_hits.extend(typestate::check(&parsed, &graph));
 
     raw_hits.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
@@ -578,6 +635,7 @@ pub fn scan_files(inputs: &[(String, String, String)], allow: &Allowlist) -> Rep
                         "inline marker `allow({tok})` suppresses nothing on this line; remove it"
                     ),
                     hint: rule_info("stale-allow").help.to_string(),
+                    trace: Vec::new(),
                 });
             }
         }
@@ -679,6 +737,7 @@ fn token_rule(
             excerpt: file.raw_line(line),
             message: format!("`{needle}` in crate `{}`: {message}", file.crate_name),
             hint: rule_info(rule).help.to_string(),
+            trace: Vec::new(),
         });
     }
 }
@@ -708,6 +767,7 @@ fn substr_rule(
                 excerpt: file.raw_line(line),
                 message: format!("`{needle})` in crate `{}`: {message}", file.crate_name),
                 hint: rule_info(rule).help.to_string(),
+                trace: Vec::new(),
             });
         }
     }
@@ -746,6 +806,7 @@ fn feature_gate_rule(file: &ParsedFile, out: &mut Vec<Violation>) {
                     f.name
                 ),
                 hint: rule_info("feature-gate").help.to_string(),
+                trace: Vec::new(),
             });
         }
     }
@@ -755,12 +816,14 @@ fn feature_gate_rule(file: &ParsedFile, out: &mut Vec<Violation>) {
 // Workspace walk
 // ---------------------------------------------------------------------------
 
-/// Scans the whole workspace rooted at `root`: `src/` of the root package and
-/// every `crates/*/src/` tree. `tests/`, `benches/`, and `examples/`
-/// directories are integration-test/bench code and exempt by construction.
-pub fn run(root: &Path) -> io::Result<Report> {
-    let allow = Allowlist::load(&root.join("verify.allow"));
-
+/// Collects the scan inputs for the workspace rooted at `root` — `src/` of
+/// the root package and every `crates/*/src/` tree, as deterministic
+/// `(crate_name, rel_path, source)` triples. `tests/`, `benches/`, and
+/// `examples/` directories are integration-test/bench code and exempt by
+/// construction. Shared by [`run`], the [`cache`] layer, and the
+/// seeded-mutation driver tests (which swap one file's source before
+/// scanning).
+pub fn collect_inputs(root: &Path) -> io::Result<Vec<(String, String, String)>> {
     let mut targets: Vec<(String, PathBuf)> = vec![("ooh".to_string(), root.join("src"))];
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -793,6 +856,14 @@ pub fn run(root: &Path) -> io::Result<Report> {
             inputs.push((crate_name.clone(), rel, source));
         }
     }
+    Ok(inputs)
+}
+
+/// Scans the whole workspace rooted at `root` (see [`collect_inputs`] for
+/// the file set), with `verify.allow` loaded from the root.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let allow = Allowlist::load(&root.join("verify.allow"));
+    let inputs = collect_inputs(root)?;
     let mut report = scan_files(&inputs, &allow);
     // An allow entry that matched nothing across the whole walk is dead
     // weight: it either outlived the code it exempted or never matched at
@@ -807,6 +878,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
             excerpt: text.clone(),
             message: format!("allow entry matches no current violation: `{text}`"),
             hint: rule_info("stale-allow").help.to_string(),
+            trace: Vec::new(),
         });
     }
     report.violations.sort_by(|a, b| {

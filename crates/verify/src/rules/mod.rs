@@ -276,6 +276,7 @@ pub fn violation_at(
         excerpt: file.raw_line(t.line),
         message,
         hint: hint.to_string(),
+        trace: Vec::new(),
     }
 }
 

@@ -57,6 +57,20 @@ pub fn to_json(report: &Report) -> String {
             escape_json(&v.excerpt),
             escape_json(&v.hint),
         );
+        out.push_str(", \"trace\": [");
+        for (j, s) in v.trace.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"line\": {}, \"col\": {}, \"note\": \"{}\"}}",
+                s.line,
+                s.col,
+                escape_json(&s.note),
+            );
+        }
+        out.push(']');
         out.push('}');
     }
     if report.violations.is_empty() {
@@ -121,6 +135,41 @@ pub fn to_sarif(report: &Report) -> String {
             v.col,
             escape_json(&v.excerpt),
         );
+        // Protocol traces (typestate findings) become a codeFlow — the
+        // step-by-step path viewers can walk — and relatedLocations so
+        // plain SARIF consumers still surface every step.
+        if !v.trace.is_empty() {
+            out.push_str("\"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+            for (j, s) in v.trace.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}, \"message\": {{\"text\": \"{}\"}}}}}}",
+                    escape_json(&v.path),
+                    s.line,
+                    s.col,
+                    escape_json(&s.note),
+                );
+            }
+            out.push_str("]}]}], ");
+            out.push_str("\"relatedLocations\": [");
+            for (j, s) in v.trace.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}, \"message\": {{\"text\": \"{}\"}}}}",
+                    escape_json(&v.path),
+                    s.line,
+                    s.col,
+                    escape_json(&s.note),
+                );
+            }
+            out.push_str("], ");
+        }
         let _ = write!(
             out,
             "\"properties\": {{\"hint\": \"{}\"}}",
@@ -154,8 +203,26 @@ mod tests {
                 excerpt: "fn handle_x() { \"quote\\\" \t\" }".to_string(),
                 message: "handler `handle_x` never charges the cost model".to_string(),
                 hint: "charge the cost model".to_string(),
+                trace: Vec::new(),
             }],
         }
+    }
+
+    fn traced() -> Report {
+        let mut r = sample();
+        r.violations[0].trace = vec![
+            crate::TraceStep {
+                line: 8,
+                col: 5,
+                note: "`handle_x` entered — protocol 'p' starts in state 's0'".to_string(),
+            },
+            crate::TraceStep {
+                line: 10,
+                col: 5,
+                note: "success exit reached in state 's0'".to_string(),
+            },
+        ];
+        r
     }
 
     #[test]
@@ -183,6 +250,22 @@ mod tests {
         for r in RULES {
             assert!(s.contains(&format!("\"id\": \"{}\"", r.id)), "{} missing", r.id);
         }
+    }
+
+    #[test]
+    fn traces_render_as_code_flows_and_related_locations() {
+        let s = to_sarif(&traced());
+        assert!(s.contains("\"codeFlows\""), "{s}");
+        assert!(s.contains("\"threadFlows\""));
+        assert!(s.contains("\"relatedLocations\""));
+        assert!(s.contains("starts in state"));
+        let j = to_json(&traced());
+        assert!(j.contains("\"trace\": [{\"line\": 8"), "{j}");
+        // Traceless findings keep an empty trace array in JSON and no
+        // codeFlows in SARIF.
+        let plain = to_sarif(&sample());
+        assert!(!plain.contains("codeFlows"));
+        assert!(to_json(&sample()).contains("\"trace\": []"));
     }
 
     #[test]

@@ -77,6 +77,70 @@ fn ordered_iter_good_twin_is_clean() {
     assert_clean("bench", "order_good.rs");
 }
 
+// --- typestate protocols --------------------------------------------------
+
+#[test]
+fn spml_pairing_catches_sched_out_early_return() {
+    assert_flags("guest", "spml_pairing_bad.rs", "spml-pairing");
+    // Protocol findings must carry a step-by-step trace.
+    let vs = scan("guest", "spml_pairing_bad.rs");
+    assert!(
+        vs.iter().all(|v| !v.trace.is_empty()),
+        "spml-pairing findings must have traces: {vs:?}"
+    );
+}
+
+#[test]
+fn spml_pairing_good_twin_is_clean() {
+    assert_clean("guest", "spml_pairing_good.rs");
+}
+
+#[test]
+fn drain_before_clear_catches_index_reset_before_copy() {
+    assert_flags("guest", "drain_clear_bad.rs", "drain-before-clear");
+    let vs = scan("guest", "drain_clear_bad.rs");
+    assert!(
+        vs.iter().any(|v| v
+            .trace
+            .iter()
+            .any(|s| s.note.contains("'idle' → 'armed'"))),
+        "the trace must walk the protocol states: {vs:?}"
+    );
+}
+
+#[test]
+fn drain_before_clear_good_twin_is_clean() {
+    assert_clean("guest", "drain_clear_good.rs");
+}
+
+#[test]
+fn ring_guard_catches_discarded_push_result() {
+    assert_flags("machine", "ring_guard_bad.rs", "ring-guard");
+}
+
+#[test]
+fn ring_guard_good_twin_is_clean() {
+    assert_clean("machine", "ring_guard_good.rs");
+}
+
+#[test]
+fn ipi_on_full_catches_missing_self_ipi() {
+    assert_flags("hypervisor", "ipi_full_bad.rs", "ipi-on-full");
+    let vs = scan("hypervisor", "ipi_full_bad.rs");
+    assert!(
+        vs.iter().any(|v| v
+            .trace
+            .iter()
+            .any(|s| s.note.contains("GuestBufferFull"))),
+        "the trace must show the arm entry: {vs:?}"
+    );
+}
+
+#[test]
+fn ipi_on_full_good_twin_is_clean() {
+    assert_clean("hypervisor", "ipi_full_good.rs");
+}
+
 // --- token rules ----------------------------------------------------------
 
 #[test]

@@ -1,0 +1,24 @@
+//! Known-good twin of `drain_clear_bad.rs`: the drain copies the logged
+//! entries into the ring first and only then resets `GuestPmlIndex` —
+//! the vmread → copy → vmwrite order the paper's M7/M8 steps require.
+
+pub struct OohModule {
+    ring: SpscRing,
+    overflow: u64,
+    vm: VmId,
+    vcpu: u32,
+}
+
+impl OohModule {
+    pub fn drain_guest_buffer(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        let index = hv.guest_vmread(self.vm, self.vcpu, Field::GuestPmlIndex, Lane::Kernel)?;
+        let count = 511 - index;
+        for k in 0..count {
+            if !self.ring.push(k)? {
+                self.overflow += 1;
+            }
+        }
+        hv.guest_vmwrite(self.vm, self.vcpu, Field::GuestPmlIndex, 511, Lane::Kernel)?;
+        Ok(())
+    }
+}

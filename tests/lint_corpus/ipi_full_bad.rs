@@ -1,0 +1,27 @@
+//! Known-bad: the hypervisor's PML event dispatch enters the
+//! `GuestBufferFull` arm but never posts the EPML self-IPI — the guest
+//! module is never told its buffer filled, so it never drains and every
+//! subsequent dirty page is dropped on the floor. Mirrors the model's
+//! DropIpi seeded mutation (the deleted `post_interrupt` call).
+
+pub struct Hypervisor {
+    pending: VecDeque<PmlEvent>,
+    hyp_full: u64,
+    guest_full: u64,
+}
+
+impl Hypervisor {
+    fn dispatch_pml_events(&mut self) {
+        while let Some(ev) = self.pending.pop_front() {
+            match ev {
+                PmlEvent::HypBufferFull => {
+                    self.hyp_full += 1;
+                }
+                PmlEvent::GuestBufferFull => {
+                    // BUG: counter bumped, but no self-IPI posted.
+                    self.guest_full += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-good twin of `ipi_full_bad.rs`: the `GuestBufferFull` arm posts
+//! the EPML self-IPI before the dispatch loop can return.
+
+pub struct Hypervisor {
+    pending: VecDeque<PmlEvent>,
+    hyp_full: u64,
+    guest_full: u64,
+}
+
+impl Hypervisor {
+    fn dispatch_pml_events(&mut self, v: &mut Vcpu) {
+        while let Some(ev) = self.pending.pop_front() {
+            match ev {
+                PmlEvent::HypBufferFull => {
+                    self.hyp_full += 1;
+                }
+                PmlEvent::GuestBufferFull => {
+                    self.guest_full += 1;
+                    v.post_interrupt(&self.ctx, Lane::Kernel, EPML_SELF_IPI_VECTOR);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad: an SPSC ring push whose overflow result is discarded, with
+//! no free-slot probe dominating it. When the consumer stalls, the push
+//! silently fails and the dirty-page record vanishes — the overflow must
+//! either be precluded (probe first) or counted (consume the result).
+
+pub struct PmlFrontend {
+    ring: SpscRing,
+}
+
+impl PmlFrontend {
+    pub fn burst(&mut self, gvas: &[u64]) {
+        for &gva in gvas {
+            // BUG: push result dropped; overflow is invisible.
+            self.ring.push(gva);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-good twin of `ring_guard_bad.rs`: both accepted shapes — a
+//! free-slot probe dominating the push, and a push whose boolean
+//! overflow result is consumed and counted.
+
+pub struct PmlFrontend {
+    ring: SpscRing,
+    overflow: u64,
+}
+
+impl PmlFrontend {
+    pub fn burst_probed(&mut self, gvas: &[u64]) {
+        if self.ring.free_slots() < gvas.len() {
+            return;
+        }
+        for &gva in gvas {
+            self.ring.push(gva);
+        }
+    }
+
+    pub fn burst_counted(&mut self, gvas: &[u64]) {
+        for &gva in gvas {
+            if !self.ring.push(gva) {
+                self.overflow += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-good twin of `spml_pairing_bad.rs`: every success path through
+//! `sched_out` disables dirty logging — the early-out path disables via
+//! the helper, the tail path via the EPML control vmwrite.
+
+pub struct OohModule {
+    idle: bool,
+    vm: VmId,
+    vcpu: u32,
+}
+
+impl OohModule {
+    pub fn sched_out(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        if self.idle {
+            return self.disable_logging(hv);
+        }
+        hv.guest_vmwrite(self.vm, self.vcpu, Field::EpmlControl, 0, Lane::Kernel)?;
+        Ok(())
+    }
+
+    fn disable_logging(&mut self, hv: &mut Hypervisor) -> Result<(), GuestError> {
+        hv.hypercall(self.vm, self.vcpu, Hypercall::DisableLogging, Lane::Kernel)?;
+        Ok(())
+    }
+}
