@@ -117,6 +117,78 @@ mod tests {
         }
     }
 
+    /// Incremental checkpoints over a 2 MiB mapping. With split-on-dirty
+    /// (or a 4K-granular technique, which demotes at attach), the delta is
+    /// exactly the rewritten pages; a keep-huge PML technique must instead
+    /// dump the full 512-page range its region-wide dirty bit vouches for —
+    /// imprecise, but restore stays byte-identical either way.
+    #[test]
+    fn incremental_dump_with_huge_mappings() {
+        use ooh_machine::HUGE_PAGE_PAGES;
+        for (technique, split, expect_delta) in [
+            (Technique::Epml, true, 3),
+            (Technique::Spml, true, 3),
+            (Technique::Proc, false, 3),
+            (Technique::Ufd, false, 3),
+            (Technique::Epml, false, HUGE_PAGE_PAGES),
+            (Technique::Spml, false, HUGE_PAGE_PAGES),
+        ] {
+            let mut hv = Hypervisor::new(
+                MachineConfig::epml(128 * 1024 * PAGE_SIZE),
+                SimCtx::new(),
+            );
+            let vm = hv.create_vm(32 * 1024 * PAGE_SIZE, 1).unwrap();
+            hv.set_split_on_dirty(vm, split);
+            let mut kernel = GuestKernel::new(vm);
+            kernel.huge_policy = true;
+            let pid = kernel.spawn(&mut hv).unwrap();
+            let region = kernel
+                .mmap(pid, HUGE_PAGE_PAGES, true, VmaKind::Anon)
+                .unwrap();
+            for (i, g) in region.iter_pages().enumerate().collect::<Vec<_>>() {
+                kernel
+                    .write_u64(&mut hv, pid, g, 0x2222_0000 + i as u64, Lane::Tracked)
+                    .unwrap();
+            }
+
+            let mut criu =
+                Criu::attach(&mut hv, &mut kernel, pid, CriuConfig::new(technique)).unwrap();
+            let (mut base, full) = criu.full_dump(&mut hv, &mut kernel, pid).unwrap();
+            assert_eq!(full.pages_written, HUGE_PAGE_PAGES, "{}", technique.name());
+
+            for i in [7u64, 130, 509] {
+                kernel
+                    .write_u64(
+                        &mut hv,
+                        pid,
+                        region.start.add(i * PAGE_SIZE),
+                        0xBBBB_0000 + i,
+                        Lane::Tracked,
+                    )
+                    .unwrap();
+            }
+            let (delta, stats) = criu.final_dump(&mut hv, &mut kernel, pid).unwrap();
+            assert_eq!(
+                stats.pages_written,
+                expect_delta,
+                "{} (split_on_dirty={split})",
+                technique.name()
+            );
+            criu.detach(&mut hv, &mut kernel).unwrap();
+
+            base.apply(&delta);
+            let new_pid = restore(&mut hv, &mut kernel, &base).unwrap();
+            let checked = verify(&mut hv, &mut kernel, new_pid, &base).unwrap();
+            assert_eq!(checked, HUGE_PAGE_PAGES);
+            for i in [0u64, 7, 130, 509, 511] {
+                let gva = region.start.add(i * PAGE_SIZE);
+                let want = kernel.read_u64(&mut hv, pid, gva, Lane::Tracker).unwrap();
+                let got = kernel.read_u64(&mut hv, new_pid, gva, Lane::Tracker).unwrap();
+                assert_eq!(got, want, "{}: page {i}", technique.name());
+            }
+        }
+    }
+
     #[test]
     fn precopy_chain_converges() {
         let (mut hv, mut kernel, pid, region) = boot(64);

@@ -7,7 +7,8 @@ use crate::process::{Pid, Process, Vma, VmaKind};
 use crate::ufd::{Ufd, UfdEvent, UfdMode};
 use ooh_hypervisor::{Hypervisor, VmId};
 use ooh_machine::{
-    Fault, Gpa, Gva, GvaRange, Hpa, MachineError, Pte, EPML_SELF_IPI_VECTOR, PAGE_SIZE,
+    Fault, Gpa, Gva, GvaRange, Hpa, MachineError, Pte, EPML_SELF_IPI_VECTOR, HUGE_PAGE_PAGES,
+    HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 use ooh_sim::{Event, Lane};
 
@@ -88,6 +89,11 @@ pub struct GuestKernel {
     timer_ticks: u64,
     /// Total context switches performed (the paper's N).
     pub context_switches: u64,
+    /// Transparent-huge-page policy: when on, large writable anonymous
+    /// mmaps become huge-eligible VMAs and not-present faults on them
+    /// install 2M leaves. Off by default — all pre-existing behavior
+    /// (including every logged address and cost) is unchanged.
+    pub huge_policy: bool,
 }
 
 impl GuestKernel {
@@ -113,6 +119,7 @@ impl GuestKernel {
             next_placement: 0,
             timer_ticks: 0,
             context_switches: 0,
+            huge_policy: false,
         }
     }
 
@@ -207,6 +214,12 @@ impl GuestKernel {
     // --- memory mapping -----------------------------------------------------
 
     /// mmap: reserve `pages` pages (lazy; PTEs appear on first touch).
+    ///
+    /// Under [`Self::huge_policy`], writable anonymous/GC-heap mappings of
+    /// at least one 2M region become huge-eligible: the reservation is
+    /// 2M-aligned and faults install 2M leaves where a full region fits.
+    /// Stacks stay 4K (they grow a page at a time and their guard
+    /// interactions want page granularity).
     pub fn mmap(
         &mut self,
         pid: Pid,
@@ -214,7 +227,16 @@ impl GuestKernel {
         writable: bool,
         kind: VmaKind,
     ) -> Result<GvaRange, GuestError> {
-        Ok(self.process_mut(pid)?.reserve_vma(pages, writable, kind))
+        let huge = self.huge_policy
+            && writable
+            && pages >= HUGE_PAGE_PAGES
+            && matches!(kind, VmaKind::Anon | VmaKind::GcHeap);
+        let proc = self.process_mut(pid)?;
+        Ok(if huge {
+            proc.reserve_vma_huge(pages, writable, kind)
+        } else {
+            proc.reserve_vma(pages, writable, kind)
+        })
     }
 
     /// munmap: drop the VMA and free its resident pages and PTEs, then
@@ -229,16 +251,48 @@ impl GuestKernel {
     ) -> Result<(), GuestError> {
         self.run_on_home_vcpu(pid);
         let vm = self.vm;
-        {
+        let vma = {
             let proc = self.process_mut(pid)?;
-            if proc.remove_vma(range).is_none() {
+            let Some(vma) = proc.remove_vma(range) else {
                 return Err(GuestError::Segfault {
                     pid,
                     gva: range.start,
                 });
+            };
+            vma
+        };
+        let n_vcpus = self.n_vcpus;
+        // Still-huge regions first. The level-1 leaf is ONE PTE covering 512
+        // pages: its dirty bit speaks for every covered frame, so the shadow
+        // must retire all of them before the slot is destroyed — clearing
+        // only the faulting page (the pre-fix behavior of the 4K loop below,
+        // which cannot even see a huge leaf) leaves 511 frames falsely
+        // "already logged" when their GPAs are recycled.
+        if vma.huge {
+            let mut base = Gva(range.start.raw().next_multiple_of(HUGE_PAGE_SIZE));
+            while base.add(HUGE_PAGE_SIZE).raw() <= range.end().raw() {
+                if let Some((slot, hpte)) = self.huge_pte_lookup(hv, pid, base)? {
+                    if hpte.is_dirty() {
+                        for i in 0..HUGE_PAGE_PAGES {
+                            let g = base.add(i * PAGE_SIZE);
+                            for v in 0..n_vcpus {
+                                hv.note_guest_pte_dirty_cleared(vm, v, g);
+                            }
+                        }
+                    }
+                    self.kernel_phys_write(hv, slot, Pte::empty().0)?;
+                    for i in 0..HUGE_PAGE_PAGES {
+                        let freed = self
+                            .process_mut(pid)?
+                            .unmap_resident(base.page() + i);
+                        if let Some(gpa_page) = freed {
+                            hv.free_guest_page(vm, Gpa::from_page(gpa_page))?;
+                        }
+                    }
+                }
+                base = base.add(HUGE_PAGE_SIZE);
             }
         }
-        let n_vcpus = self.n_vcpus;
         for gva in range.iter_pages().collect::<Vec<_>>() {
             if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
                 if pte.is_present() {
@@ -308,6 +362,12 @@ impl GuestKernel {
         for level in (1..4).rev() {
             let slot = table.add(gva.pt_index(level) as u64 * 8);
             let entry = Pte(self.kernel_phys_read(hv, slot)?);
+            if level == 1 && entry.is_present() && entry.is_huge() {
+                // A 2M leaf terminates the walk: there is no level-0 slot
+                // under it. Callers that understand huge mappings go through
+                // [`Self::huge_pte_lookup`] instead.
+                return Ok(None);
+            }
             table = if entry.is_present() {
                 entry.frame()
             } else if alloc {
@@ -320,6 +380,57 @@ impl GuestKernel {
             };
         }
         Ok(Some(table.add(gva.pt_index(0) as u64 * 8)))
+    }
+
+    /// Walk to the *level-1* slot for (`pid`, `gva`) — where a 2M leaf (or
+    /// the pointer to its 4K table) lives. With `alloc`, missing level-3/2
+    /// tables are allocated.
+    fn huge_pte_slot(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+        alloc: bool,
+    ) -> Result<Option<Gpa>, GuestError> {
+        let cr3 = self.process(pid)?.cr3;
+        let mut table = cr3;
+        for level in (2..4).rev() {
+            let slot = table.add(gva.pt_index(level) as u64 * 8);
+            let entry = Pte(self.kernel_phys_read(hv, slot)?);
+            table = if entry.is_present() {
+                entry.frame()
+            } else if alloc {
+                let page = hv.alloc_guest_page(self.vm)?;
+                self.process_mut(pid)?.pt_pages.push(page);
+                self.kernel_phys_write(hv, slot, Pte::table(page).0)?;
+                page
+            } else {
+                return Ok(None);
+            };
+        }
+        Ok(Some(table.add(gva.pt_index(1) as u64 * 8)))
+    }
+
+    /// Read the 2M leaf covering `gva` (level-1 slot address + value), if
+    /// one is installed. Returns `None` when the region is unmapped or
+    /// mapped through a 4K table.
+    pub fn huge_pte_lookup(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+    ) -> Result<Option<(Gpa, Pte)>, GuestError> {
+        match self.huge_pte_slot(hv, pid, gva, false)? {
+            Some(slot) => {
+                let pte = Pte(self.kernel_phys_read(hv, slot)?);
+                if pte.is_present() && pte.is_huge() {
+                    Ok(Some((slot, pte)))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => Ok(None),
+        }
     }
 
     /// Read the leaf PTE for `gva` (slot address + value), if the table
@@ -365,6 +476,13 @@ impl GuestKernel {
         match fault {
             Fault::NotPresent { gva, .. } => self.fault_not_present(hv, pid, gva, lane),
             Fault::WriteProtected { gva } => self.fault_write_protect(hv, pid, gva, lane),
+            Fault::HugeDirtyWrite { gva, .. } => {
+                // Split-on-dirty: the first logged write to a huge mapping
+                // demotes it to 4K before any D bit is set or entry logged,
+                // so the retried store logs a precise 4K address.
+                self.demote_huge(hv, pid, gva)?;
+                Ok(())
+            }
             Fault::EptViolation { .. } => {
                 // Guest RAM is pre-populated; an EPT violation means a model
                 // bug, surface it hard.
@@ -396,6 +514,23 @@ impl GuestKernel {
         let Some(vma) = self.process(pid)?.vma_for(gva).cloned() else {
             return Err(GuestError::Segfault { pid, gva });
         };
+
+        // Huge-eligible fault: the region containing `gva` lies fully inside
+        // a huge VMA (tails shorter than 2M stay 4K) and no missing-mode
+        // userfaultfd wants page-granular notification for it.
+        if vma.huge {
+            let base = gva.huge_base();
+            let region_end = base.add(HUGE_PAGE_SIZE);
+            let fully_inside =
+                base.raw() >= vma.range.start.raw() && region_end.raw() <= vma.range.end().raw();
+            let ufd_covered = self
+                .ufds
+                .iter()
+                .any(|u| u.pid == pid && u.mode == UfdMode::Missing && u.covers(gva));
+            if fully_inside && !ufd_covered {
+                return self.fault_huge_not_present(hv, pid, &vma, base);
+            }
+        }
 
         // userfaultfd missing-mode: the fault is resolved by the tracker in
         // userspace (UFFDIO_ZEROPAGE); Tracked pays the full round trip.
@@ -429,6 +564,80 @@ impl GuestKernel {
         Ok(())
     }
 
+    /// Resolve a not-present fault with one 2M mapping: a single kernel
+    /// fault populates 512 pages (the hugepage win — one fault, one PTE,
+    /// one TLB entry per region).
+    fn fault_huge_not_present(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        vma: &Vma,
+        base: Gva,
+    ) -> Result<(), GuestError> {
+        hv.ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+        hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+        let data = hv.alloc_guest_huge_region(self.vm)?;
+        let mut flags = Pte::USER | Pte::ACCESSED | Pte::SOFT_DIRTY;
+        if vma.writable {
+            flags |= Pte::WRITABLE;
+        }
+        let slot = self
+            .huge_pte_slot(hv, pid, base, true)?
+            .expect("alloc=true yields a slot");
+        self.kernel_phys_write(hv, slot, Pte::huge_leaf(data, flags).0)?;
+        // Residency is tracked per 4K page even under a huge mapping: the
+        // backing GPAs are contiguous, so pagemap, reverse mapping, and
+        // checkpointing see exactly what 512 individual faults would have
+        // produced.
+        let proc = self.process_mut(pid)?;
+        for i in 0..HUGE_PAGE_PAGES {
+            proc.map_resident(base.page() + i, data.page() + i);
+        }
+        Ok(())
+    }
+
+    /// Demote the 2M guest mapping covering `gva` to a freshly built 4K
+    /// table (split-on-dirty, or a tracker needing page-granular
+    /// protection). The 512 inherited leaves keep the huge leaf's flags and
+    /// A/D state; the EPT side is demoted too if still huge. Ends with a
+    /// cross-vCPU shootdown of the covering translation and a reverse-map
+    /// generation bump. Idempotent: returns false if no huge mapping covers
+    /// `gva`.
+    pub fn demote_huge(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+    ) -> Result<bool, GuestError> {
+        let base = gva.huge_base();
+        let Some((slot, hpte)) = self.huge_pte_lookup(hv, pid, base)? else {
+            return Ok(false);
+        };
+        let ctx = hv.ctx.clone();
+        ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+        ctx.charge(Lane::Kernel, Event::ContextSwitch);
+        // Build the 4K table: 512 leaves inheriting flags + A/D from the
+        // huge leaf, each retargeted to its slice of the backing region.
+        let table = hv.alloc_guest_page(self.vm)?;
+        self.process_mut(pid)?.pt_pages.push(table);
+        ctx.charge_n(Lane::Kernel, Event::ClearRefsPte, HUGE_PAGE_PAGES);
+        let proto = hpte.without(Pte::PS);
+        for i in 0..HUGE_PAGE_PAGES {
+            let leaf = proto.retarget(hpte.frame().add(i * PAGE_SIZE));
+            self.kernel_phys_write(hv, table.add(i * 8), leaf.0)?;
+        }
+        self.kernel_phys_write(hv, slot, Pte::table(table).0)?;
+        // The EPT mapping demotes with us when still huge (its own fault
+        // would otherwise fire on the retried write anyway).
+        hv.demote_guest_region(self.vm, hpte.frame(), Lane::Kernel)?;
+        // The edit replaces a live translation: every core must drop the
+        // covering huge entry before anyone can walk the new table.
+        self.shootdown_page(hv, base);
+        // Reverse-map caches built while the region was huge are stale.
+        self.process_mut(pid)?.bump_map_generation();
+        Ok(true)
+    }
+
     fn fault_write_protect(
         &mut self,
         hv: &mut Hypervisor,
@@ -437,6 +646,27 @@ impl GuestKernel {
         _lane: Lane,
     ) -> Result<(), GuestError> {
         let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? else {
+            // A protection fault on a still-huge mapping resolves at 2M
+            // granularity: restore write access on the one covering leaf
+            // (soft-dirty keeps working — the region re-marks as a whole).
+            if let Some((hslot, hpte)) = self.huge_pte_lookup(hv, pid, gva)? {
+                let vma_writable = self
+                    .process(pid)?
+                    .vma_for(gva)
+                    .map(|v| v.writable)
+                    .unwrap_or(false);
+                if !hpte.is_writable() && vma_writable && !hpte.is_uffd_wp() && !hpte.is_guard() {
+                    hv.ctx.charge(Lane::Kernel, Event::PageFaultKernel);
+                    hv.ctx.charge(Lane::Kernel, Event::ContextSwitch);
+                    self.kernel_phys_write(
+                        hv,
+                        hslot,
+                        hpte.with(Pte::WRITABLE | Pte::SOFT_DIRTY).0,
+                    )?;
+                    self.invlpg(hv, gva.huge_base());
+                    return Ok(());
+                }
+            }
             return Err(GuestError::Segfault { pid, gva });
         };
         let vma_writable = self

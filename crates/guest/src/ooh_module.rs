@@ -176,6 +176,9 @@ impl OohModule {
                 .keys()
                 .copied()
                 .collect();
+            // Huge regions visited once: the 512 resident pages of a region
+            // share one leaf (and one D bit).
+            let mut huge_done = std::collections::BTreeSet::new();
             for gva_page in resident {
                 let gva = ooh_machine::Gva::from_page(gva_page);
                 if let Some((slot, pte)) = kernel.pte_lookup(hv, pid, gva)? {
@@ -183,6 +186,19 @@ impl OohModule {
                         kernel.kernel_phys_write(hv, slot, pte.without(Pte::DIRTY).0)?;
                         for v in 0..kernel.n_vcpus() {
                             hv.note_guest_pte_dirty_cleared(kernel.vm, v, gva);
+                        }
+                    }
+                } else if huge_done.insert(gva.huge_page()) {
+                    if let Some((slot, hpte)) = kernel.huge_pte_lookup(hv, pid, gva)? {
+                        if hpte.is_dirty() {
+                            kernel.kernel_phys_write(hv, slot, hpte.without(Pte::DIRTY).0)?;
+                            let base = gva.huge_base();
+                            for i in 0..ooh_machine::HUGE_PAGE_PAGES {
+                                let g = base.add(i * ooh_machine::PAGE_SIZE);
+                                for v in 0..kernel.n_vcpus() {
+                                    hv.note_guest_pte_dirty_cleared(kernel.vm, v, g);
+                                }
+                            }
                         }
                     }
                 }
@@ -405,6 +421,44 @@ impl OohModule {
             let slot = (PML_ENTRIES as u64 - 1) - k;
             let gva_raw = kernel.kernel_phys_read(hv, buf_gpa.add(slot * 8))?;
             let gva = Gva(gva_raw);
+
+            // Keep-huge expansion: the logged GVA is the precise faulting
+            // page, but when the mapping is still a 2M leaf its one D bit
+            // spoke for the whole region — sibling writes after the 0→1
+            // transition never logged. Surface all 512 pages to the ring
+            // (cost-charged per copied entry, like the hypervisor's SPML
+            // drain) and retire the region's dirty state once.
+            let huge = match kernel.pte_lookup(hv, pid, gva)? {
+                Some(_) => None,
+                None => kernel.huge_pte_lookup(hv, pid, gva)?,
+            };
+            if let Some((hslot, hpte)) = huge {
+                let base = gva.huge_base();
+                for i in 0..ooh_machine::HUGE_PAGE_PAGES {
+                    let g = base.add(i * ooh_machine::PAGE_SIZE);
+                    ctx.charge(Lane::Kernel, Event::RingBufferCopyEntry);
+                    if !self.ring.push(&mut hv.machine.phys, g.raw())? {
+                        ctx.counters().add(Event::RingBufferOverflow, 1);
+                    }
+                    self.entries_logged += 1;
+                }
+                if hpte.is_dirty() {
+                    kernel.kernel_phys_write(hv, hslot, hpte.without(Pte::DIRTY).0)?;
+                    for i in 0..ooh_machine::HUGE_PAGE_PAGES {
+                        let g = base.add(i * ooh_machine::PAGE_SIZE);
+                        for v in 0..kernel.n_vcpus() {
+                            hv.note_guest_pte_dirty_cleared(kernel.vm, v, g);
+                        }
+                    }
+                }
+                if per_page_invalidate {
+                    // One shootdown drops the covering huge translation on
+                    // every core.
+                    kernel.shootdown_page(hv, base);
+                }
+                continue;
+            }
+
             ctx.charge(Lane::Kernel, Event::RingBufferCopyEntry);
             if !self.ring.push(&mut hv.machine.phys, gva_raw)? {
                 ctx.counters().add(Event::RingBufferOverflow, 1);

@@ -33,6 +33,10 @@ pub struct Vma {
     /// permission is what faults are resolved against).
     pub writable: bool,
     pub kind: VmaKind,
+    /// Huge-page eligible: the VMA starts 2M-aligned and not-present
+    /// faults on its fully-covered 2 MiB regions install 2M leaf PTEs
+    /// (any tail shorter than a region stays 4K).
+    pub huge: bool,
 }
 
 /// Base of the mmap region we hand out (mirrors the x86-64 mmap area).
@@ -94,6 +98,23 @@ impl Process {
             range,
             writable,
             kind,
+            huge: false,
+        });
+        range
+    }
+
+    /// Reserve a huge-eligible VMA: the start address is bumped to the next
+    /// 2 MiB boundary so 2M regions of the mapping coincide with level-1
+    /// page-table slots, and faults may install 2M leaves.
+    pub fn reserve_vma_huge(&mut self, pages: u64, writable: bool, kind: VmaKind) -> GvaRange {
+        let start = Gva(self.next_mmap.raw().next_multiple_of(ooh_machine::HUGE_PAGE_SIZE));
+        let range = GvaRange::new(start, pages);
+        self.next_mmap = range.end().add(GUARD_PAGES * ooh_machine::PAGE_SIZE);
+        self.vmas.push(Vma {
+            range,
+            writable,
+            kind,
+            huge: true,
         });
         range
     }
@@ -136,6 +157,14 @@ impl Process {
     /// so both map *and* unmap bump it.
     pub fn map_generation(&self) -> u64 {
         self.map_generation
+    }
+
+    /// Force-invalidate caches keyed on the generation without changing
+    /// `resident`. Demotion of a 2M mapping is such an event: the GPA↔GVA
+    /// pairs survive, but cached reverse-map structure built while the
+    /// region was huge (and any negative cached against it) may be stale.
+    pub fn bump_map_generation(&mut self) {
+        self.map_generation += 1;
     }
 
     /// The GVA page backed by `gpa_page`, if any — the incremental inverse
@@ -198,6 +227,20 @@ mod tests {
         assert!(p.remove_vma(wrong).is_none());
         assert!(p.remove_vma(a).is_some());
         assert!(p.vma_for(a.start).is_none());
+    }
+
+    #[test]
+    fn huge_reserve_is_2m_aligned_and_disjoint() {
+        let mut p = Process::new(Pid(1), Gpa(0x1000));
+        let a = p.reserve_vma(3, true, VmaKind::Anon);
+        let h = p.reserve_vma_huge(512, true, VmaKind::Anon);
+        assert!(h.start.is_huge_aligned());
+        assert!(!a.overlaps(&h));
+        assert!(p.vma_for(h.start).unwrap().huge);
+        assert!(!p.vma_for(a.start).unwrap().huge);
+        let g0 = p.map_generation();
+        p.bump_map_generation();
+        assert_eq!(p.map_generation(), g0 + 1);
     }
 
     #[test]

@@ -67,6 +67,20 @@ impl GuestKernel {
         let vmas = self.vmas(pid)?;
         let mut touched = 0u64;
         for vma in &vmas {
+            // Soft-dirty write-protection is 4K-granular: split any huge
+            // mapping left in the VMA before the PTE sweep (what Linux's
+            // clear_refs does to THPs), or the sweep below would never see
+            // — and never re-protect — the region's pages.
+            if vma.huge {
+                let mut base =
+                    Gva(vma.range.start.raw().next_multiple_of(ooh_machine::HUGE_PAGE_SIZE));
+                while base.add(ooh_machine::HUGE_PAGE_SIZE).raw() <= vma.range.end().raw() {
+                    if self.huge_pte_lookup(hv, pid, base)?.is_some() {
+                        self.demote_huge(hv, pid, base)?;
+                    }
+                    base = base.add(ooh_machine::HUGE_PAGE_SIZE);
+                }
+            }
             for gva in vma.range.iter_pages().collect::<Vec<_>>() {
                 if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {
                     if pte.is_present() {
@@ -113,11 +127,23 @@ impl GuestKernel {
                     soft_dirty: pte.is_soft_dirty(),
                     pfn: pte.frame().page(),
                 },
-                _ => PagemapEntry {
-                    gva,
-                    present: false,
-                    soft_dirty: false,
-                    pfn: 0,
+                // Huge-mapped pages report the per-page PFN inside the
+                // contiguous backing region, exactly as Linux's pagemap does
+                // for THP-backed addresses.
+                _ => match self.huge_pte_lookup(hv, pid, gva)? {
+                    Some((_, hpte)) => PagemapEntry {
+                        gva,
+                        present: true,
+                        soft_dirty: hpte.is_soft_dirty(),
+                        pfn: hpte.frame().page()
+                            + gva.page() % ooh_machine::HUGE_PAGE_PAGES,
+                    },
+                    None => PagemapEntry {
+                        gva,
+                        present: false,
+                        soft_dirty: false,
+                        pfn: 0,
+                    },
                 },
             };
             out.push(entry);

@@ -131,6 +131,17 @@ impl crate::kernel::GuestKernel {
         let pid = self.ufds[id.0].pid;
         let ctx = hv.ctx.clone();
         ctx.charge(Lane::Tracker, Event::ContextSwitch); // the ioctl itself
+        // The WP marker is per-4K-PTE: split any huge mapping the range
+        // touches first (Linux's uffd-wp likewise works at PTE granularity
+        // after splitting), or the sweep would skip its 512 pages entirely
+        // and their writes would never notify.
+        let mut base = range.start.huge_base();
+        while base.raw() < range.end().raw() {
+            if self.huge_pte_lookup(hv, pid, base)?.is_some() {
+                self.demote_huge(hv, pid, base)?;
+            }
+            base = base.add(ooh_machine::HUGE_PAGE_SIZE);
+        }
         let mut touched = 0u64;
         for gva in range.iter_pages().collect::<Vec<_>>() {
             if let Some((slot, pte)) = self.pte_lookup(hv, pid, gva)? {

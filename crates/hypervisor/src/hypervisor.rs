@@ -82,6 +82,48 @@ impl Hypervisor {
         self.vms[vm.0 as usize].alloc_guest_page(&mut self.machine.phys)
     }
 
+    /// Allocate a 2 MiB guest region for `vm` (huge EPT mapping).
+    pub fn alloc_guest_huge_region(&mut self, vm: VmId) -> Result<Gpa, MachineError> {
+        self.vms[vm.0 as usize].alloc_guest_huge_region(&mut self.machine.phys)
+    }
+
+    /// Split-on-dirty demotion of the huge EPT mapping covering `gpa`:
+    /// demote to a 4K subtree, shoot down every covering translation, and
+    /// charge the demotion's fault + per-entry + IPI costs. Returns whether
+    /// a huge mapping was present.
+    pub fn demote_guest_region(
+        &mut self,
+        vm: VmId,
+        gpa: Gpa,
+        lane: Lane,
+    ) -> Result<bool, MachineError> {
+        let vmref = &mut self.vms[vm.0 as usize];
+        if !vmref.demote_region(&mut self.machine.phys, gpa)? {
+            return Ok(false);
+        }
+        // A demotion is a vmexit-priced fault plus a 512-entry table fill,
+        // fenced by a shootdown IPI round to the sibling vCPUs.
+        self.ctx.charge(lane, Event::PageFaultKernel);
+        self.ctx
+            .charge_n(lane, Event::ClearRefsPte, ooh_machine::HUGE_PAGE_PAGES);
+        if vmref.vcpus.len() > 1 {
+            self.ctx.charge(lane, Event::TlbShootdownIpi);
+        }
+        Ok(true)
+    }
+
+    /// Is the EPT mapping covering `gpa` still a 2 MiB leaf?
+    pub fn is_huge_mapped(&self, vm: VmId, gpa: Gpa) -> Result<bool, MachineError> {
+        self.vms[vm.0 as usize]
+            .ept
+            .is_huge_mapped(&self.machine.phys, gpa)
+    }
+
+    /// Toggle the split-on-dirty policy for `vm` (see [`Vm::split_on_dirty`]).
+    pub fn set_split_on_dirty(&mut self, vm: VmId, on: bool) {
+        self.vms[vm.0 as usize].split_on_dirty = on;
+    }
+
     /// Free a page of guest RAM.
     pub fn free_guest_page(&mut self, vm: VmId, gpa: Gpa) -> Result<(), MachineError> {
         self.vms[vm.0 as usize].free_guest_page(&mut self.machine.phys, gpa)
@@ -99,6 +141,7 @@ impl Hypervisor {
     ) -> (Mmu<'_>, &mut SpmlState, &mut DirtyBitmap) {
         let epml_hw = self.machine.config.epml;
         let vm = &mut self.vms[vm.0 as usize];
+        let split_on_dirty = vm.split_on_dirty;
         let vcpu = &mut vm.vcpus[vcpu as usize];
         (
             Mmu {
@@ -110,6 +153,7 @@ impl Hypervisor {
                 lane: Lane::Tracked, // callers override via the lane argument
                 epml_hw,
                 spp: Some(&vm.spp_table),
+                split_on_dirty,
             },
             &mut vm.spml,
             &mut vm.hyp_dirty,
@@ -135,6 +179,25 @@ impl Hypervisor {
             Ok(AccessOk { hpa, gpa, events }) => {
                 self.dispatch_pml_events(vm, vcpu, &events, lane)?;
                 Ok(Ok(GuestAccess { hpa, gpa }))
+            }
+            // EPT-side split-on-dirty: a logged write hit a still-clean huge
+            // EPT leaf. On real hardware this is an EPT-violation vmexit the
+            // guest never sees — demote, fence, and retry the access. If the
+            // retry faults again the fault is guest-PTE-side (a huge guest
+            // leaf under EPML) and the guest kernel owns the demotion.
+            Err(Fault::HugeDirtyWrite { gpa, .. })
+                if self.is_huge_mapped(vm, gpa)? =>
+            {
+                self.demote_guest_region(vm, gpa, Lane::Hypervisor)?;
+                let (mut mmu, _, _) = self.mmu_parts(vm, vcpu);
+                mmu.lane = lane;
+                match mmu.access(cr3, gva, write)? {
+                    Ok(AccessOk { hpa, gpa, events }) => {
+                        self.dispatch_pml_events(vm, vcpu, &events, lane)?;
+                        Ok(Ok(GuestAccess { hpa, gpa }))
+                    }
+                    Err(fault) => Ok(Err(fault)),
+                }
             }
             Err(fault) => Ok(Err(fault)),
         }
@@ -235,25 +298,38 @@ impl Hypervisor {
         let to_guest = vmref.spml.enabled_by_guest && vmref.spml.guest_logging_on;
         for &raw in &entries {
             let gpa = Gpa(raw);
-            if to_guest {
-                if let Some(ring) = vmref.spml.guest_ring.as_ref() {
-                    self.ctx
-                        .charge(Lane::Hypervisor, Event::RingBufferCopyEntry);
-                    if !ring.push(phys, raw)? {
-                        self.ctx.charge(Lane::Hypervisor, Event::RingBufferOverflow);
+            // Keep-huge expansion: the logged GPA is 4K-precise (real PML
+            // logs precise addresses even under 2M mappings), but the D bit
+            // lives on the region-wide entry — sibling pages written after
+            // the 0→1 transition never logged. If the mapping is still huge
+            // at drain time, the only sound reading is "the whole region is
+            // dirty": route all 512 pages and reset the region once.
+            let entry_dirty = vmref.ept.lookup(phys, gpa)?.map(|(_, e)| e);
+            let huge = entry_dirty.is_some_and(|e| e.is_huge());
+            let (first_page, page_count) = if huge {
+                (gpa.huge_base().page(), ooh_machine::HUGE_PAGE_PAGES)
+            } else {
+                (gpa.page(), 1)
+            };
+            for page in first_page..first_page + page_count {
+                if to_guest {
+                    if let Some(ring) = vmref.spml.guest_ring.as_ref() {
+                        self.ctx
+                            .charge(Lane::Hypervisor, Event::RingBufferCopyEntry);
+                        if !ring.push(phys, Gpa::from_page(page).raw())? {
+                            self.ctx.charge(Lane::Hypervisor, Event::RingBufferOverflow);
+                        }
                     }
                 }
-            }
-            if vmref.spml.enabled_by_hyp {
-                vmref.hyp_dirty.insert(gpa.page());
-            }
-            if vmref.wss_active {
-                vmref.wss_accessed.insert(gpa.page());
-                // Access entries and dirty entries share the log; consult
-                // the EPT D bit to classify.
-                if let Some((_, e)) = vmref.ept.lookup(phys, gpa)? {
-                    if e.is_dirty() {
-                        vmref.wss_dirty.insert(gpa.page());
+                if vmref.spml.enabled_by_hyp {
+                    vmref.hyp_dirty.insert(page);
+                }
+                if vmref.wss_active {
+                    vmref.wss_accessed.insert(page);
+                    // Access entries and dirty entries share the log; consult
+                    // the EPT D bit to classify.
+                    if entry_dirty.is_some_and(|e| e.is_dirty()) {
+                        vmref.wss_dirty.insert(page);
                     }
                 }
             }
@@ -262,11 +338,14 @@ impl Hypervisor {
             // vCPU — not just the one whose buffer filled — forgets the page
             // in both its TLB and its PML shadow. A remote core writing
             // through a stale dirty-marked translation would silently skip
-            // the log.
+            // the log. (For a huge entry this clears the region-wide bit
+            // once but retires all 512 shadow pages.)
             vmref.ept.clear_dirty(phys, gpa)?;
             for vc in &mut vmref.vcpus {
-                vc.pml.note_hyp_dirty_cleared(gpa.page());
-                vc.tlb.invalidate_gpa_page(gpa.page());
+                for page in first_page..first_page + page_count {
+                    vc.pml.note_hyp_dirty_cleared(page);
+                    vc.tlb.invalidate_gpa_page(page);
+                }
             }
         }
         Ok(n)

@@ -41,7 +41,7 @@ impl Default for MigrationConfig {
 /// Per-round record.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct RoundStats {
-    pub round: u32,
+    pub round: u64,
     pub pages_sent: u64,
     /// Virtual time spent copying this round's pages.
     pub ns: u64,
@@ -147,8 +147,11 @@ impl PreCopyMigration {
                 .charge_n_ns(Lane::Hypervisor, Event::MigrationPageCopy, pages, ns);
         }
         self.last_drain_ns = hv.ctx.now_ns();
+        // The round counter is architectural (it lands in serialized
+        // reports), so it is wide enough to never truncate — the old
+        // `as u32` would have wrapped silently.
         self.rounds.push(RoundStats {
-            round: self.rounds.len() as u32,
+            round: self.rounds.len() as u64,
             pages_sent: pages,
             ns,
             interval_ns,
@@ -158,7 +161,10 @@ impl PreCopyMigration {
     /// One pre-copy round: drain PML on every vCPU, take the dirty set, and
     /// "send" it. Returns the number of pages sent this round.
     pub fn round(&mut self, hv: &mut Hypervisor) -> Result<u64, MachineError> {
-        let n_vcpus = hv.vm(self.vm).vcpus.len() as u32;
+        // Saturating, not truncating: an `as u32` cast here would silently
+        // skip the upper vCPUs' buffers if the count ever exceeded u32
+        // (unreachable today — create_vm takes the count as u32).
+        let n_vcpus = u32::try_from(hv.vm(self.vm).vcpus.len()).unwrap_or(u32::MAX);
         for v in 0..n_vcpus {
             hv.drain_hyp_pml(self.vm, v)?;
         }
@@ -178,7 +184,9 @@ impl PreCopyMigration {
 
     /// Should we give up on convergence (dirty rate too high)?
     pub fn rounds_exhausted(&self) -> bool {
-        self.rounds.len() as u32 >= self.config.max_rounds
+        // Compare in usize: a truncating `as u32` on the count would let a
+        // (pathological) >2^32-round migration sail past the cap.
+        self.rounds.len() >= self.config.max_rounds as usize
     }
 
     /// Has the dirty set shrunk enough for stop-and-copy?
@@ -189,7 +197,10 @@ impl PreCopyMigration {
     /// Final stop-and-copy round: the VM is paused, the remaining dirty set
     /// is sent (this is the downtime), PML is released, flags cleared.
     pub fn finalize(mut self, hv: &mut Hypervisor) -> Result<MigrationReport, MachineError> {
-        let n_vcpus = hv.vm(self.vm).vcpus.len() as u32;
+        // Saturating, not truncating: an `as u32` cast here would silently
+        // skip the upper vCPUs' buffers if the count ever exceeded u32
+        // (unreachable today — create_vm takes the count as u32).
+        let n_vcpus = u32::try_from(hv.vm(self.vm).vcpus.len()).unwrap_or(u32::MAX);
         for v in 0..n_vcpus {
             hv.drain_hyp_pml(self.vm, v)?;
         }

@@ -2,7 +2,7 @@
 
 use ooh_machine::{
     exec_controls, DirtyBitmap, Ept, Field, Gpa, Hpa, HostPhys, MachineError, RingView, SppTable,
-    Vcpu, VmxMode, PAGE_SIZE,
+    Vcpu, VmxMode, HUGE_PAGE_PAGES, PAGE_SIZE,
 };
 
 /// VM identifier.
@@ -43,6 +43,12 @@ pub struct Vm {
     pub wss_accessed: DirtyBitmap,
     pub wss_dirty: DirtyBitmap,
     pub wss_active: bool,
+    /// Split-on-dirty policy: the first logged write to a still-huge mapping
+    /// takes a demotion fault instead of setting the region-wide D bit, so
+    /// dirty tracking stays 4K-precise. Off by default — with it off, huge
+    /// mappings log once per region per round and drains expand them
+    /// conservatively to all 512 pages.
+    pub split_on_dirty: bool,
     /// Next guest-physical page to hand out.
     next_gpa_page: u64,
     /// Reusable freed guest pages.
@@ -72,6 +78,7 @@ impl Vm {
             wss_accessed: DirtyBitmap::new(),
             wss_dirty: DirtyBitmap::new(),
             wss_active: false,
+            split_on_dirty: false,
             // GPA 0 is reserved (null) — hand out pages from 1.
             next_gpa_page: 1,
             free_gpa_pages: Vec::new(),
@@ -100,6 +107,55 @@ impl Vm {
         self.ept.map(phys, gpa, hpa)?;
         self.allocated_pages += 1;
         Ok(gpa)
+    }
+
+    /// Allocate a 2 MiB guest region: 512 contiguous, 2M-aligned GPA pages
+    /// backed by 512 contiguous, 2M-aligned host frames, mapped by a single
+    /// huge EPT leaf. GPA pages skipped for alignment go on the free list so
+    /// later 4K allocations recycle them. Freeing is still per-4K-page via
+    /// [`Self::free_guest_page`] — the EPT auto-demotes on the first unmap
+    /// inside the region.
+    pub fn alloc_guest_huge_region(
+        &mut self,
+        phys: &mut HostPhys,
+    ) -> Result<Gpa, MachineError> {
+        if self.allocated_pages + HUGE_PAGE_PAGES > self.ram_pages {
+            return Err(MachineError::OutOfMemory {
+                requested_frames: HUGE_PAGE_PAGES,
+                free_frames: self.ram_pages - self.allocated_pages,
+            });
+        }
+        let base_page = self.next_gpa_page.next_multiple_of(HUGE_PAGE_PAGES);
+        for p in self.next_gpa_page..base_page {
+            self.free_gpa_pages.push(p);
+        }
+        self.next_gpa_page = base_page + HUGE_PAGE_PAGES;
+        let hpa = phys.alloc_frames_contiguous(HUGE_PAGE_PAGES, HUGE_PAGE_PAGES)?;
+        let gpa = Gpa::from_page(base_page);
+        self.ept.map_huge(phys, gpa, hpa)?;
+        self.allocated_pages += HUGE_PAGE_PAGES;
+        Ok(gpa)
+    }
+
+    /// Demote the huge EPT mapping covering `gpa` to a 4K subtree and drop
+    /// every covering translation from every vCPU's TLB (a real demotion is
+    /// an EPT edit and must be fenced by an EPT-wide invalidation). Returns
+    /// whether a huge mapping was actually present.
+    pub fn demote_region(
+        &mut self,
+        phys: &mut HostPhys,
+        gpa: Gpa,
+    ) -> Result<bool, MachineError> {
+        if !self.ept.demote(phys, gpa)? {
+            return Ok(false);
+        }
+        let base = gpa.huge_base().page();
+        for vcpu in &mut self.vcpus {
+            for p in base..base + HUGE_PAGE_PAGES {
+                vcpu.tlb.invalidate_gpa_page(p);
+            }
+        }
+        Ok(true)
     }
 
     /// Release one page of guest RAM.
@@ -206,6 +262,54 @@ mod tests {
         for _ in 0..4 {
             assert_ne!(vm.alloc_guest_page(&mut phys).unwrap(), Gpa::NULL);
         }
+    }
+
+    #[test]
+    fn huge_region_alloc_aligns_and_recycles_gpa_gap() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 1024 * PAGE_SIZE, 1).unwrap();
+        let small = vm.alloc_guest_page(&mut phys).unwrap();
+        let huge = vm.alloc_guest_huge_region(&mut phys).unwrap();
+        assert!(huge.is_huge_aligned());
+        assert!(vm.ept.is_huge_mapped(&phys, huge).unwrap());
+        assert!(vm
+            .ept
+            .is_huge_mapped(&phys, huge.add((HUGE_PAGE_PAGES - 1) * PAGE_SIZE))
+            .unwrap());
+        assert_eq!(vm.allocated_pages(), 1 + HUGE_PAGE_PAGES);
+        // GPA pages skipped by the 2M alignment bump are recycled for 4K use.
+        let next = vm.alloc_guest_page(&mut phys).unwrap();
+        assert!(next.page() > small.page() && next.page() < huge.page());
+        // Contiguous GPA→HPA inside the region (single huge leaf).
+        let h0 = vm.gpa_to_hpa(&phys, huge).unwrap().unwrap();
+        let h5 = vm
+            .gpa_to_hpa(&phys, huge.add(5 * PAGE_SIZE))
+            .unwrap()
+            .unwrap();
+        assert_eq!(h5.raw() - h0.raw(), 5 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn demote_region_breaks_huge_and_frees_per_page() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut vm = Vm::new(VmId(0), &mut phys, 1024 * PAGE_SIZE, 2).unwrap();
+        let huge = vm.alloc_guest_huge_region(&mut phys).unwrap();
+        let h3 = vm
+            .gpa_to_hpa(&phys, huge.add(3 * PAGE_SIZE))
+            .unwrap()
+            .unwrap();
+        assert!(vm.demote_region(&mut phys, huge.add(PAGE_SIZE)).unwrap());
+        assert!(!vm.ept.is_huge_mapped(&phys, huge).unwrap());
+        assert!(!vm.demote_region(&mut phys, huge).unwrap(), "idempotent");
+        // Translations survive demotion bit-for-bit.
+        assert_eq!(
+            vm.gpa_to_hpa(&phys, huge.add(3 * PAGE_SIZE)).unwrap(),
+            Some(h3)
+        );
+        // Per-4K free works on the demoted subtree.
+        vm.free_guest_page(&mut phys, huge.add(3 * PAGE_SIZE)).unwrap();
+        assert_eq!(vm.allocated_pages(), HUGE_PAGE_PAGES - 1);
+        assert_eq!(vm.gpa_to_hpa(&phys, huge.add(3 * PAGE_SIZE)).unwrap(), None);
     }
 
     #[test]

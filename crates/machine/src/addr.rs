@@ -23,6 +23,12 @@ pub const PAGE_SHIFT: u32 = 12;
 pub const PT_ENTRIES: u64 = 512;
 /// Bits of index per page-table level.
 pub const PT_INDEX_BITS: u32 = 9;
+/// Bytes per 2 MiB huge page (one level-1 leaf entry).
+pub const HUGE_PAGE_SIZE: u64 = PAGE_SIZE * PT_ENTRIES;
+/// log2 of the huge-page size.
+pub const HUGE_PAGE_SHIFT: u32 = PAGE_SHIFT + PT_INDEX_BITS;
+/// 4 KiB pages covered by one 2 MiB huge page.
+pub const HUGE_PAGE_PAGES: u64 = PT_ENTRIES;
 
 macro_rules! addr_type {
     ($(#[$meta:meta])* $name:ident) => {
@@ -71,6 +77,30 @@ macro_rules! addr_type {
             #[inline]
             pub const fn is_page_aligned(self) -> bool {
                 self.0 & (PAGE_SIZE - 1) == 0
+            }
+
+            /// Huge-page number (address >> 21).
+            #[inline]
+            pub const fn huge_page(self) -> u64 {
+                self.0 >> HUGE_PAGE_SHIFT
+            }
+
+            /// Offset within the containing 2 MiB huge page.
+            #[inline]
+            pub const fn huge_offset(self) -> u64 {
+                self.0 & (HUGE_PAGE_SIZE - 1)
+            }
+
+            /// Address of the start of the containing 2 MiB huge page.
+            #[inline]
+            pub const fn huge_base(self) -> $name {
+                $name(self.0 & !(HUGE_PAGE_SIZE - 1))
+            }
+
+            /// Is this address 2 MiB-aligned?
+            #[inline]
+            pub const fn is_huge_aligned(self) -> bool {
+                self.0 & (HUGE_PAGE_SIZE - 1) == 0
             }
 
             /// Add a byte offset (the pointer-arithmetic idiom used all
@@ -175,6 +205,20 @@ mod tests {
         assert_eq!(Gva::from_page(a.page()).raw(), 0x1234_5000);
         assert!(!a.is_page_aligned());
         assert!(a.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn huge_page_math() {
+        let a = Gva(0x7f83_4567_8123);
+        assert_eq!(a.huge_page(), a.raw() >> 21);
+        assert_eq!(a.huge_offset(), a.raw() & (HUGE_PAGE_SIZE - 1));
+        assert_eq!(a.huge_base().raw(), a.raw() & !(HUGE_PAGE_SIZE - 1));
+        assert!(a.huge_base().is_huge_aligned());
+        assert!(!a.is_huge_aligned());
+        // A huge page covers exactly PT_ENTRIES 4K pages.
+        assert_eq!(HUGE_PAGE_SIZE, 2 * 1024 * 1024);
+        assert_eq!(HUGE_PAGE_PAGES, 512);
+        assert_eq!(a.huge_base().page() + a.page() % HUGE_PAGE_PAGES, a.page());
     }
 
     #[test]

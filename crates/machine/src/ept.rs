@@ -4,10 +4,17 @@
 //! owns one `Ept` per VM; the nested walker reads it on every TLB miss, and
 //! PML triggers on leaf dirty-bit transitions inside it.
 
-use crate::addr::{Gpa, Hpa, PT_ENTRIES};
+use crate::addr::{Gpa, Hpa, PAGE_SIZE, PT_ENTRIES};
 use crate::error::MachineError;
 use crate::phys::HostPhys;
 use crate::pte::EptEntry;
+
+/// What the radix walk found for a GPA: a level-0 slot (which may hold a
+/// non-present entry), or a present 2 MiB leaf at level 1 covering it.
+enum LeafRef {
+    Slot4k(Hpa),
+    Huge { slot: Hpa, entry: EptEntry },
+}
 
 /// One VM's extended page table.
 #[derive(Debug)]
@@ -54,7 +61,17 @@ impl Ept {
         let mut table = self.root;
         for level in (1..4).rev() {
             let slot = table.add(gpa.pt_index(level) as u64 * 8);
-            let entry = EptEntry(phys.read_u64(slot)?);
+            let mut entry = EptEntry(phys.read_u64(slot)?);
+            if level == 1 && entry.is_present() && entry.is_huge() {
+                if !alloc {
+                    // No 4K slot exists under a huge leaf.
+                    return Ok(None);
+                }
+                // A 4K mapping is being installed inside a huge region:
+                // demote it so the walk reaches a real level-0 table.
+                self.demote_slot(phys, slot, entry)?;
+                entry = EptEntry(phys.read_u64(slot)?);
+            }
             table = if entry.is_present() {
                 entry.frame()
             } else if alloc {
@@ -69,6 +86,92 @@ impl Ept {
         Ok(Some(table.add(gpa.pt_index(0) as u64 * 8)))
     }
 
+    /// Read-only walk distinguishing a 4K slot from a covering huge leaf.
+    fn find_leaf(&self, phys: &HostPhys, gpa: Gpa) -> Result<Option<LeafRef>, MachineError> {
+        let mut table = self.root;
+        for level in (1..4).rev() {
+            let slot = table.add(gpa.pt_index(level) as u64 * 8);
+            let entry = EptEntry(phys.read_u64(slot)?);
+            if !entry.is_present() {
+                return Ok(None);
+            }
+            if level == 1 && entry.is_huge() {
+                return Ok(Some(LeafRef::Huge { slot, entry }));
+            }
+            table = entry.frame();
+        }
+        Ok(Some(LeafRef::Slot4k(table.add(gpa.pt_index(0) as u64 * 8))))
+    }
+
+    /// Replace a present level-1 huge leaf with a level-0 table of 512
+    /// inherited 4K leaves (same permissions, same A/D bits, frames
+    /// `base + i·4K`). Pure page-table surgery: the caller owns the TLB
+    /// shootdown and any revmap-generation bump.
+    fn demote_slot(
+        &mut self,
+        phys: &mut HostPhys,
+        slot: Hpa,
+        entry: EptEntry,
+    ) -> Result<(), MachineError> {
+        debug_assert!(entry.is_huge());
+        let table = phys.alloc_frame()?;
+        self.table_pages += 1;
+        let proto = entry.without(EptEntry::HUGE);
+        let base = entry.frame();
+        for i in 0..PT_ENTRIES {
+            let e = proto.retarget(base.add(i * PAGE_SIZE));
+            phys.write_u64(table.add(i * 8), e.0)?;
+        }
+        phys.write_u64(slot, EptEntry::table(table).0)
+    }
+
+    /// Demote the huge mapping covering `gpa` (if any) to a 4K subtree.
+    /// Returns whether a demotion happened. `mapped_pages` is unchanged —
+    /// the same 512 pages stay mapped, just through one more table level.
+    pub fn demote(&mut self, phys: &mut HostPhys, gpa: Gpa) -> Result<bool, MachineError> {
+        match self.find_leaf(phys, gpa)? {
+            Some(LeafRef::Huge { slot, entry }) => {
+                self.demote_slot(phys, slot, entry)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Install a 2 MiB mapping `gpa → hpa` (both 2 MiB-aligned) as a single
+    /// level-1 leaf with RWX rights. The region must not already be mapped.
+    pub fn map_huge(&mut self, phys: &mut HostPhys, gpa: Gpa, hpa: Hpa) -> Result<(), MachineError> {
+        debug_assert!(gpa.is_huge_aligned() && hpa.is_huge_aligned());
+        let mut table = self.root;
+        for level in (2..4).rev() {
+            let slot = table.add(gpa.pt_index(level) as u64 * 8);
+            let entry = EptEntry(phys.read_u64(slot)?);
+            table = if entry.is_present() {
+                entry.frame()
+            } else {
+                let next = phys.alloc_frame()?;
+                self.table_pages += 1;
+                phys.write_u64(slot, EptEntry::table(next).0)?;
+                next
+            };
+        }
+        let slot = table.add(gpa.pt_index(1) as u64 * 8);
+        let old = EptEntry(phys.read_u64(slot)?);
+        debug_assert!(!old.is_present(), "map_huge over an existing mapping");
+        if !old.is_present() {
+            self.mapped_pages += PT_ENTRIES;
+        }
+        phys.write_u64(slot, EptEntry::huge_leaf_rwx(hpa).0)
+    }
+
+    /// Is `gpa` covered by a still-huge level-1 leaf?
+    pub fn is_huge_mapped(&self, phys: &HostPhys, gpa: Gpa) -> Result<bool, MachineError> {
+        Ok(matches!(
+            self.find_leaf(phys, gpa)?,
+            Some(LeafRef::Huge { .. })
+        ))
+    }
+
     /// Install (or replace) the leaf mapping `gpa → hpa` with RWX rights.
     pub fn map(&mut self, phys: &mut HostPhys, gpa: Gpa, hpa: Hpa) -> Result<(), MachineError> {
         let slot = self
@@ -81,8 +184,15 @@ impl Ept {
         phys.write_u64(slot, EptEntry::leaf_rwx(hpa.page_base()).0)
     }
 
-    /// Remove the leaf mapping for `gpa`, returning the HPA it pointed to.
+    /// Remove the 4K leaf mapping for `gpa`, returning the HPA it pointed
+    /// to. A huge leaf covering `gpa` is auto-demoted first so partially
+    /// unmapping a 2 MiB region keeps the other 511 pages mapped — the
+    /// alternative (descending a huge leaf as if it were a table) would
+    /// treat data frames as page tables.
     pub fn unmap(&mut self, phys: &mut HostPhys, gpa: Gpa) -> Result<Option<Hpa>, MachineError> {
+        if let Some(LeafRef::Huge { slot, entry }) = self.find_leaf(phys, gpa)? {
+            self.demote_slot(phys, slot, entry)?;
+        }
         match self.leaf_slot(phys, gpa.page_base(), false)? {
             Some(slot) => {
                 let e = EptEntry(phys.read_u64(slot)?);
@@ -99,31 +209,35 @@ impl Ept {
     }
 
     /// Read the leaf entry for `gpa`, if mapped. Returns the entry *slot*
-    /// (so callers can update A/D bits architecturally) and its value.
+    /// (so callers can update A/D bits architecturally) and its value. A
+    /// GPA covered by a 2 MiB leaf returns the *level-1* slot and the huge
+    /// entry itself (`is_huge()` distinguishes): A/D updates there are
+    /// per-region, which is exactly the granularity question split-on-dirty
+    /// exists to answer.
     pub fn lookup(
         &mut self,
         phys: &HostPhys,
         gpa: Gpa,
     ) -> Result<Option<(Hpa, EptEntry)>, MachineError> {
-        let mut table = self.root;
-        for level in (1..4).rev() {
-            let slot = table.add(gpa.pt_index(level) as u64 * 8);
-            let entry = EptEntry(phys.read_u64(slot)?);
-            if !entry.is_present() {
-                return Ok(None);
+        match self.find_leaf(phys, gpa)? {
+            Some(LeafRef::Huge { slot, entry }) => Ok(Some((slot, entry))),
+            Some(LeafRef::Slot4k(slot)) => {
+                let entry = EptEntry(phys.read_u64(slot)?);
+                Ok(entry.is_present().then_some((slot, entry)))
             }
-            table = entry.frame();
+            None => Ok(None),
         }
-        let slot = table.add(gpa.pt_index(0) as u64 * 8);
-        let entry = EptEntry(phys.read_u64(slot)?);
-        Ok(entry.is_present().then_some((slot, entry)))
     }
 
     /// Pure translation (no A/D side effects).
     pub fn translate(&mut self, phys: &HostPhys, gpa: Gpa) -> Result<Option<Hpa>, MachineError> {
-        Ok(self
-            .lookup(phys, gpa)?
-            .map(|(_, e)| Hpa(e.frame().raw() | gpa.offset())))
+        Ok(self.lookup(phys, gpa)?.map(|(_, e)| {
+            if e.is_huge() {
+                Hpa(e.frame().raw() | gpa.huge_offset())
+            } else {
+                Hpa(e.frame().raw() | gpa.offset())
+            }
+        }))
     }
 
     /// Clear the dirty bit of `gpa`'s leaf entry (done by the PML drain path
@@ -177,6 +291,17 @@ impl Ept {
             let page = (prefix << 9) | idx;
             if level == 0 {
                 out.push((Gpa::from_page(page), entry));
+            } else if level == 1 && entry.is_huge() {
+                // Expand a huge leaf into its 512 constituent 4K pages.
+                // Each synthesized entry keeps the region's flags (incl.
+                // HUGE, so consumers can tell region-granularity A/D from
+                // page-granularity) and points at the per-page frame.
+                for sub in 0..PT_ENTRIES {
+                    out.push((
+                        Gpa::from_page((page << 9) | sub),
+                        entry.retarget(entry.frame().add(sub * PAGE_SIZE)),
+                    ));
+                }
             } else {
                 self.walk_table(phys, entry.frame(), level - 1, page, out)?;
             }
@@ -191,8 +316,12 @@ impl Ept {
         for (gpa, e) in self.collect_mapped(phys)? {
             if e.is_accessed() {
                 if let Some((slot, cur)) = self.lookup(phys, gpa)? {
-                    phys.write_u64(slot, cur.without(EptEntry::ACCESSED).0)?;
-                    cleared += 1;
+                    // Under a huge leaf the 512 expanded pages share one
+                    // slot: only the first clear counts (and writes).
+                    if cur.is_accessed() {
+                        phys.write_u64(slot, cur.without(EptEntry::ACCESSED).0)?;
+                        cleared += 1;
+                    }
                 }
             }
         }
@@ -295,6 +424,124 @@ mod tests {
         let mut want = gpas.to_vec();
         want.sort();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn huge_map_translate_and_expand() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let hpa = phys.alloc_frames_contiguous(512, 512).unwrap();
+        let gpa = Gpa(512 * 4 * PAGE_SIZE); // 2M-aligned (page 2048)
+        ept.map_huge(&mut phys, gpa, hpa).unwrap();
+        assert_eq!(ept.mapped_pages(), 512);
+        assert!(ept.is_huge_mapped(&phys, gpa.add(0x1234)).unwrap());
+        // Translation uses the 21-bit huge offset.
+        let probe = gpa.add(37 * PAGE_SIZE + 0x123);
+        assert_eq!(
+            ept.translate(&phys, probe).unwrap().unwrap(),
+            hpa.add(37 * PAGE_SIZE + 0x123)
+        );
+        // lookup for any covered 4K GPA returns the level-1 huge entry.
+        let (_, e) = ept.lookup(&phys, probe).unwrap().unwrap();
+        assert!(e.is_huge());
+        assert_eq!(e.frame(), hpa);
+        // collect_mapped expands to 512 per-page entries with HUGE kept.
+        let mapped = ept.collect_mapped(&phys).unwrap();
+        assert_eq!(mapped.len(), 512);
+        assert_eq!(mapped[0].0, gpa);
+        assert_eq!(mapped[511].1.frame(), hpa.add(511 * PAGE_SIZE));
+        assert!(mapped[37].1.is_huge());
+    }
+
+    #[test]
+    fn huge_demote_preserves_ad_and_translations() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let hpa = phys.alloc_frames_contiguous(512, 512).unwrap();
+        let gpa = Gpa::from_page(2048);
+        ept.map_huge(&mut phys, gpa, hpa).unwrap();
+        // Simulate the walker setting A+D on the huge leaf.
+        let (slot, e) = ept.lookup(&phys, gpa).unwrap().unwrap();
+        phys.write_u64(slot, e.with(EptEntry::ACCESSED | EptEntry::DIRTY).0)
+            .unwrap();
+        let tables_before = ept.table_pages();
+        assert!(ept.demote(&mut phys, gpa.add(5 * PAGE_SIZE)).unwrap());
+        assert_eq!(ept.table_pages(), tables_before + 1);
+        assert_eq!(ept.mapped_pages(), 512);
+        // Every 4K leaf inherited perms and A/D; translation unchanged.
+        for i in [0u64, 5, 511] {
+            let probe = gpa.add(i * PAGE_SIZE);
+            let (_, le) = ept.lookup(&phys, probe).unwrap().unwrap();
+            assert!(!le.is_huge());
+            assert!(le.is_dirty() && le.is_accessed() && le.is_writable());
+            assert_eq!(le.frame(), hpa.add(i * PAGE_SIZE));
+            assert_eq!(ept.translate(&phys, probe).unwrap(), Some(hpa.add(i * PAGE_SIZE)));
+        }
+        // A second demote is a no-op.
+        assert!(!ept.demote(&mut phys, gpa).unwrap());
+    }
+
+    #[test]
+    fn unmap_inside_huge_region_auto_demotes() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let hpa = phys.alloc_frames_contiguous(512, 512).unwrap();
+        let gpa = Gpa::from_page(2048);
+        ept.map_huge(&mut phys, gpa, hpa).unwrap();
+        let victim = gpa.add(9 * PAGE_SIZE);
+        assert_eq!(
+            ept.unmap(&mut phys, victim).unwrap(),
+            Some(hpa.add(9 * PAGE_SIZE))
+        );
+        assert_eq!(ept.mapped_pages(), 511);
+        assert_eq!(ept.translate(&phys, victim).unwrap(), None);
+        // Neighbours survive the partial teardown.
+        assert_eq!(
+            ept.translate(&phys, gpa.add(8 * PAGE_SIZE)).unwrap(),
+            Some(hpa.add(8 * PAGE_SIZE))
+        );
+        assert!(!ept.is_huge_mapped(&phys, gpa).unwrap());
+    }
+
+    #[test]
+    fn map_4k_over_huge_region_demotes_first() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let hpa = phys.alloc_frames_contiguous(512, 512).unwrap();
+        let gpa = Gpa::from_page(2048);
+        ept.map_huge(&mut phys, gpa, hpa).unwrap();
+        let other = phys.alloc_frame().unwrap();
+        ept.map(&mut phys, gpa.add(3 * PAGE_SIZE), other).unwrap();
+        assert_eq!(ept.mapped_pages(), 512); // replace, not grow
+        assert_eq!(
+            ept.translate(&phys, gpa.add(3 * PAGE_SIZE)).unwrap(),
+            Some(other)
+        );
+        assert_eq!(
+            ept.translate(&phys, gpa.add(4 * PAGE_SIZE)).unwrap(),
+            Some(hpa.add(4 * PAGE_SIZE))
+        );
+    }
+
+    #[test]
+    fn huge_dirty_clears_once() {
+        let mut phys = HostPhys::new(2048 * PAGE_SIZE);
+        let mut ept = Ept::new(&mut phys).unwrap();
+        let hpa = phys.alloc_frames_contiguous(512, 512).unwrap();
+        let gpa = Gpa::from_page(2048);
+        ept.map_huge(&mut phys, gpa, hpa).unwrap();
+        let (slot, e) = ept.lookup(&phys, gpa).unwrap().unwrap();
+        phys.write_u64(slot, e.with(EptEntry::DIRTY | EptEntry::ACCESSED).0)
+            .unwrap();
+        // The region-wide D bit shows on every expanded page...
+        assert_eq!(ept.collect_dirty(&phys).unwrap().len(), 512);
+        // ...but clearing via any covered GPA clears the one real bit.
+        assert!(ept.clear_dirty(&mut phys, gpa.add(17 * PAGE_SIZE)).unwrap());
+        assert!(ept.collect_dirty(&phys).unwrap().is_empty());
+        // clear_all_accessed counts the region once, not 512 times.
+        let (slot, e) = ept.lookup(&phys, gpa).unwrap().unwrap();
+        phys.write_u64(slot, e.with(EptEntry::ACCESSED).0).unwrap();
+        assert_eq!(ept.clear_all_accessed(&mut phys).unwrap(), 1);
     }
 
     #[test]

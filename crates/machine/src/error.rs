@@ -79,6 +79,13 @@ pub enum Fault {
     /// Write to a sub-page whose SPP write bit is clear. Delivered to the
     /// guard's owner (the secure allocator) as an overflow detection.
     SppViolation { gva: Gva, gpa: Gpa, subpage: u32 },
+    /// First logged write to a still-clean 2 MiB mapping while the
+    /// split-on-dirty policy is armed. Raised *before* any A/D bit is set or
+    /// PML entry written, so after the kernel demotes the mapping to a 4K
+    /// subtree the retried access logs at page granularity — nothing is
+    /// lost, nothing is logged twice. `gpa` is the 2 MiB-aligned base of the
+    /// covering guest-physical region.
+    HugeDirtyWrite { gva: Gva, gpa: Gpa },
 }
 
 impl std::fmt::Display for Fault {
@@ -93,6 +100,9 @@ impl std::fmt::Display for Fault {
             }
             Fault::SppViolation { gva, subpage, .. } => {
                 write!(f, "SPP write violation at {gva} (sub-page {subpage})")
+            }
+            Fault::HugeDirtyWrite { gva, gpa } => {
+                write!(f, "split-on-dirty demotion fault at {gva} (huge region {gpa})")
             }
         }
     }

@@ -40,7 +40,10 @@ pub mod vcpu;
 pub mod vmcs;
 pub mod walker;
 
-pub use addr::{Gpa, Gva, GvaRange, Hpa, PAGE_SHIFT, PAGE_SIZE, PT_ENTRIES};
+pub use addr::{
+    Gpa, Gva, GvaRange, Hpa, HUGE_PAGE_PAGES, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGE_SHIFT,
+    PAGE_SIZE, PT_ENTRIES,
+};
 pub use digest::StateHasher;
 pub use dirty::DirtyBitmap;
 pub use ept::Ept;

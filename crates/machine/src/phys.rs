@@ -65,6 +65,42 @@ impl HostPhys {
         Ok(Hpa::from_page(fno))
     }
 
+    /// Allocate `count` physically-contiguous zeroed frames whose base frame
+    /// number is aligned to `align_frames` (a power of two). Contiguous runs
+    /// are carved only from never-allocated space — the free list is
+    /// fragmented by definition — and the frames skipped to reach alignment
+    /// are donated to the free list so they are not wasted. Each frame of
+    /// the run can later be freed individually with
+    /// [`free_frame`](Self::free_frame) (demotion tears huge regions down
+    /// 4 KiB at a time).
+    pub fn alloc_frames_contiguous(
+        &mut self,
+        count: u64,
+        align_frames: u64,
+    ) -> Result<Hpa, MachineError> {
+        debug_assert!(align_frames.is_power_of_two());
+        debug_assert!(count > 0);
+        let base = self.next_never_allocated.next_multiple_of(align_frames);
+        if base + count > self.total_frames() {
+            return Err(MachineError::OutOfMemory {
+                requested_frames: count,
+                free_frames: self
+                    .total_frames()
+                    .saturating_sub(self.next_never_allocated)
+                    + self.free_list.len() as u64,
+            });
+        }
+        for f in self.next_never_allocated..base {
+            self.free_list.push(f);
+        }
+        for f in base..base + count {
+            self.frames[f as usize] = Some(Box::new([0u8; PAGE_SIZE as usize]));
+        }
+        self.allocated += count;
+        self.next_never_allocated = base + count;
+        Ok(Hpa::from_page(base))
+    }
+
     /// Free a frame previously returned by [`alloc_frame`](Self::alloc_frame).
     pub fn free_frame(&mut self, hpa: Hpa) -> Result<(), MachineError> {
         let fno = hpa.page();
@@ -259,6 +295,35 @@ mod tests {
         assert!(matches!(
             m.read(f.add(PAGE_SIZE - 8), &mut buf),
             Err(MachineError::CrossPageAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn contiguous_alloc_aligns_and_recycles_the_gap() {
+        let mut m = HostPhys::new(32 * PAGE_SIZE);
+        m.alloc_frame().unwrap(); // frame 0: forces an alignment gap
+        let base = m.alloc_frames_contiguous(8, 8).unwrap();
+        assert_eq!(base.page() % 8, 0);
+        assert_eq!(base.page(), 8);
+        // The run is allocated and zeroed.
+        for i in 0..8 {
+            assert!(m.is_allocated(base.add(i * PAGE_SIZE)));
+        }
+        // Frames 1..8 (the alignment gap) went to the free list: the next
+        // single-frame alloc reuses one instead of bumping past the run.
+        let single = m.alloc_frame().unwrap();
+        assert!(single.page() < 8, "gap frame should be recycled");
+        // Individual frames of the run can be freed (demotion teardown).
+        m.free_frame(base).unwrap();
+        assert!(!m.is_allocated(base));
+    }
+
+    #[test]
+    fn contiguous_alloc_oom() {
+        let mut m = HostPhys::new(8 * PAGE_SIZE);
+        assert!(matches!(
+            m.alloc_frames_contiguous(16, 8),
+            Err(MachineError::OutOfMemory { .. })
         ));
     }
 

@@ -20,6 +20,10 @@ impl Pte {
     pub const USER: u64 = 1 << 2;
     pub const ACCESSED: u64 = 1 << 5;
     pub const DIRTY: u64 = 1 << 6;
+    /// x86 PS (page-size) bit: this level-1 entry is a 2 MiB leaf, not a
+    /// pointer to a level-0 table. Only meaningful at level 1; the walker
+    /// terminates there when it sees PS set.
+    pub const PS: u64 = 1 << 7;
     /// Software guard marker (`_PAGE_SOFTW1`): the page is a heap guard —
     /// write faults on it are overflow detections, never fixed up.
     pub const GUARD: u64 = 1 << 9;
@@ -46,6 +50,13 @@ impl Pte {
     pub fn table(next: Gpa) -> Self {
         // Non-leaf entries carry permissive RW/US so leaf bits govern.
         Pte::leaf(next, Self::WRITABLE | Self::USER)
+    }
+
+    /// Build a present 2 MiB leaf entry (level-1, PS set) pointing at a
+    /// 2 MiB-aligned `frame`.
+    pub fn huge_leaf(frame: Gpa, flags: u64) -> Self {
+        debug_assert!(frame.is_huge_aligned(), "2M leaf frame must be 2M-aligned");
+        Pte::leaf(frame, flags | Self::PS)
     }
 
     pub fn is_present(self) -> bool {
@@ -80,6 +91,11 @@ impl Pte {
         self.0 & Self::GUARD != 0
     }
 
+    /// Is this a 2 MiB leaf (PS bit)?
+    pub fn is_huge(self) -> bool {
+        self.0 & Self::PS != 0
+    }
+
     /// The guest-physical frame this entry points to (leaf: data page;
     /// non-leaf: next table page).
     pub fn frame(self) -> Gpa {
@@ -92,6 +108,13 @@ impl Pte {
 
     pub fn without(self, flags: u64) -> Self {
         Pte(self.0 & !flags)
+    }
+
+    /// Rebuild this entry pointing at `frame`, keeping every flag bit —
+    /// how demotion derives each inherited 4K leaf from a 2 MiB one.
+    pub fn retarget(self, frame: Gpa) -> Self {
+        debug_assert!(frame.is_page_aligned());
+        Pte((frame.raw() & Self::PFN_MASK) | (self.0 & !Self::PFN_MASK))
     }
 }
 
@@ -110,6 +133,9 @@ impl EptEntry {
     pub const EXEC: u64 = 1 << 2;
     pub const ACCESSED: u64 = 1 << 8;
     pub const DIRTY: u64 = 1 << 9;
+    /// EPT large-page bit (bit 7, as on real VT-x): this level-1 entry maps
+    /// a whole 2 MiB host region.
+    pub const HUGE: u64 = 1 << 7;
 
     const PFN_MASK: u64 = 0x000F_FFFF_FFFF_F000;
     const PERM_MASK: u64 = Self::READ | Self::WRITE | Self::EXEC;
@@ -129,6 +155,13 @@ impl EptEntry {
         EptEntry::leaf_rwx(next)
     }
 
+    /// Level-1 2 MiB leaf mapping to a 2 MiB-aligned host frame with full
+    /// RWX permissions.
+    pub fn huge_leaf_rwx(hpa: Hpa) -> Self {
+        debug_assert!(hpa.is_huge_aligned(), "2M EPT leaf must be 2M-aligned");
+        EptEntry(EptEntry::leaf_rwx(hpa).0 | Self::HUGE)
+    }
+
     /// "Present" in EPT terms: any permission bit set.
     pub fn is_present(self) -> bool {
         self.0 & Self::PERM_MASK != 0
@@ -146,6 +179,11 @@ impl EptEntry {
         self.0 & Self::DIRTY != 0
     }
 
+    /// Is this a 2 MiB leaf (large-page bit)?
+    pub fn is_huge(self) -> bool {
+        self.0 & Self::HUGE != 0
+    }
+
     pub fn frame(self) -> Hpa {
         Hpa(self.0 & Self::PFN_MASK)
     }
@@ -156,6 +194,13 @@ impl EptEntry {
 
     pub fn without(self, flags: u64) -> Self {
         EptEntry(self.0 & !flags)
+    }
+
+    /// Rebuild this entry pointing at `frame`, keeping every flag bit
+    /// (permissions and A/D survive demotion into the inherited 4K leaves).
+    pub fn retarget(self, frame: Hpa) -> Self {
+        debug_assert!(frame.is_page_aligned());
+        EptEntry((frame.raw() & Self::PFN_MASK) | (self.0 & !Self::PFN_MASK))
     }
 }
 
@@ -209,5 +254,20 @@ mod tests {
     fn ept_empty_not_present() {
         assert!(!EptEntry::empty().is_present());
         assert!(!Pte::empty().is_present());
+    }
+
+    #[test]
+    fn huge_leaf_roundtrip() {
+        let p = Pte::huge_leaf(Gpa(0x40_0000), Pte::WRITABLE | Pte::USER);
+        assert!(p.is_present() && p.is_huge() && p.is_writable());
+        assert_eq!(p.frame(), Gpa(0x40_0000));
+        assert!(!p.without(Pte::PS).is_huge());
+        assert!(!Pte::leaf(Gpa(0x1000), Pte::WRITABLE).is_huge());
+
+        let e = EptEntry::huge_leaf_rwx(Hpa(0x80_0000));
+        assert!(e.is_present() && e.is_huge() && e.is_writable());
+        assert_eq!(e.frame(), Hpa(0x80_0000));
+        assert!(e.with(EptEntry::DIRTY).is_huge(), "A/D updates keep HUGE");
+        assert!(!EptEntry::leaf_rwx(Hpa(0x1000)).is_huge());
     }
 }

@@ -34,6 +34,11 @@ pub struct TlbEntry {
     /// walk path so the sub-page permission check runs (real SPP caches
     /// sub-page rights in the TLB; the conservative model re-walks).
     pub spp_guarded: bool,
+    /// This entry caches a 2 MiB translation: `gpa_page`/`hpa_page` are the
+    /// 2 MiB-aligned *base* pages and the entry covers 512 consecutive 4K
+    /// pages (real TLBs keep large-page translations in a separate array;
+    /// so do we).
+    pub huge: bool,
 }
 
 impl TlbEntry {
@@ -43,11 +48,19 @@ impl TlbEntry {
     }
 
     pub fn hpa(&self, gva: Gva) -> Hpa {
-        Hpa::from_page(self.hpa_page).add(gva.offset())
+        if self.huge {
+            Hpa::from_page(self.hpa_page).add(gva.huge_offset())
+        } else {
+            Hpa::from_page(self.hpa_page).add(gva.offset())
+        }
     }
 
     pub fn gpa(&self, gva: Gva) -> Gpa {
-        Gpa::from_page(self.gpa_page).add(gva.offset())
+        if self.huge {
+            Gpa::from_page(self.gpa_page).add(gva.huge_offset())
+        } else {
+            Gpa::from_page(self.gpa_page).add(gva.offset())
+        }
     }
 }
 
@@ -60,6 +73,10 @@ impl TlbEntry {
 #[derive(Debug, Default)]
 pub struct Tlb {
     entries: BTreeMap<u64, TlbEntry>,
+    /// 2 MiB translations, keyed by `gva.huge_page()` — the separate
+    /// large-page array of a real TLB. Exempt from the 4K capacity bound
+    /// (huge entries are few and cover 512× the space each).
+    huge_entries: BTreeMap<u64, TlbEntry>,
     /// FIFO of filled pages, used only when `capacity` is set (kept exact:
     /// stale keys are skipped at eviction).
     fill_order: std::collections::VecDeque<u64>,
@@ -96,7 +113,11 @@ impl Tlb {
             self.misses += 1;
             return None;
         }
-        match self.entries.get(&gva.page()) {
+        match self
+            .entries
+            .get(&gva.page())
+            .or_else(|| self.huge_entries.get(&gva.huge_page()))
+        {
             Some(e) => {
                 self.hits += 1;
                 Some(*e)
@@ -115,7 +136,10 @@ impl Tlb {
         if self.cr3_tag != cr3.raw() {
             return None;
         }
-        self.entries.get(&gva.page()).copied()
+        self.entries
+            .get(&gva.page())
+            .or_else(|| self.huge_entries.get(&gva.huge_page()))
+            .copied()
     }
 
     /// Fold the behaviorally relevant TLB state (CR3 tag + cached
@@ -133,6 +157,20 @@ impl Tlb {
             h.write_bool(e.ept_dirty);
             h.write_bool(e.spp_guarded);
         }
+        // The large-page array is hashed only when populated so digests of
+        // huge-free runs stay identical to the pre-huge-page format.
+        if !self.huge_entries.is_empty() {
+            h.write_u64(u64::MAX); // section marker, not a valid entry count
+            h.write_u64(self.huge_entries.len() as u64);
+            for (huge_page, e) in &self.huge_entries {
+                h.write_u64(*huge_page);
+                h.write_u64(e.gpa_page);
+                h.write_bool(e.writable);
+                h.write_bool(e.guest_dirty);
+                h.write_bool(e.ept_dirty);
+                h.write_bool(e.spp_guarded);
+            }
+        }
     }
 
     /// Install a translation (called by the walker after a successful walk).
@@ -140,8 +178,13 @@ impl Tlb {
         if self.cr3_tag != cr3.raw() {
             // Different address space than the cached one: implicit flush.
             self.entries.clear();
+            self.huge_entries.clear();
             self.fill_order.clear();
             self.cr3_tag = cr3.raw();
+        }
+        if entry.huge {
+            self.huge_entries.insert(gva.huge_page(), entry);
+            return;
         }
         if let Some(cap) = self.capacity {
             while self.entries.len() >= cap {
@@ -163,20 +206,28 @@ impl Tlb {
     /// Full flush (mov-to-CR3 / clear_refs / PML drain).
     pub fn flush_all(&mut self) {
         self.entries.clear();
+        self.huge_entries.clear();
         self.fill_order.clear();
         self.flushes += 1;
     }
 
-    /// Single-page invalidation.
+    /// Single-page invalidation. As on real x86, invlpg drops *any* cached
+    /// translation for the address — the covering 2 MiB entry included, so
+    /// a demotion's invalidation cannot leave the stale huge translation
+    /// serving the other 511 pages.
     pub fn invlpg(&mut self, gva: Gva) {
         self.entries.remove(&gva.page());
+        self.huge_entries.remove(&gva.huge_page());
         self.invlpgs += 1;
     }
 
     /// Invalidate every cached translation pointing at `gpa_page`
-    /// (used when the hypervisor changes an EPT mapping).
+    /// (used when the hypervisor changes an EPT mapping). A huge entry is
+    /// dropped when the page falls anywhere in its 512-page span.
     pub fn invalidate_gpa_page(&mut self, gpa_page: u64) {
         self.entries.retain(|_, e| e.gpa_page != gpa_page);
+        self.huge_entries
+            .retain(|_, e| !(e.gpa_page..e.gpa_page + 512).contains(&gpa_page));
     }
 
     /// Remote half of a cross-vCPU TLB shootdown: invalidate one page on
@@ -185,12 +236,14 @@ impl Tlb {
     /// IPI cost, this vCPU only records that it serviced a shootdown.
     pub fn shootdown_invlpg(&mut self, gva: Gva) {
         self.entries.remove(&gva.page());
+        self.huge_entries.remove(&gva.huge_page());
         self.shootdowns += 1;
     }
 
     /// Remote half of a full-flush shootdown (munmap / clear_refs batches).
     pub fn shootdown_flush_all(&mut self) {
         self.entries.clear();
+        self.huge_entries.clear();
         self.fill_order.clear();
         self.shootdowns += 1;
     }
@@ -200,12 +253,19 @@ impl Tlb {
         self.shootdowns
     }
 
+    /// Cached 4K translations (the large-page array is counted separately
+    /// by [`huge_len`](Self::huge_len), mirroring real TLB organisation).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Cached 2 MiB translations.
+    pub fn huge_len(&self) -> usize {
+        self.huge_entries.len()
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.huge_entries.is_empty()
     }
 
     pub fn hits(&self) -> u64 {
@@ -233,6 +293,19 @@ mod tests {
             guest_dirty: false,
             ept_dirty: false,
             spp_guarded: false,
+            huge: false,
+        }
+    }
+
+    fn huge_entry(gpa_page: u64, hpa_page: u64) -> TlbEntry {
+        TlbEntry {
+            gpa_page,
+            hpa_page,
+            writable: true,
+            guest_dirty: true,
+            ept_dirty: true,
+            spp_guarded: false,
+            huge: true,
         }
     }
 
@@ -362,6 +435,79 @@ mod tests {
     }
 
     #[test]
+    fn huge_fill_covers_512_pages() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        // GVA 2M-region 3 → GPA pages 1024.., HPA pages 4096..
+        let base = Gva(3 << 21);
+        t.fill(cr3, base, huge_entry(1024, 4096));
+        assert_eq!(t.huge_len(), 1);
+        assert_eq!(t.len(), 0);
+        // Any address inside the 2M region hits, with the huge offset.
+        let probe = base.add(200 * 4096 + 0x321);
+        let e = t.lookup(cr3, probe).unwrap();
+        assert!(e.huge);
+        assert_eq!(e.hpa(probe), Hpa::from_page(4096 + 200).add(0x321));
+        assert_eq!(e.gpa(probe), Gpa::from_page(1024 + 200).add(0x321));
+        // Just past the region misses.
+        assert!(t.lookup(cr3, base.add(512 * 4096)).is_none());
+    }
+
+    #[test]
+    fn invlpg_drops_covering_huge_entry() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        let base = Gva(3 << 21);
+        t.fill(cr3, base, huge_entry(1024, 4096));
+        // invlpg of *any* covered page (the demotion protocol invalidates
+        // the faulting page) must drop the whole huge translation.
+        t.invlpg(base.add(77 * 4096));
+        assert!(t.peek(cr3, base).is_none());
+        t.fill(cr3, base, huge_entry(1024, 4096));
+        t.shootdown_invlpg(base.add(9 * 4096));
+        assert!(t.peek(cr3, base).is_none());
+        assert_eq!(t.shootdowns(), 1);
+    }
+
+    #[test]
+    fn invalidate_gpa_inside_huge_span() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        t.fill(cr3, Gva(3 << 21), huge_entry(1024, 4096));
+        t.fill(cr3, Gva(0x1000), entry(1)); // gpa_page 0x42
+        t.invalidate_gpa_page(1024 + 511); // last page of the huge span
+        assert_eq!(t.huge_len(), 0);
+        assert!(t.peek(cr3, Gva(0x1000)).is_some());
+        // A page just past the span leaves the entry alone.
+        t.fill(cr3, Gva(3 << 21), huge_entry(1024, 4096));
+        t.invalidate_gpa_page(1024 + 512);
+        assert_eq!(t.huge_len(), 1);
+    }
+
+    #[test]
+    fn flushes_clear_huge_entries_and_digest_gates_on_them() {
+        let mut t = Tlb::new();
+        let cr3 = Gpa(0x1000);
+        let digest = |t: &Tlb| {
+            let mut h = StateHasher::new();
+            t.hash_state(&mut h);
+            h.finish()
+        };
+        let empty = digest(&t);
+        t.fill(cr3, Gva(3 << 21), huge_entry(1024, 4096));
+        assert_ne!(digest(&t), empty, "huge entries must be digest-visible");
+        t.flush_all();
+        assert!(t.is_empty());
+        t.fill(cr3, Gva(3 << 21), huge_entry(1024, 4096));
+        t.shootdown_flush_all();
+        assert!(t.is_empty());
+        // CR3 switch implicitly flushes the large-page array too.
+        t.fill(cr3, Gva(3 << 21), huge_entry(1024, 4096));
+        t.fill(Gpa(0x2000), Gva(0x5000), entry(7));
+        assert_eq!(t.huge_len(), 0);
+    }
+
+    #[test]
     fn invalidate_by_gpa() {
         let mut t = Tlb::new();
         let cr3 = Gpa(0x1000);
@@ -376,6 +522,7 @@ mod tests {
                 guest_dirty: true,
                 ept_dirty: true,
                 spp_guarded: false,
+                huge: false,
             },
         );
         t.invalidate_gpa_page(0x42);

@@ -18,7 +18,7 @@
 //! bits and can be PML-logged (true of real hardware; the OoH library
 //! filters such addresses out, and our reproduction keeps that noise).
 
-use crate::addr::{Gpa, Gva, Hpa};
+use crate::addr::{Gpa, Gva, Hpa, HUGE_PAGE_PAGES};
 use crate::ept::Ept;
 use crate::error::{Fault, MachineError};
 use crate::phys::HostPhys;
@@ -52,6 +52,12 @@ pub struct Mmu<'a> {
     pub epml_hw: bool,
     /// The VM's sub-page permission table (None = SPP not in use).
     pub spp: Option<&'a SppTable>,
+    /// Split-on-dirty policy armed: the first *logged* write to a still-clean
+    /// 2 MiB mapping raises [`Fault::HugeDirtyWrite`] instead of setting any
+    /// A/D bit, so the kernel can demote the region to 4K before the write
+    /// retries and logs at page granularity. Off (the default) preserves
+    /// pre-huge-page behaviour bit-for-bit.
+    pub split_on_dirty: bool,
 }
 
 impl Mmu<'_> {
@@ -106,6 +112,13 @@ impl Mmu<'_> {
             if !entry.is_present() {
                 return Ok(Err(Fault::NotPresent { gva, level }));
             }
+            if level == 1 && entry.is_huge() {
+                // PS bit: this level-1 entry is a 2 MiB leaf; the walk
+                // terminates here, one level early.
+                leaf_slot_gpa = slot;
+                pte = entry;
+                break;
+            }
             if level == 0 {
                 leaf_slot_gpa = slot;
                 pte = entry;
@@ -125,7 +138,11 @@ impl Mmu<'_> {
         // updates — a denied write leaves no architectural trace, otherwise
         // a pre-set dirty bit would suppress PML logging of a later
         // legitimate write to the same page.
-        let data_gpa = pte.frame().add(gva.offset());
+        let data_gpa = if pte.is_huge() {
+            pte.frame().add(gva.huge_offset())
+        } else {
+            pte.frame().add(gva.offset())
+        };
         if write {
             if let Some(spp) = self.spp {
                 if !spp.write_allowed(data_gpa) {
@@ -134,6 +151,33 @@ impl Mmu<'_> {
                         gpa: data_gpa,
                         subpage: SppTable::subpage_of(data_gpa),
                     }));
+                }
+            }
+        }
+
+        // Split-on-dirty pre-check. It must run BEFORE any architectural
+        // mutation: once a D bit is set (or a PML entry written) the 0→1
+        // transition is consumed and the retried access after demotion
+        // would neither re-log nor re-fault — the write would be lost to
+        // every tracker. A logged write is about to happen at 2 MiB
+        // granularity iff a still-clean huge entry sits on an armed logging
+        // path; fault out so the kernel can demote first.
+        if write && self.split_on_dirty {
+            if pte.is_huge() && !pte.is_dirty() && self.epml_hw && self.pml.guest_logging {
+                return Ok(Err(Fault::HugeDirtyWrite {
+                    gva,
+                    gpa: data_gpa.huge_base(),
+                }));
+            }
+            if self.pml.hyp_logging {
+                // Read-only peek — ept.lookup sets no A/D bits.
+                if let Some((_, e)) = self.ept.lookup(self.phys, data_gpa)? {
+                    if e.is_huge() && !e.is_dirty() {
+                        return Ok(Err(Fault::HugeDirtyWrite {
+                            gva,
+                            gpa: data_gpa.huge_base(),
+                        }));
+                    }
                 }
             }
         }
@@ -180,13 +224,33 @@ impl Mmu<'_> {
             self.log_guest(gva.page_base(), &mut events)?;
         }
 
-        // TLB fill with post-access state.
+        // Host-physical 4K frame of the data page (a huge EPT leaf maps the
+        // whole 2 MiB region; index the covered frame).
+        let hpa_page = if ept_entry.is_huge() {
+            ept_entry.frame().page() + data_gpa.page() % HUGE_PAGE_PAGES
+        } else {
+            ept_entry.frame().page()
+        };
+
+        // TLB fill with post-access state. A translation is cached at 2 MiB
+        // only when BOTH levels still map it huge — after a one-sided
+        // demotion the region's frames may diverge page by page, so the
+        // smaller granularity governs what may be cached.
+        let cache_huge = pte.is_huge() && ept_entry.is_huge();
         self.tlb.fill(
             cr3,
             gva,
             TlbEntry {
-                gpa_page: data_gpa.page(),
-                hpa_page: ept_entry.frame().page(),
+                gpa_page: if cache_huge {
+                    data_gpa.huge_base().page()
+                } else {
+                    data_gpa.page()
+                },
+                hpa_page: if cache_huge {
+                    ept_entry.frame().page()
+                } else {
+                    hpa_page
+                },
                 writable: pte.is_writable() && !pte.is_uffd_wp(),
                 guest_dirty: new_pte.is_dirty(),
                 ept_dirty: new_ept.is_dirty(),
@@ -194,11 +258,12 @@ impl Mmu<'_> {
                     .spp
                     .map(|s| s.is_guarded(data_gpa))
                     .unwrap_or(false),
+                huge: cache_huge,
             },
         );
 
         Ok(Ok(AccessOk {
-            hpa: ept_entry.frame().add(gva.offset()),
+            hpa: Hpa::from_page(hpa_page).add(gva.offset()),
             gpa: data_gpa,
             events,
         }))
@@ -214,7 +279,12 @@ impl Mmu<'_> {
             self.phys
                 .write_u64(slot, entry.with(EptEntry::ACCESSED).0)?;
         }
-        let v = self.phys.read_u64(entry.frame().add(gpa.offset()))?;
+        let fa = if entry.is_huge() {
+            entry.frame().add(gpa.huge_offset())
+        } else {
+            entry.frame().add(gpa.offset())
+        };
+        let v = self.phys.read_u64(fa)?;
         Ok(Ok(v))
     }
 
@@ -235,7 +305,12 @@ impl Mmu<'_> {
         if new != entry {
             self.phys.write_u64(slot, new.0)?;
         }
-        self.phys.write_u64(entry.frame().add(gpa.offset()), value)?;
+        let fa = if entry.is_huge() {
+            entry.frame().add(gpa.huge_offset())
+        } else {
+            entry.frame().add(gpa.offset())
+        };
+        self.phys.write_u64(fa, value)?;
         if d_transition {
             self.log_hyp(gpa.page_base(), true, events)?;
         }
@@ -330,16 +405,16 @@ impl Mmu<'_> {
             if !e.is_present() {
                 return Ok(());
             }
-            if level == 0 {
+            if level == 0 || (level == 1 && e.is_huge()) {
                 assert!(
                     e.is_dirty(),
                     "TLB invariant violated: write fast path for {gva:?}, but the guest PTE \
                      dirty bit is clear — the OoH module drained this page and the stale TLB \
                      entry would suppress guest-buffer re-logging"
                 );
-            } else {
-                table = e.frame();
+                return Ok(());
             }
+            table = e.frame();
         }
         Ok(())
     }
@@ -417,6 +492,46 @@ mod tests {
             data
         }
 
+        /// Map a 2 MiB-aligned `gva` as a guest 2M leaf over a fresh
+        /// 2M-aligned 512-page GPA region; the EPT side is mapped as one
+        /// huge leaf when `ept_huge`, else 512 individual 4K leaves.
+        fn map_gva_huge(&mut self, gva: Gva, flags: u64, ept_huge: bool) -> Gpa {
+            assert!(gva.is_huge_aligned());
+            let base_page = self.next_gpa.next_multiple_of(512);
+            self.next_gpa = base_page + 512;
+            let gpa = Gpa::from_page(base_page);
+            if ept_huge {
+                let hpa = self.phys.alloc_frames_contiguous(512, 512).unwrap();
+                self.ept.map_huge(&mut self.phys, gpa, hpa).unwrap();
+            } else {
+                for i in 0..512u64 {
+                    let f = self.phys.alloc_frame().unwrap();
+                    self.ept
+                        .map(&mut self.phys, gpa.add(i * PAGE_SIZE), f)
+                        .unwrap();
+                }
+            }
+            let mut table = self.cr3;
+            for level in (2..4).rev() {
+                let slot = table.add(gva.pt_index(level) as u64 * 8);
+                let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+                let e = Pte(self.phys.read_u64(hslot).unwrap());
+                table = if e.is_present() {
+                    e.frame()
+                } else {
+                    let t = self.alloc_guest_page();
+                    self.phys.write_u64(hslot, Pte::table(t).0).unwrap();
+                    t
+                };
+            }
+            let slot = table.add(gva.pt_index(1) as u64 * 8);
+            let hslot = self.ept.translate(&self.phys, slot).unwrap().unwrap();
+            self.phys
+                .write_u64(hslot, Pte::huge_leaf(gpa, flags).0)
+                .unwrap();
+            gpa
+        }
+
         fn mmu(&mut self) -> Mmu<'_> {
             Mmu {
                 phys: &mut self.phys,
@@ -427,6 +542,7 @@ mod tests {
                 lane: Lane::Tracked,
                 epml_hw: true,
                 spp: None,
+                split_on_dirty: false,
             }
         }
 
@@ -652,6 +768,120 @@ mod tests {
         }
         let logged = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
         assert_eq!(logged, vec![BASE.raw()], "new round must re-log the page");
+    }
+
+    const HUGE_BASE: Gva = Gva(0x4000_0000); // 2M-aligned
+
+    #[test]
+    fn huge_walk_translates_and_logs_precise_gpa() {
+        let mut rig = Rig::new();
+        rig.enable_hyp_pml();
+        let gpa = rig.map_gva_huge(HUGE_BASE, Pte::WRITABLE | Pte::USER, true);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        // Store into page 37 of the region.
+        let probe = HUGE_BASE.add(37 * PAGE_SIZE + 0x18);
+        let ok = mmu.access(cr3, probe, true).unwrap().unwrap();
+        assert_eq!(ok.gpa, gpa.add(37 * PAGE_SIZE + 0x18));
+        // PML logs the precise 4K-aligned GPA, as real PML does even under
+        // a 2M EPT leaf.
+        let logged = rig.pml.hyp.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert!(logged.contains(&gpa.add(37 * PAGE_SIZE).raw()));
+        // The region-wide D bit suppresses logging for the other 511 pages.
+        let n1 = rig.ctx.counters().get(Event::PmlLogGpa);
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, HUGE_BASE.add(300 * PAGE_SIZE), true)
+            .unwrap()
+            .unwrap();
+        assert_eq!(rig.ctx.counters().get(Event::PmlLogGpa), n1);
+        // One huge TLB entry serves the whole region.
+        assert_eq!(rig.tlb.huge_len(), 1);
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, HUGE_BASE.add(511 * PAGE_SIZE), true)
+            .unwrap()
+            .unwrap();
+        assert!(rig.ctx.counters().get(Event::TlbHit) >= 1);
+    }
+
+    #[test]
+    fn epml_huge_logs_gva_once_per_region() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        rig.map_gva_huge(HUGE_BASE, Pte::WRITABLE | Pte::USER, true);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, HUGE_BASE.add(5 * PAGE_SIZE + 4), true)
+            .unwrap()
+            .unwrap();
+        mmu.access(cr3, HUGE_BASE.add(6 * PAGE_SIZE), true)
+            .unwrap()
+            .unwrap();
+        let logged = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        // One log for the whole region (D set once), at the precise 4K GVA.
+        assert_eq!(logged, vec![HUGE_BASE.add(5 * PAGE_SIZE).raw()]);
+    }
+
+    #[test]
+    fn split_on_dirty_faults_before_any_mutation() {
+        let mut rig = Rig::new();
+        rig.enable_hyp_pml();
+        let gpa = rig.map_gva_huge(HUGE_BASE, Pte::WRITABLE | Pte::USER, true);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.split_on_dirty = true;
+        match mmu.access(cr3, HUGE_BASE.add(9 * PAGE_SIZE), true).unwrap() {
+            Err(Fault::HugeDirtyWrite { gva, gpa: region }) => {
+                assert_eq!(gva, HUGE_BASE.add(9 * PAGE_SIZE));
+                assert_eq!(region, gpa);
+            }
+            other => panic!("expected HugeDirtyWrite, got {other:?}"),
+        }
+        // Nothing was mutated: no PML entry, EPT D clear, guest D clear.
+        assert!(rig.pml.hyp.as_ref().unwrap().is_empty());
+        let (_, e) = rig.ept.lookup(&rig.phys, gpa).unwrap().unwrap();
+        assert!(!e.is_dirty());
+        // Reads are unaffected by the armed policy.
+        let mut mmu = rig.mmu();
+        mmu.split_on_dirty = true;
+        mmu.access(cr3, HUGE_BASE, false).unwrap().unwrap();
+        // Hypervisor demotes the EPT side; the retried write then succeeds
+        // and logs the precise 4K GPA.
+        rig.ept.demote(&mut rig.phys, gpa).unwrap();
+        rig.tlb.flush_all();
+        let mut mmu = rig.mmu();
+        mmu.split_on_dirty = true;
+        // Guest PT is still a (clean) huge leaf, but guest logging is off,
+        // so only the EPT side gates — and it is 4K now.
+        mmu.access(cr3, HUGE_BASE.add(9 * PAGE_SIZE), true)
+            .unwrap()
+            .unwrap();
+        let logged = rig.pml.hyp.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert!(logged.contains(&gpa.add(9 * PAGE_SIZE).raw()));
+    }
+
+    #[test]
+    fn split_on_dirty_guest_side_faults_with_epml() {
+        let mut rig = Rig::new();
+        rig.enable_guest_pml();
+        // EPT side 4K from the start: only the guest PT is huge.
+        let gpa = rig.map_gva_huge(HUGE_BASE, Pte::WRITABLE | Pte::USER, false);
+        let cr3 = rig.cr3;
+        let mut mmu = rig.mmu();
+        mmu.split_on_dirty = true;
+        assert!(matches!(
+            mmu.access(cr3, HUGE_BASE.add(3 * PAGE_SIZE), true).unwrap(),
+            Err(Fault::HugeDirtyWrite { .. })
+        ));
+        assert!(rig.pml.guest.as_ref().unwrap().is_empty());
+        // With the policy off the same write proceeds (keep-huge mode) and
+        // the region logs once at the faulting GVA.
+        let mut mmu = rig.mmu();
+        mmu.access(cr3, HUGE_BASE.add(3 * PAGE_SIZE), true)
+            .unwrap()
+            .unwrap();
+        let logged = rig.pml.guest.as_mut().unwrap().drain(&rig.phys).unwrap();
+        assert_eq!(logged, vec![HUGE_BASE.add(3 * PAGE_SIZE).raw()]);
+        let _ = gpa;
     }
 
     #[test]

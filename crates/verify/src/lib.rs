@@ -183,6 +183,11 @@ pub const RULES: &[RuleInfo] = &[
         help: "post_interrupt(.., EPML_SELF_IPI_VECTOR) inside the GuestBufferFull arm; without the self-IPI the guest never learns its PML buffer filled",
     },
     RuleInfo {
+        id: "demote-before-log",
+        summary: "every huge-page demotion site must broadcast a TLB shootdown and bump the process map generation before returning",
+        help: "after demote_guest_region, reach shootdown_page/shootdown_all (other cores hold the stale 2M translation) and bump_map_generation (GPA→GVA reverse-map caches were built against the huge layout)",
+    },
+    RuleInfo {
         id: "stale-allow",
         summary: "every verify.allow entry and inline allow marker must still match a violation; prune dead exemptions",
         help: "remove the dead suppression, or run `cargo run -p ooh-verify -- --prune-stale`",

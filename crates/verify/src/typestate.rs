@@ -38,7 +38,11 @@
 //! - `ring-guard` — an SPSC ring `push` must be dominated by a free-slot
 //!   probe or consume its overflow result;
 //! - `ipi-on-full` — entering the `GuestBufferFull` dispatch arm obliges
-//!   `post_interrupt` (the EPML self-IPI) before the handler returns.
+//!   `post_interrupt` (the EPML self-IPI) before the handler returns;
+//! - `demote-before-log` — a guest function that demotes a huge mapping
+//!   (reaches `demote_guest_region`) must both broadcast a TLB shootdown
+//!   (`shootdown_page`/`shootdown_all`) and bump the process map
+//!   generation before any success return (DESIGN.md §14).
 
 use std::collections::BTreeSet;
 
@@ -252,6 +256,46 @@ pub const PROTOCOLS: &[Protocol] = &[
             unless: None,
             message: "`{fn}` enters the GuestBufferFull arm but can return without posting the EPML self-IPI (post_interrupt)",
         }],
+    },
+    Protocol {
+        rule: "demote-before-log",
+        name: "demote-shootdown-generation",
+        crates: &["guest"],
+        scope: Scope::BodyCallContains("demote_guest_region"),
+        states: &["idle", "demoted", "shot-down", "bumped", "done"],
+        start: 0,
+        transitions: &[
+            (0, EventPat::CallReaching(&["demote_guest_region"]), 1),
+            (
+                1,
+                EventPat::CallReaching(&["shootdown_page", "shootdown_all"]),
+                2,
+            ),
+            (1, EventPat::CallReaching(&["bump_map_generation"]), 3),
+            (2, EventPat::CallReaching(&["bump_map_generation"]), 4),
+            (
+                3,
+                EventPat::CallReaching(&["shootdown_page", "shootdown_all"]),
+                4,
+            ),
+        ],
+        checks: &[
+            Check {
+                bad: 1,
+                unless: Some(4),
+                message: "`{fn}` demotes a huge mapping but can return without a TLB shootdown or a map-generation bump: other cores keep the stale 2M translation and reverse-map caches go stale",
+            },
+            Check {
+                bad: 2,
+                unless: Some(4),
+                message: "`{fn}` demotes a huge mapping and shoots the TLB down but never bumps the map generation: GPA\u{2192}GVA reverse-map caches built against the huge layout stay live",
+            },
+            Check {
+                bad: 3,
+                unless: Some(4),
+                message: "`{fn}` demotes a huge mapping and bumps the map generation but never broadcasts a shootdown: another core's TLB still translates through the replaced 2M entry",
+            },
+        ],
     },
 ];
 

@@ -264,6 +264,175 @@ fn smp_unmap_churn_is_technique_invariant() {
     }
 }
 
+use ooh::machine::HUGE_PAGE_PAGES;
+
+/// Three 2 MiB regions plus a 4K tail — enough that a single round can
+/// demote several regions at once (the "storm").
+const HUGE_REGIONS: u64 = 3;
+const HUGE_TAIL_PAGES: u64 = 16;
+
+/// Drive `rounds` of writes over a huge-eligible mapping (three 2M regions
+/// that fault in as level-1 leaves, plus a 16-page 4K tail) on a
+/// `vcpus`-core guest. With `split_on_dirty`, the first *logged* write to
+/// each still-huge region demotes it mid-round — the SPML/EPML demotion
+/// storm; /proc and ufd demote everything at session start (their
+/// mechanisms are 4K-granular), so all four report precise sets. Without
+/// it, SPML/EPML keep the regions huge and their reports expand dirty
+/// regions to full 512-page ranges. Returns per-round absolute dirty page
+/// sets and the final virtual clock.
+fn run_huge_schedule(
+    technique: Technique,
+    vcpus: u32,
+    rounds: &[Vec<u64>],
+    split_on_dirty: bool,
+) -> (Vec<BTreeSet<u64>>, GvaRange, u64) {
+    let mut hv = Hypervisor::new(
+        MachineConfig::epml(256 * 1024 * PAGE_SIZE),
+        SimCtx::new(),
+    );
+    let vm = hv.create_vm(64 * 1024 * PAGE_SIZE, vcpus).expect("vm");
+    hv.set_split_on_dirty(vm, split_on_dirty);
+    let mut kernel = GuestKernel::with_vcpus(vm, vcpus);
+    kernel.huge_policy = true;
+    let pid = kernel.spawn(&mut hv).expect("spawn");
+    // Cross-core noise processes, as in the SMP churn test.
+    let others: Vec<(Pid, GvaRange)> = (1..vcpus)
+        .map(|_| {
+            let opid = kernel.spawn(&mut hv).expect("spawn");
+            let r = kernel.mmap(opid, 2, true, VmaKind::Anon).expect("mmap");
+            (opid, r)
+        })
+        .collect();
+    let ctx = hv.ctx.clone();
+
+    let pages = HUGE_REGIONS * HUGE_PAGE_PAGES + HUGE_TAIL_PAGES;
+    let region = kernel.mmap(pid, pages, true, VmaKind::Anon).unwrap();
+    // Pre-fault outside the tracked window: each full 2M region installs as
+    // one leaf on its first touch (logging is not armed yet, so the writes
+    // do not trigger split-on-dirty), the tail demand-faults 4K.
+    for g in region.iter_pages().collect::<Vec<_>>() {
+        kernel.write_u64(&mut hv, pid, g, 0, Lane::Tracked).unwrap();
+    }
+
+    let mut session = OohSession::start(&mut hv, &mut kernel, pid, technique).unwrap();
+    let mut reported = Vec::new();
+    for writes in rounds {
+        for &p in writes {
+            let gva = region.start.add((p % pages) * PAGE_SIZE);
+            kernel.write_u64(&mut hv, pid, gva, p, Lane::Tracked).unwrap();
+        }
+        for &(opid, r) in &others {
+            kernel
+                .write_u64(&mut hv, opid, r.start, 1, Lane::Tracked)
+                .unwrap();
+        }
+        if vcpus > 1 {
+            kernel.timer_tick(&mut hv).unwrap();
+        }
+        let dirty = session.fetch_dirty(&mut hv, &mut kernel).unwrap();
+        reported.push(dirty.pages().collect::<BTreeSet<u64>>());
+    }
+    session.stop(&mut hv, &mut kernel).unwrap();
+    (reported, region, ctx.now_ns())
+}
+
+/// With split-on-dirty armed, the demotion storm is observer-transparent:
+/// every technique reports exactly the written pages at 1, 2, and 4 vCPUs,
+/// SPML/EPML demoting all three regions inside the first tracked round.
+/// Without it, the same schedule through SPML/EPML expands each touched
+/// still-huge region to its full 512-page range.
+#[test]
+fn huge_demotion_storm_is_technique_invariant() {
+    let pages = HUGE_REGIONS * HUGE_PAGE_PAGES + HUGE_TAIL_PAGES;
+    let mut next = splitmix(0xD1F7_0000_5EED_2222);
+    let mut rounds: Vec<Vec<u64>> = (0..3)
+        .map(|_| (0..(next() % 24 + 4)).map(|_| next() % pages).collect())
+        .collect();
+    // Force the storm: round 0 writes every region (and the tail) so all
+    // three demotions land in one collection round.
+    for k in 0..HUGE_REGIONS {
+        rounds[0].push(k * HUGE_PAGE_PAGES + next() % HUGE_PAGE_PAGES);
+    }
+    rounds[0].push(HUGE_REGIONS * HUGE_PAGE_PAGES + next() % HUGE_TAIL_PAGES);
+
+    for vcpus in [1u32, 2, 4] {
+        let mut per_technique = Vec::new();
+        for &technique in &Technique::ALL {
+            let (reported, region, final_ns) =
+                run_huge_schedule(technique, vcpus, &rounds, true);
+            let expected: Vec<BTreeSet<u64>> = rounds
+                .iter()
+                .map(|ws| ws.iter().map(|p| region.start.page() + p % pages).collect())
+                .collect();
+            assert_eq!(
+                reported,
+                expected,
+                "{} at {vcpus} vCPUs diverged from the write oracle under \
+                 split-on-dirty",
+                technique.name()
+            );
+            // Determinism: byte-identical rerun, dirty sets and clock.
+            let rerun = run_huge_schedule(technique, vcpus, &rounds, true);
+            assert_eq!(
+                (&reported, final_ns),
+                (&rerun.0, rerun.2),
+                "{} at {vcpus} vCPUs is not deterministic with huge pages",
+                technique.name()
+            );
+            per_technique.push(reported);
+        }
+        for w in per_technique.windows(2) {
+            assert_eq!(
+                w[0], w[1],
+                "techniques diverged at {vcpus} vCPUs under split-on-dirty"
+            );
+        }
+    }
+
+    // Keep-huge contrast at 2 vCPUs: PML-based trackers expand each written
+    // still-huge region to all 512 covered pages; 4K-granular trackers
+    // (which demoted at session start) stay precise.
+    for technique in [Technique::Spml, Technique::Epml] {
+        let (reported, region, _) = run_huge_schedule(technique, 2, &rounds, false);
+        let expected: Vec<BTreeSet<u64>> = rounds
+            .iter()
+            .map(|ws| {
+                let mut set = BTreeSet::new();
+                for &w in ws {
+                    let p = w % pages;
+                    if p < HUGE_REGIONS * HUGE_PAGE_PAGES {
+                        let base = region.start.page() + (p / HUGE_PAGE_PAGES) * HUGE_PAGE_PAGES;
+                        set.extend(base..base + HUGE_PAGE_PAGES);
+                    } else {
+                        set.insert(region.start.page() + p);
+                    }
+                }
+                set
+            })
+            .collect();
+        assert_eq!(
+            reported,
+            expected,
+            "{} keep-huge report must expand dirty regions to 512-page ranges",
+            technique.name()
+        );
+    }
+    for technique in [Technique::Proc, Technique::Ufd] {
+        let (reported, region, _) = run_huge_schedule(technique, 2, &rounds, false);
+        let expected: Vec<BTreeSet<u64>> = rounds
+            .iter()
+            .map(|ws| ws.iter().map(|p| region.start.page() + p % pages).collect())
+            .collect();
+        assert_eq!(
+            reported,
+            expected,
+            "{} demotes at session start and must stay precise even without \
+             split-on-dirty",
+            technique.name()
+        );
+    }
+}
+
 /// Standalone seeded differential run (literal seed, no proptest): a long
 /// splitmix64-generated schedule with duplicate writes and empty rounds,
 /// replayed through all four trackers.

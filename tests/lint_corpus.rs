@@ -141,6 +141,24 @@ fn ipi_on_full_good_twin_is_clean() {
     assert_clean("hypervisor", "ipi_full_good.rs");
 }
 
+#[test]
+fn demote_before_log_catches_missing_obligations() {
+    assert_flags("guest", "demote_log_bad.rs", "demote-before-log");
+    let vs = scan("guest", "demote_log_bad.rs");
+    assert!(
+        vs.iter().any(|v| v
+            .trace
+            .iter()
+            .any(|s| s.note.contains("'idle' → 'demoted'"))),
+        "the trace must walk the demotion transition: {vs:?}"
+    );
+}
+
+#[test]
+fn demote_before_log_good_twin_is_clean() {
+    assert_clean("guest", "demote_log_good.rs");
+}
+
 // --- token rules ----------------------------------------------------------
 
 #[test]

@@ -1,0 +1,34 @@
+//! Known-bad: a huge-page demotion that rewrites the page tables and
+//! demotes the EPT mapping, then returns without either obligation —
+//! no cross-vCPU shootdown (another core's TLB still translates through
+//! the replaced 2M entry, so its writes bypass the new 4K leaves and
+//! their D bits) and no map-generation bump (GPA→GVA reverse-map caches
+//! built while the region was huge keep resolving against it).
+
+pub struct GuestKernel {
+    vm: VmId,
+}
+
+impl GuestKernel {
+    pub fn demote_huge(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+    ) -> Result<bool, GuestError> {
+        let base = gva.huge_base();
+        let Some((slot, hpte)) = self.huge_pte_lookup(hv, pid, base)? else {
+            return Ok(false);
+        };
+        let table = hv.alloc_guest_page(self.vm)?;
+        let proto = hpte.without(Pte::PS);
+        for i in 0..HUGE_PAGE_PAGES {
+            let leaf = proto.retarget(hpte.frame().add(i * PAGE_SIZE));
+            self.kernel_phys_write(hv, table.add(i * 8), leaf.0)?;
+        }
+        self.kernel_phys_write(hv, slot, Pte::table(table).0)?;
+        hv.demote_guest_region(self.vm, hpte.frame(), Lane::Kernel)?;
+        // BUG: neither shootdown_page/shootdown_all nor bump_map_generation.
+        Ok(true)
+    }
+}

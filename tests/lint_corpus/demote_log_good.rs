@@ -1,0 +1,33 @@
+//! Known-good twin of `demote_log_bad.rs`: after the demotion the kernel
+//! broadcasts a shootdown of the covering translation and bumps the
+//! process map generation, so every core walks the new 4K subtree and
+//! stale reverse-map caches rebuild on next use.
+
+pub struct GuestKernel {
+    vm: VmId,
+}
+
+impl GuestKernel {
+    pub fn demote_huge(
+        &mut self,
+        hv: &mut Hypervisor,
+        pid: Pid,
+        gva: Gva,
+    ) -> Result<bool, GuestError> {
+        let base = gva.huge_base();
+        let Some((slot, hpte)) = self.huge_pte_lookup(hv, pid, base)? else {
+            return Ok(false);
+        };
+        let table = hv.alloc_guest_page(self.vm)?;
+        let proto = hpte.without(Pte::PS);
+        for i in 0..HUGE_PAGE_PAGES {
+            let leaf = proto.retarget(hpte.frame().add(i * PAGE_SIZE));
+            self.kernel_phys_write(hv, table.add(i * 8), leaf.0)?;
+        }
+        self.kernel_phys_write(hv, slot, Pte::table(table).0)?;
+        hv.demote_guest_region(self.vm, hpte.frame(), Lane::Kernel)?;
+        self.shootdown_page(hv, base);
+        self.process_mut(pid)?.bump_map_generation();
+        Ok(true)
+    }
+}

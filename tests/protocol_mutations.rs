@@ -112,3 +112,30 @@ fn drop_ipi_is_caught_statically() {
     });
     assert_single_protocol_finding(&vs, "ipi-on-full", "crates/hypervisor/src/hypervisor.rs");
 }
+
+/// Split-on-dirty demotion without the reverse-map invalidation: delete
+/// the `bump_map_generation` call from the kernel's `demote_huge` and the
+/// GPA→GVA caches built against the huge layout would stay live.
+#[test]
+fn skip_demote_generation_bump_is_caught_statically() {
+    let vs = scan_mutated("crates/guest/src/kernel.rs", |src| {
+        src.lines()
+            .filter(|l| !l.contains("self.process_mut(pid)?.bump_map_generation();"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    });
+    assert_single_protocol_finding(&vs, "demote-before-log", "crates/guest/src/kernel.rs");
+}
+
+/// Demotion without the cross-vCPU shootdown: another core's TLB keeps
+/// the replaced 2M translation, so its writes bypass the new 4K leaves.
+#[test]
+fn skip_demote_shootdown_is_caught_statically() {
+    let vs = scan_mutated("crates/guest/src/kernel.rs", |src| {
+        src.lines()
+            .filter(|l| !l.contains("self.shootdown_page(hv, base);"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    });
+    assert_single_protocol_finding(&vs, "demote-before-log", "crates/guest/src/kernel.rs");
+}
